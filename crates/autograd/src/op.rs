@@ -1,0 +1,216 @@
+//! The primitive operation set and its backward dispatch.
+
+use cts_tensor::{ops, Tensor};
+
+/// Every differentiable primitive the tape can record.
+///
+/// Backward formulas live in [`Op::backward`]; the numeric kernels (forward
+/// and gradient) come from [`cts_tensor::ops`] so they can be unit-tested
+/// without a tape.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Constant or parameter leaf; nothing to differentiate through.
+    Leaf,
+    /// Elementwise `a + b` with broadcasting.
+    Add,
+    /// Elementwise `a - b` with broadcasting.
+    Sub,
+    /// Elementwise `a * b` with broadcasting.
+    Mul,
+    /// Elementwise `a / b` with broadcasting.
+    Div,
+    /// Elementwise negation.
+    Neg,
+    /// Multiply by a compile-time scalar.
+    Scale(f32),
+    /// Add a compile-time scalar.
+    AddScalar(f32),
+    /// max(x, 0).
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Elementwise exponential.
+    Exp,
+    /// Natural logarithm.
+    Ln,
+    /// Elementwise square root.
+    Sqrt,
+    /// Elementwise absolute value.
+    Abs,
+    /// Elementwise square.
+    Square,
+    /// Gaussian error linear unit (tanh approximation).
+    Gelu,
+    /// Clamp into `[lo, hi]`; gradient passes only inside the range.
+    Clamp(f32, f32),
+    /// Softmax over the last axis.
+    SoftmaxLast,
+    /// Batched matrix multiplication over the trailing two dims.
+    MatMul,
+    /// Dimension permutation.
+    Permute(Vec<usize>),
+    /// Reshape to a new shape of the same element count.
+    Reshape,
+    /// Concatenation along `axis` (any number of inputs).
+    Concat {
+        /// Concatenation axis.
+        axis: usize,
+    },
+    /// Contiguous slice `[start, start+len)` along `axis`.
+    Slice {
+        /// Sliced axis.
+        axis: usize,
+        /// Slice start offset.
+        start: usize,
+    },
+    /// Gather `indices` along `axis`.
+    IndexSelect {
+        /// Gather axis.
+        axis: usize,
+        /// Gathered indices.
+        indices: Vec<usize>,
+    },
+    /// Zero-pad along `axis`.
+    PadAxis {
+        /// Padded axis.
+        axis: usize,
+        /// Zeros inserted before.
+        before: usize,
+        /// Zeros appended after.
+        after: usize,
+    },
+    /// Sum over one axis.
+    SumAxis {
+        /// Reduced axis.
+        axis: usize,
+        /// Keep the reduced axis as length 1.
+        keepdim: bool,
+    },
+    /// Mean over one axis.
+    MeanAxis {
+        /// Reduced axis.
+        axis: usize,
+        /// Keep the reduced axis as length 1.
+        keepdim: bool,
+    },
+    /// Sum of every element (shape `[1]`).
+    SumAll,
+    /// Mean of every element (shape `[1]`).
+    MeanAll,
+    /// Dilated causal temporal convolution (input 0: x, input 1: kernel).
+    TemporalConv {
+        /// Convolution dilation over the time axis.
+        dilation: usize,
+    },
+}
+
+impl Op {
+    /// Gradients w.r.t. each input.
+    ///
+    /// * `grad` — upstream gradient w.r.t. this node's output
+    /// * `output` — the saved forward output of this node
+    /// * `inputs` — the saved forward values of the node's inputs
+    ///
+    /// Returns one gradient per input, shaped exactly like that input.
+    pub fn backward(&self, grad: &Tensor, output: &Tensor, inputs: &[&Tensor]) -> Vec<Tensor> {
+        match self {
+            Op::Leaf => vec![],
+            Op::Add => vec![
+                ops::binary_grad_passthrough(grad, inputs[0].shape()),
+                ops::binary_grad_passthrough(grad, inputs[1].shape()),
+            ],
+            Op::Sub => vec![
+                ops::binary_grad_passthrough(grad, inputs[0].shape()),
+                ops::reduce_to_shape(&ops::neg(grad), inputs[1].shape()),
+            ],
+            Op::Mul => vec![
+                ops::mul_grad(grad, inputs[1], inputs[0].shape()),
+                ops::mul_grad(grad, inputs[0], inputs[1].shape()),
+            ],
+            Op::Div => vec![
+                ops::div_grad_a(grad, inputs[1], inputs[0].shape()),
+                ops::div_grad_b(grad, inputs[0], inputs[1]),
+            ],
+            Op::Neg => vec![ops::neg(grad)],
+            Op::Scale(c) => vec![ops::scale(grad, *c)],
+            Op::AddScalar(_) => vec![grad.clone()],
+            Op::Relu => vec![ops::relu_grad(grad, inputs[0])],
+            Op::Sigmoid => vec![ops::sigmoid_grad(grad, output)],
+            Op::Tanh => vec![ops::tanh_grad(grad, output)],
+            Op::Exp => vec![ops::mul(grad, output)],
+            Op::Ln => vec![ops::ln_grad(grad, inputs[0])],
+            Op::Sqrt => vec![ops::sqrt_grad(grad, output)],
+            Op::Abs => vec![ops::abs_grad(grad, inputs[0])],
+            Op::Square => vec![ops::square_grad(grad, inputs[0])],
+            Op::Gelu => vec![ops::gelu_grad(grad, inputs[0])],
+            Op::Clamp(lo, hi) => {
+                let data = grad
+                    .data()
+                    .iter()
+                    .zip(inputs[0].data().iter())
+                    .map(|(&g, &x)| if x > *lo && x < *hi { g } else { 0.0 })
+                    .collect();
+                vec![Tensor::from_vec(inputs[0].shape().to_vec(), data)]
+            }
+            Op::SoftmaxLast => vec![ops::softmax_last_grad(grad, output)],
+            Op::MatMul => vec![
+                ops::matmul_grad_a(grad, inputs[1], inputs[0].shape()),
+                ops::matmul_grad_b(grad, inputs[0], inputs[1].shape()),
+            ],
+            Op::Permute(perm) => vec![ops::permute_grad(grad, perm)],
+            Op::Reshape => vec![grad.clone().reshaped(inputs[0].shape().to_vec())],
+            Op::Concat { axis } => {
+                let mut grads = Vec::with_capacity(inputs.len());
+                let mut offset = 0;
+                for inp in inputs {
+                    let len = inp.shape()[*axis];
+                    grads.push(ops::slice(grad, *axis, offset, offset + len));
+                    offset += len;
+                }
+                grads
+            }
+            Op::Slice { axis, start } => {
+                vec![ops::slice_grad(grad, inputs[0].shape(), *axis, *start)]
+            }
+            Op::IndexSelect { axis, indices } => {
+                vec![ops::index_select_grad(grad, inputs[0].shape(), *axis, indices)]
+            }
+            Op::PadAxis { axis, before, .. } => {
+                vec![ops::pad_axis_grad(grad, *axis, *before, inputs[0].shape()[*axis])]
+            }
+            Op::SumAxis { axis, .. } => vec![ops::sum_axis_grad(
+                &squeeze_keepdim(grad, inputs[0].shape(), *axis),
+                inputs[0].shape(),
+                *axis,
+            )],
+            Op::MeanAxis { axis, .. } => vec![ops::mean_axis_grad(
+                &squeeze_keepdim(grad, inputs[0].shape(), *axis),
+                inputs[0].shape(),
+                *axis,
+            )],
+            Op::SumAll => vec![ops::sum_all_grad(grad, inputs[0].shape())],
+            Op::MeanAll => vec![ops::mean_all_grad(grad, inputs[0].shape())],
+            Op::TemporalConv { dilation } => vec![
+                ops::temporal_conv_grad_x(grad, inputs[1], inputs[0].shape(), *dilation),
+                ops::temporal_conv_grad_w(grad, inputs[0], inputs[1].shape(), *dilation),
+            ],
+        }
+    }
+}
+
+/// `sum_axis_grad` expects the reduced (no-keepdim) layout; flatten a kept
+/// axis of length 1 if present. The buffer is identical either way.
+fn squeeze_keepdim(grad: &Tensor, input_shape: &[usize], axis: usize) -> Tensor {
+    if grad.rank() == input_shape.len() {
+        let mut s = grad.shape().to_vec();
+        s.remove(axis);
+        if s.is_empty() {
+            s.push(1);
+        }
+        grad.clone().reshaped(s)
+    } else {
+        grad.clone()
+    }
+}

@@ -1,0 +1,212 @@
+//! The gradient tape: a per-forward-pass arena of operation nodes.
+
+use crate::{Op, Parameter, Var};
+use cts_tensor::Tensor;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub op: Op,
+    pub inputs: Vec<usize>,
+    pub param: Option<Parameter>,
+    pub requires_grad: bool,
+}
+
+#[derive(Default)]
+pub(crate) struct TapeInner {
+    pub nodes: Vec<Node>,
+}
+
+/// A define-by-run gradient tape.
+///
+/// Create one per forward pass, record operations through [`Var`] methods,
+/// call [`Tape::backward`] once, then drop it. Parameters created with
+/// [`Parameter::new`] survive across tapes and accumulate gradients.
+#[derive(Clone, Default)]
+pub struct Tape {
+    pub(crate) inner: Rc<RefCell<TapeInner>>,
+}
+
+impl Tape {
+    /// Fresh, empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes (diagnostics / memory accounting).
+    pub fn len(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Record a non-trainable input (data, masks, adjacency matrices).
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.push_node(value, Op::Leaf, vec![], None, false)
+    }
+
+    /// Record a trainable leaf bound to `param`; gradients flow into the
+    /// parameter's grad buffer on [`Tape::backward`].
+    pub fn param(&self, param: &Parameter) -> Var {
+        let value = param.value().clone();
+        self.push_node(value, Op::Leaf, vec![], Some(param.clone()), true)
+    }
+
+    /// Total number of activation scalars held by the tape (memory proxy).
+    pub fn activation_scalars(&self) -> usize {
+        self.inner.borrow().nodes.iter().map(|n| n.value.len()).sum()
+    }
+
+    pub(crate) fn push_node(
+        &self,
+        value: Tensor,
+        op: Op,
+        inputs: Vec<usize>,
+        param: Option<Parameter>,
+        requires_grad: bool,
+    ) -> Var {
+        debug_assert!(!value.has_non_finite(), "non-finite forward value from {:?}", op);
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.nodes.len();
+        inner.nodes.push(Node {
+            value,
+            op,
+            inputs,
+            param,
+            requires_grad,
+        });
+        Var {
+            id,
+            tape: self.clone(),
+        }
+    }
+
+    /// Record an op. Forward value must be precomputed by the caller
+    /// ([`Var`] methods do this), keeping the borrow windows short.
+    pub(crate) fn push_op(&self, op: Op, inputs: &[usize], value: Tensor) -> Var {
+        let requires_grad = {
+            let inner = self.inner.borrow();
+            inputs.iter().any(|&i| inner.nodes[i].requires_grad)
+        };
+        self.push_node(value, op, inputs.to_vec(), None, requires_grad)
+    }
+
+    /// Reverse-mode sweep from `root`, accumulating into every reachable
+    /// [`Parameter`]'s grad buffer.
+    ///
+    /// The seed gradient is all-ones (use a scalar loss for standard
+    /// training). Gradients of non-`requires_grad` subtrees are skipped.
+    pub fn backward(&self, root: &Var) {
+        assert!(
+            Rc::ptr_eq(&self.inner, &root.tape.inner),
+            "backward root from another tape"
+        );
+        let inner = self.inner.borrow();
+        let n = root.id + 1;
+        let mut grads: Vec<Option<Tensor>> = vec![None; n];
+        grads[root.id] = Some(Tensor::ones(inner.nodes[root.id].value.shape().to_vec()));
+
+        for id in (0..n).rev() {
+            let Some(grad) = grads[id].take() else {
+                continue;
+            };
+            let node = &inner.nodes[id];
+            if !node.requires_grad {
+                continue;
+            }
+            if let Some(p) = &node.param {
+                p.accumulate_grad(&grad);
+                continue;
+            }
+            if node.inputs.is_empty() {
+                continue;
+            }
+            let input_values: Vec<&Tensor> =
+                node.inputs.iter().map(|&i| &inner.nodes[i].value).collect();
+            let input_grads = node.op.backward(&grad, &node.value, &input_values);
+            debug_assert_eq!(input_grads.len(), node.inputs.len());
+            for (&input_id, g) in node.inputs.iter().zip(input_grads) {
+                if !inner.nodes[input_id].requires_grad {
+                    continue;
+                }
+                match &mut grads[input_id] {
+                    Some(acc) => acc.axpy(1.0, &g),
+                    slot @ None => *slot = Some(g),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_has_no_grad_flow() {
+        let tape = Tape::new();
+        let c = tape.constant(Tensor::scalar(3.0));
+        let y = c.square();
+        tape.backward(&y); // must not panic; nothing requires grad
+        assert_eq!(y.value().item(), 9.0);
+    }
+
+    #[test]
+    fn param_receives_gradient() {
+        let p = Parameter::new("p", Tensor::scalar(3.0));
+        let tape = Tape::new();
+        let x = tape.param(&p);
+        let y = x.square(); // dy/dp = 2p = 6
+        tape.backward(&y);
+        assert_eq!(p.grad().item(), 6.0);
+    }
+
+    #[test]
+    fn grads_accumulate_across_tapes() {
+        let p = Parameter::new("p", Tensor::scalar(2.0));
+        for _ in 0..3 {
+            let tape = Tape::new();
+            let y = tape.param(&p).scale(4.0);
+            tape.backward(&y);
+        }
+        assert_eq!(p.grad().item(), 12.0);
+    }
+
+    #[test]
+    fn diamond_reuse_sums_gradients() {
+        // y = x*x + x  => dy/dx = 2x + 1
+        let p = Parameter::new("x", Tensor::scalar(5.0));
+        let tape = Tape::new();
+        let x = tape.param(&p);
+        let y = x.mul(&x).add(&x);
+        tape.backward(&y);
+        assert_eq!(p.grad().item(), 11.0);
+    }
+
+    #[test]
+    fn param_used_twice_via_two_leaves() {
+        // Same parameter pushed as two leaves still accumulates both paths.
+        let p = Parameter::new("x", Tensor::scalar(3.0));
+        let tape = Tape::new();
+        let a = tape.param(&p);
+        let b = tape.param(&p);
+        let y = a.mul(&b); // x^2, dy/dx = 2x = 6
+        tape.backward(&y);
+        assert_eq!(p.grad().item(), 6.0);
+    }
+
+    #[test]
+    fn backward_only_touches_ancestors() {
+        let p = Parameter::new("p", Tensor::scalar(1.0));
+        let tape = Tape::new();
+        let x = tape.param(&p);
+        let y = x.scale(2.0);
+        let _unused = x.scale(100.0); // recorded later, not an ancestor of y
+        tape.backward(&y);
+        assert_eq!(p.grad().item(), 2.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! `cts-baselines`: re-implementations of the paper's comparison methods
+//! (§4.1.3) on the shared `cts-nn` substrate.
+//!
+//! * [`Dcrnn`] — diffusion-convolutional GRU encoder (Li et al. 2018)
+//! * [`Stgcn`] — sandwich Cheb-GCN blocks (Yu et al. 2018)
+//! * [`GraphWaveNet`] — GDCC + diffusion GCN stacks (Wu et al. 2019)
+//! * [`Agcrn`] — adaptive-graph-conv GRU (Bai et al. 2020)
+//! * [`LstNet`] — CNN + GRU + autoregressive highway (Lai et al. 2018)
+//! * [`TpaLstm`] — temporal-pattern-attention LSTM (Shih et al. 2019)
+//! * [`Mtgnn`] — graph-learning GDCC/GCN stacks (Wu et al. 2020)
+//!
+//! AutoSTG is reproduced in the bench harness as a restricted AutoCTS
+//! configuration (micro-only search over {1D-Conv, DGCN}) — see DESIGN.md.
+//!
+//! The [`blocks`] module exposes the models' ST-blocks as standalone units;
+//! the *macro only* ablation searches topologies over them.
+
+#![warn(missing_docs)]
+
+pub mod blocks;
+mod common;
+
+mod agcrn;
+mod dcrnn;
+mod gwnet;
+mod lstnet;
+mod mtgnn;
+mod stgcn;
+mod tpa_lstm;
+
+pub use agcrn::Agcrn;
+pub use common::{diffusion_gconv, BaselineConfig, OutputHead};
+pub use dcrnn::Dcrnn;
+pub use gwnet::GraphWaveNet;
+pub use lstnet::LstNet;
+pub use mtgnn::Mtgnn;
+pub use stgcn::Stgcn;
+pub use tpa_lstm::TpaLstm;

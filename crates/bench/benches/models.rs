@@ -1,0 +1,58 @@
+//! Criterion benchmarks: inference latency per window for every baseline
+//! and a derived AutoCTS model (the "Inference (ms/window)" columns of
+//! Tables 27–34).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cts_autograd::Tape;
+use cts_bench::{autocts_search_and_eval, build_baseline, prepare, ExpContext, BASELINE_NAMES};
+use cts_data::{batches_from_windows, DatasetSpec};
+use cts_nn::Forecaster;
+
+fn bench_models(c: &mut Criterion) {
+    let ctx = ExpContext::smoke();
+    let p = prepare(&ctx, &DatasetSpec::metr_la());
+    let batches = batches_from_windows(&p.windows.test, 4);
+    let (x, _) = batches[0].clone();
+
+    let mut group = c.benchmark_group("model_inference");
+    for name in BASELINE_NAMES {
+        let model = build_baseline(name, &ctx, &p);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let tape = Tape::new();
+                let xv = tape.constant(x.clone());
+                std::hint::black_box(model.forward(&tape, &xv).value())
+            })
+        });
+    }
+    // a quickly searched AutoCTS architecture
+    let (outcome, _) = autocts_search_and_eval(&ctx.search_config(), &ctx, &p);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+    use rand::SeedableRng;
+    let model = autocts::DerivedModel::new(
+        &mut rng,
+        &ctx.search_config(),
+        &outcome.genotype,
+        &p.spec,
+        &p.data.graph,
+        &p.windows.scaler,
+    );
+    group.bench_function("AutoCTS", |b| {
+        b.iter(|| {
+            let tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            std::hint::black_box(model.forward(&tape, &xv).value())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_models
+}
+criterion_main!(benches);

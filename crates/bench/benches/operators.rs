@@ -1,0 +1,43 @@
+//! Criterion microbenchmarks: forward throughput of every S/T operator
+//! (the "efficiency" axis of Figure 6 / Table 2 at operator granularity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cts_autograd::Tape;
+use cts_graph::{random_geometric_graph, GraphGenConfig};
+use cts_ops::{build_operator, full_set, GraphContext};
+use cts_tensor::init;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn bench_operators(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let g = random_geometric_graph(&mut rng, &GraphGenConfig { n: 16, ..Default::default() });
+    let ctx = GraphContext::from_graph(&g, 2);
+    let d = 16;
+    let x_data = init::uniform(&mut rng, [4, 16, 12, d], -1.0, 1.0);
+
+    let mut group = c.benchmark_group("operator_forward");
+    for kind in full_set() {
+        if !kind.is_parametric() {
+            continue;
+        }
+        let op = build_operator(&mut rng, kind, "bench", d);
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let tape = Tape::new();
+                let x = tape.constant(x_data.clone());
+                std::hint::black_box(op.forward(&tape, &x, &ctx).value())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_operators
+}
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerates the paper experiment implemented in
+//! `cts_bench::experiments::table36_37`. Scale via env vars (see ExpContext).
+
+fn main() {
+    let ctx = cts_bench::ExpContext::from_env();
+    eprintln!("context: {ctx:?}");
+    let report = cts_bench::experiments::table36_37::run(&ctx);
+    println!("{report}");
+}

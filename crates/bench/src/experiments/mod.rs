@@ -1,0 +1,69 @@
+//! One module per table/figure of the paper's evaluation section.
+//!
+//! Each `run(ctx)` executes the experiment at the context's scale and
+//! returns the formatted report text (also printed by the corresponding
+//! binary). `EXPERIMENTS.md` records paper-vs-measured numbers.
+
+pub mod fig06;
+pub mod fig08;
+pub mod table03;
+pub mod table05_06;
+pub mod table07;
+pub mod table08;
+pub mod table09_16;
+pub mod table17_26;
+pub mod table27_34;
+pub mod table35;
+pub mod table36_37;
+pub mod table38;
+
+use cts_data::DatasetSpec;
+
+/// The six multi-step datasets of Tables 5–6.
+pub fn multistep_specs() -> Vec<DatasetSpec> {
+    DatasetSpec::all_multistep()
+}
+
+/// All eight datasets, interleaved by task type so small `DATASET_LIMIT`
+/// sweeps still cover both multi-step and single-step behaviour; truncated
+/// to the context's `dataset_limit` when non-zero.
+pub fn sweep_specs(ctx: &crate::ExpContext) -> Vec<DatasetSpec> {
+    let all = vec![
+        DatasetSpec::metr_la(),
+        DatasetSpec::pems03(),
+        DatasetSpec::electricity(3),
+        DatasetSpec::pems_bay(),
+        DatasetSpec::pems04(),
+        DatasetSpec::pems08(),
+        DatasetSpec::pems07(),
+        DatasetSpec::solar_energy(3),
+    ];
+    if ctx.dataset_limit == 0 {
+        all
+    } else {
+        all.into_iter().take(ctx.dataset_limit).collect()
+    }
+}
+
+/// The two single-step datasets of Table 8 at a given horizon.
+pub fn singlestep_specs(horizon: usize) -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec::solar_energy(horizon),
+        DatasetSpec::electricity(horizon),
+    ]
+}
+
+/// Format a fraction as a percentage string.
+pub(crate) fn pct(x: f32) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Format a float to 2 decimals.
+pub(crate) fn f2(x: f32) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float to 4 decimals (RRSE/CORR columns).
+pub(crate) fn f4(x: f32) -> String {
+    format!("{x:.4}")
+}

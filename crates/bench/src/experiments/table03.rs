@@ -1,0 +1,36 @@
+//! Table 3: GCN and attention variant pre-study (design principle 2).
+//!
+//! Compares Diffusion GCN vs Chebyshev GCN and Informer vs Transformer as
+//! single-operator probes in an identical scaffold, on METR-LA- and
+//! PEMS03-like data; reports test MAE. The paper's finding to reproduce:
+//! DGCN < Cheb-GCN (better), Informer ≈ Transformer.
+
+use crate::experiments::f2;
+use crate::{prepare, print_table, train_single_op_model, ExpContext};
+use cts_data::DatasetSpec;
+use cts_ops::OpKind;
+
+/// Run the variant comparison.
+pub fn run(ctx: &ExpContext) -> String {
+    let variants = [
+        OpKind::Dgcn,
+        OpKind::ChebGcn,
+        OpKind::InformerT,
+        OpKind::TransformerT,
+    ];
+    let mut rows = Vec::new();
+    for spec in [DatasetSpec::metr_la(), DatasetSpec::pems03()] {
+        let p = prepare(ctx, &spec);
+        let mut row = vec![spec.name.clone()];
+        for kind in variants {
+            let report = train_single_op_model(kind, ctx, &p);
+            row.push(f2(report.overall.mae));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table 3: Comparison of GCN and Attention Variants (MAE)",
+        &["Dataset", "DGCN", "Cheby GCN", "Informer", "Transformer"],
+        &rows,
+    )
+}

@@ -1,0 +1,31 @@
+//! Table 7: architecture-search cost (time and memory) per dataset.
+//!
+//! Wall-clock seconds substitute for the paper's GPU hours; memory is the
+//! analytic estimate of DESIGN.md (parameters + optimiser state +
+//! forward/backward activations). What must reproduce: larger/longer
+//! datasets cost more, and everything fits in a single machine's memory.
+
+use crate::experiments::sweep_specs;
+use crate::{prepare, print_table, ExpContext};
+use autocts::joint_search;
+
+/// Run the search-cost accounting.
+pub fn run(ctx: &ExpContext) -> String {
+    let specs = sweep_specs(ctx);
+    let mut rows = Vec::new();
+    for spec in &specs {
+        let p = prepare(ctx, spec);
+        let (_, _, stats) = joint_search(&ctx.search_config(), &p.spec, &p.data.graph, &p.windows);
+        rows.push(vec![
+            spec.name.clone(),
+            format!("{:.1}", stats.secs),
+            format!("{:.1}", stats.memory_mb),
+            stats.steps.to_string(),
+        ]);
+    }
+    print_table(
+        "Table 7: Search time (CPU seconds) and memory (MB)",
+        &["Dataset", "Search Time (s)", "Memory (MB)", "Steps"],
+        &rows,
+    )
+}

@@ -1,0 +1,52 @@
+//! Table 35: transferability — the architecture searched on PEMS03 is
+//! retrained on METR-LA and PEMS-BAY and compared against architectures
+//! searched directly on those datasets.
+//!
+//! Expected shape: the transferred model is competitive (close to, but not
+//! better than, the natively searched one).
+
+use crate::experiments::{f2, pct};
+use crate::{autocts_search_and_eval, prepare, print_table, ExpContext};
+use autocts::AutoCts;
+use cts_data::DatasetSpec;
+
+/// Run the transfer study.
+pub fn run(ctx: &ExpContext) -> String {
+    // search once on PEMS03-like data
+    let p03 = prepare(ctx, &DatasetSpec::pems03());
+    let auto = AutoCts::new(ctx.search_config());
+    let donor = auto.search(&p03.spec, &p03.data.graph, &p03.windows);
+
+    let mut rows = Vec::new();
+    for spec in [DatasetSpec::metr_la(), DatasetSpec::pems_bay()] {
+        let p = prepare(ctx, &spec);
+        // transferred genotype, retrained on the target dataset
+        let transferred = auto.evaluate(
+            &donor.genotype,
+            &p.spec,
+            &p.data.graph,
+            &p.windows,
+            ctx.eval_epochs,
+        );
+        // natively searched
+        let (_, native) = autocts_search_and_eval(&ctx.search_config(), ctx, &p);
+        for (label, report) in [("Transferred Model", &transferred), ("AutoCTS", &native)] {
+            let mut row = vec![spec.name.clone(), label.to_string()];
+            for &h in &[3usize, 6, 12] {
+                let m = &report.horizons[h - 1];
+                row.push(f2(m.mae));
+                row.push(f2(m.rmse));
+                row.push(pct(m.mape));
+            }
+            rows.push(row);
+        }
+    }
+    print_table(
+        "Table 35: Transferability (searched on PEMS03-like)",
+        &[
+            "Dataset", "Model", "MAE@15", "RMSE@15", "MAPE@15", "MAE@30", "RMSE@30", "MAPE@30",
+            "MAE@60", "RMSE@60", "MAPE@60",
+        ],
+        &rows,
+    )
+}

@@ -1,0 +1,21 @@
+//! `cts-bench`: the experiment harness that regenerates every table and
+//! figure of the paper's evaluation (§4).
+//!
+//! One binary per experiment lives in `src/bin/`; each delegates to a
+//! function in [`experiments`] so `run_all` can execute the full study.
+//! Scale knobs come from environment variables (see [`ExpContext`]) so the
+//! same harness runs in seconds (CI) or tens of minutes (full report).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod harness;
+mod macro_only;
+mod singleop;
+
+pub use harness::{
+    autocts_search_and_eval, autostg_config, build_baseline, prepare, print_table, run_baseline,
+    ExpContext, Prepared, BASELINE_NAMES,
+};
+pub use macro_only::{macro_only_search_and_eval, MacroOnlyModel};
+pub use singleop::{train_single_op_model, SingleOpModel};

@@ -1,0 +1,155 @@
+//! Discretisation: from trained architecture parameters to a [`Genotype`]
+//! (§3.2.2, Eq. 7 and the incoming-edge rule; §3.3 argmax-γ backbone).
+
+use crate::micro::pair_index;
+use crate::{BlockGenotype, Genotype, MicroCell, SupernetModel};
+use cts_ops::OpKind;
+use cts_tensor::{ops, Tensor};
+
+/// Derive the discrete architecture from a (partially) trained supernet.
+pub fn derive_genotype(supernet: &SupernetModel) -> Genotype {
+    let cfg = supernet.config();
+    let blocks: Vec<BlockGenotype> = supernet
+        .cells()
+        .iter()
+        .map(|cell| derive_block(cell, cfg.edges_per_node))
+        .collect();
+    let (blocks, backbone) = match supernet.topology() {
+        Some(t) => {
+            let mut backbone = t.derive();
+            // paper convention: block 1 always reads the embedding
+            backbone[0] = 0;
+            (blocks, backbone)
+        }
+        None => {
+            // w/o macro search: stack the single searched block B times in
+            // a chain (block j reads block j-1).
+            let block = blocks[0].clone();
+            let blocks = vec![block; cfg.b];
+            let backbone = (0..cfg.b).collect();
+            (blocks, backbone)
+        }
+    };
+    let genotype = Genotype { blocks, backbone };
+    genotype.validate().expect("derivation produced invalid genotype");
+    genotype
+}
+
+/// Derive one ST-block from a cell's `α`/`β` snapshot.
+///
+/// Per node `h_j` (Eq. 7 weights `w_o^{(i,j)} = softmax(β)ᵢ · softmax(α)ₒ`):
+/// 1. always keep the edge from the immediate predecessor `h_{j-1}` with
+///    its best non-zero operator;
+/// 2. keep the `edges_per_node − 1` best remaining `(h_i, o)` pairs with
+///    distinct `i ≤ j−2`.
+pub fn derive_block(cell: &MicroCell, edges_per_node: usize) -> BlockGenotype {
+    let (alpha, betas) = cell.arch_snapshot();
+    let op_set = cell.op_set();
+    let m = cell.m();
+    let mut edges = Vec::new();
+    for j in 1..m {
+        let beta_probs = ops::softmax_last(&betas[j - 1].clone().reshaped(vec![1, j]));
+        // Eq. 7 weight for every (i, o)
+        let weight = |i: usize, o: usize| -> f32 {
+            let a_row = alpha_row_softmax(&alpha, pair_index(i, j));
+            beta_probs.at(&[0, i]) * a_row[o]
+        };
+        // 1. mandatory immediate-predecessor edge
+        let best_op = argmax_op(op_set, |o| weight(j - 1, o));
+        edges.push((j - 1, j, best_op));
+        // 2. extra edges from distinct earlier predecessors
+        let mut candidates: Vec<(f32, usize, OpKind)> = (0..j.saturating_sub(1))
+            .map(|i| {
+                let op = argmax_op(op_set, |o| weight(i, o));
+                let o_idx = op_set.iter().position(|k| *k == op).expect("op in set");
+                (weight(i, o_idx), i, op)
+            })
+            .collect();
+        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        for (_, i, op) in candidates.into_iter().take(edges_per_node - 1) {
+            edges.push((i, j, op));
+        }
+    }
+    BlockGenotype { m, edges }
+}
+
+fn alpha_row_softmax(alpha: &Tensor, pair: usize) -> Vec<f32> {
+    let o = alpha.shape()[1];
+    let row = ops::slice(alpha, 0, pair, pair + 1);
+    ops::softmax_last(&row).data()[..o].to_vec()
+}
+
+/// Argmax over non-zero operators (the zero op prunes edges and is never
+/// instantiated in a derived block, following DARTS).
+fn argmax_op(op_set: &[OpKind], weight: impl Fn(usize) -> f32) -> OpKind {
+    let mut best: Option<(f32, OpKind)> = None;
+    for (o_idx, kind) in op_set.iter().enumerate() {
+        if *kind == OpKind::Zero {
+            continue;
+        }
+        let w = weight(o_idx);
+        if best.map(|(bw, _)| w > bw).unwrap_or(true) {
+            best = Some((w, *kind));
+        }
+    }
+    best.expect("op set has non-zero operators").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SearchConfig;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn cell(m: usize) -> MicroCell {
+        let cfg = SearchConfig { m, d_model: 4, ..Default::default() };
+        MicroCell::new(&mut SmallRng::seed_from_u64(0), "c", &cfg)
+    }
+
+    #[test]
+    fn block_has_expected_edge_count() {
+        let c = cell(5);
+        let b = derive_block(&c, 2);
+        assert_eq!(b.m, 5);
+        // node 1: 1 edge; node 2: 2; nodes 3,4: 2 each (cap)
+        assert_eq!(b.edges.len(), 1 + 2 + 2 + 2);
+        b.validate().unwrap();
+        // every node keeps the immediate-predecessor edge
+        for j in 1..5 {
+            assert!(b.incoming(j).iter().any(|(i, _)| *i == j - 1));
+        }
+    }
+
+    #[test]
+    fn edge3_keeps_more_edges() {
+        let c = cell(5);
+        let b = derive_block(&c, 3);
+        // node 1: 1; node 2: 2; node 3: 3; node 4: 3
+        assert_eq!(b.edges.len(), 1 + 2 + 3 + 3);
+    }
+
+    #[test]
+    fn derived_ops_never_zero() {
+        let c = cell(4);
+        for _ in 0..3 {
+            let b = derive_block(&c, 2);
+            assert!(b.edges.iter().all(|(_, _, op)| *op != OpKind::Zero));
+        }
+    }
+
+    #[test]
+    fn biased_alpha_is_respected() {
+        let c = cell(3);
+        // bias pair (0,1) hard toward gdcc
+        let gdcc = c.op_set().iter().position(|k| *k == OpKind::Gdcc).unwrap();
+        {
+            let arch = c.arch_parameters();
+            let mut a = arch[0].value_mut();
+            a.fill(0.0);
+            *a.at_mut(&[pair_index(0, 1), gdcc]) = 10.0;
+        }
+        let b = derive_block(&c, 2);
+        let (_, op) = b.incoming(1)[0];
+        assert_eq!(op, OpKind::Gdcc);
+    }
+}

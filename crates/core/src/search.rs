@@ -1,0 +1,229 @@
+//! The joint bi-level search strategy (Algorithm 1).
+
+use crate::{Genotype, SearchConfig, SupernetModel};
+use cts_data::{batches_from_windows, shuffle_windows, DatasetSpec, SplitWindows};
+use cts_graph::SensorGraph;
+use cts_nn::{clip_grad_norm, Adam, Forecaster, LossKind, Optimizer, TemperatureSchedule};
+use cts_autograd::Tape;
+use rand::{rngs::SmallRng, SeedableRng};
+
+/// Per-epoch trace of the search (observability for Figure 5's
+/// temperature/gap discussion).
+#[derive(Clone, Copy, Debug)]
+pub struct EpochStats {
+    /// Temperature the epoch ran at.
+    pub tau: f32,
+    /// Mean pseudo-validation loss over the epoch.
+    pub val_loss: f32,
+    /// Mean α softmax entropy (at the epoch's τ) after the epoch — the
+    /// discretisation gap; annealing should drive it toward 0.
+    pub alpha_entropy: f32,
+}
+
+/// Cost accounting of one search run (Table 7 and the "GPU hours" columns
+/// of the ablation tables; wall-clock seconds substitute for GPU hours on
+/// this substrate).
+#[derive(Clone, Debug)]
+pub struct SearchStats {
+    /// Wall-clock duration of the whole search.
+    pub secs: f64,
+    /// Number of (Θ, w) step pairs executed.
+    pub steps: usize,
+    /// Estimated peak memory of the search in MB (parameters + optimiser
+    /// state + activations of one forward/backward).
+    pub memory_mb: f64,
+    /// Final temperature at derivation time.
+    pub final_tau: f32,
+    /// Mean pseudo-validation loss of the last epoch.
+    pub final_val_loss: f32,
+    /// Per-epoch trace (τ, val loss, α entropy).
+    pub epochs: Vec<EpochStats>,
+}
+
+/// Run Algorithm 1 and return the derived genotype, the trained supernet,
+/// and the cost statistics.
+///
+/// The training split of `windows` is halved into pseudo-train /
+/// pseudo-validation (§3.4); `Θ` steps use pseudo-validation batches and
+/// `w` steps pseudo-training batches, strictly alternating (lines 3–6).
+pub fn joint_search(
+    cfg: &SearchConfig,
+    spec: &DatasetSpec,
+    graph: &SensorGraph,
+    windows: &SplitWindows,
+) -> (Genotype, SupernetModel, SearchStats) {
+    cfg.validate();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let model = SupernetModel::new(&mut rng, cfg, spec, graph, &windows.scaler);
+
+    let (mut pseudo_train, mut pseudo_val) = windows.pseudo_split();
+    assert!(
+        !pseudo_train.is_empty() && !pseudo_val.is_empty(),
+        "not enough training windows for the bi-level split"
+    );
+
+    let mut arch_opt = Adam::for_architecture(model.arch_parameters(), cfg.arch_lr, cfg.arch_wd);
+    let mut weight_opt = Adam::new(model.weight_parameters(), cfg.weight_lr, cfg.weight_wd);
+    let mut schedule = TemperatureSchedule::new(cfg.tau_init, cfg.tau_factor, cfg.tau_min);
+    let loss_kind = LossKind::MaskedMae {
+        null_value: spec.null_value,
+    };
+
+    let started = std::time::Instant::now();
+    let mut steps = 0usize;
+    let mut memory_scalars = 0usize;
+    let mut final_val_loss = 0.0f32;
+    let mut epoch_trace = Vec::with_capacity(cfg.epochs);
+
+    for _epoch in 0..cfg.epochs {
+        model.set_tau(schedule.tau());
+        shuffle_windows(&mut rng, &mut pseudo_train);
+        shuffle_windows(&mut rng, &mut pseudo_val);
+        let train_batches = batches_from_windows(&pseudo_train, cfg.batch_size);
+        let val_batches = batches_from_windows(&pseudo_val, cfg.batch_size);
+
+        let mut val_loss_acc = 0.0f64;
+        let mut val_count = 0usize;
+        for (step, (x_tr, y_tr)) in train_batches.iter().enumerate() {
+            // line 3-4: update Θ on a pseudo-validation mini-batch
+            let (x_va, y_va) = &val_batches[step % val_batches.len()];
+            {
+                let tape = Tape::new();
+                let xv = tape.constant(x_va.clone());
+                let pred = model.forward(&tape, &xv);
+                let mut loss = loss_kind.compute(&tape, &pred, y_va);
+                val_loss_acc += loss.value().item() as f64;
+                val_count += 1;
+                if cfg.cost_penalty > 0.0 {
+                    // efficiency-aware objective (§6 future work):
+                    // L_val + λ · E[operator cost]
+                    loss = loss.add(&model.expected_cost(&tape).scale(cfg.cost_penalty));
+                }
+                tape.backward(&loss);
+                // w gradients from this pass are discarded (first-order
+                // approximation): only Θ steps here.
+                for p in weight_opt.params() {
+                    p.zero_grad();
+                }
+                arch_opt.step();
+            }
+            // line 5-6: update w on a pseudo-training mini-batch
+            {
+                let tape = Tape::new();
+                let xv = tape.constant(x_tr.clone());
+                let pred = model.forward(&tape, &xv);
+                let loss = loss_kind.compute(&tape, &pred, y_tr);
+                tape.backward(&loss);
+                for p in arch_opt.params() {
+                    p.zero_grad();
+                }
+                if cfg.clip > 0.0 {
+                    clip_grad_norm(weight_opt.params(), cfg.clip);
+                }
+                memory_scalars = memory_scalars.max(tape.activation_scalars());
+                weight_opt.step();
+            }
+            steps += 1;
+        }
+        if val_count > 0 {
+            final_val_loss = (val_loss_acc / val_count as f64) as f32;
+        }
+        epoch_trace.push(EpochStats {
+            tau: model.tau(),
+            val_loss: final_val_loss,
+            alpha_entropy: model.mean_alpha_entropy(),
+        });
+        if cfg.use_temperature {
+            schedule.step();
+        }
+    }
+
+    let genotype = model.derive();
+    let stats = SearchStats {
+        secs: started.elapsed().as_secs_f64(),
+        steps,
+        memory_mb: crate::stats::search_memory_mb(&model, memory_scalars),
+        final_tau: model.tau(),
+        final_val_loss,
+        epochs: epoch_trace,
+    };
+    (genotype, model, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_data::{build_windows, generate};
+
+    fn fixture(cfg: &SearchConfig) -> (DatasetSpec, cts_data::CtsData, SplitWindows) {
+        let spec = DatasetSpec::metr_la().scaled(0.04, 0.015);
+        let data = generate(&spec, 9);
+        let windows = build_windows(&data, 6, 24);
+        let _ = cfg;
+        (spec, data, windows)
+    }
+
+    fn small_cfg() -> SearchConfig {
+        SearchConfig {
+            m: 3,
+            b: 2,
+            d_model: 8,
+            epochs: 2,
+            batch_size: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn search_produces_valid_genotype_and_stats() {
+        let cfg = small_cfg();
+        let (spec, data, windows) = fixture(&cfg);
+        let (genotype, model, stats) = joint_search(&cfg, &spec, &data.graph, &windows);
+        genotype.validate().unwrap();
+        assert_eq!(genotype.b(), cfg.b);
+        assert!(stats.steps > 0);
+        assert!(stats.secs > 0.0);
+        assert!(stats.memory_mb > 0.0);
+        // the last epoch ran at tau = 5.0 * 0.9 (annealed once before it)
+        assert!((stats.final_tau - 5.0 * 0.9).abs() < 1e-5);
+        assert!(model.tau() < 5.0);
+    }
+
+    #[test]
+    fn search_moves_architecture_parameters() {
+        let cfg = small_cfg();
+        let (spec, data, windows) = fixture(&cfg);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let fresh = SupernetModel::new(&mut rng, &cfg, &spec, &data.graph, &windows.scaler);
+        let before: Vec<f32> = fresh
+            .arch_parameters()
+            .iter()
+            .map(|p| p.value().norm())
+            .collect();
+        let (_, model, _) = joint_search(&cfg, &spec, &data.graph, &windows);
+        let after: Vec<f32> = model
+            .arch_parameters()
+            .iter()
+            .map(|p| p.value().norm())
+            .collect();
+        assert_ne!(before, after, "Θ never moved");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = small_cfg();
+        let (spec, data, windows) = fixture(&cfg);
+        let (g1, _, _) = joint_search(&cfg, &spec, &data.graph, &windows);
+        let (g2, _, _) = joint_search(&cfg, &spec, &data.graph, &windows);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn without_temperature_keeps_tau_constant() {
+        let cfg = small_cfg().without_temperature();
+        let (spec, data, windows) = fixture(&cfg);
+        let (_, model, stats) = joint_search(&cfg, &spec, &data.graph, &windows);
+        let _ = model;
+        assert_eq!(stats.final_tau, cfg.tau_init);
+    }
+}

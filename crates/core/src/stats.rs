@@ -1,0 +1,79 @@
+//! Parameter and memory accounting (Tables 7, 27–34).
+
+use cts_nn::{count_parameters, Forecaster};
+
+/// Size statistics of a model.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelStats {
+    /// Total trainable scalars.
+    pub parameters: usize,
+    /// Approximate parameter memory in MB (f32).
+    pub param_mb: f64,
+}
+
+impl ModelStats {
+    /// Compute from any forecaster.
+    pub fn of(model: &dyn Forecaster) -> Self {
+        let parameters = count_parameters(&model.parameters());
+        Self {
+            parameters,
+            param_mb: parameters as f64 * 4.0 / 1e6,
+        }
+    }
+}
+
+/// Estimated peak memory of a search step in MB: parameters ×3 (weights +
+/// gradients + Adam moments ×2 ≈ ×4 for exactness — we count m and v) plus
+/// activations ×2 (forward values + backward gradients).
+pub fn search_memory_mb(model: &dyn Forecaster, peak_activation_scalars: usize) -> f64 {
+    let params = count_parameters(&model.parameters());
+    let param_bytes = params as f64 * 4.0 * 4.0; // value + grad + adam m + v
+    let act_bytes = peak_activation_scalars as f64 * 4.0 * 2.0;
+    (param_bytes + act_bytes) / 1e6
+}
+
+/// Public alias kept for harness ergonomics.
+pub fn estimate_search_memory_mb(model: &dyn Forecaster, peak_activation_scalars: usize) -> f64 {
+    search_memory_mb(model, peak_activation_scalars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_autograd::{Parameter, Tape, Var};
+    use cts_tensor::Tensor;
+
+    struct Dummy {
+        p: Parameter,
+    }
+
+    impl Forecaster for Dummy {
+        fn forward(&self, tape: &Tape, x: &Var) -> Var {
+            let _ = tape;
+            x.clone()
+        }
+        fn parameters(&self) -> Vec<Parameter> {
+            vec![self.p.clone()]
+        }
+    }
+
+    #[test]
+    fn stats_count_scalars() {
+        let m = Dummy {
+            p: Parameter::new("p", Tensor::zeros([100, 10])),
+        };
+        let s = ModelStats::of(&m);
+        assert_eq!(s.parameters, 1000);
+        assert!((s.param_mb - 0.004).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_estimate_scales_with_activations() {
+        let m = Dummy {
+            p: Parameter::new("p", Tensor::zeros([10])),
+        };
+        let small = search_memory_mb(&m, 1_000);
+        let large = search_memory_mb(&m, 1_000_000);
+        assert!(large > small * 100.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Mini-batch assembly from windows.
+
+use crate::Window;
+use cts_tensor::Tensor;
+use rand::Rng;
+
+/// Batched tensors ready for a training loop: `(x [B,N,P,F], y [B,N,Q])`.
+pub type Batches = Vec<(Tensor, Tensor)>;
+
+/// Group windows into batches (the final partial batch is kept).
+pub fn batches_from_windows(windows: &[Window], batch_size: usize) -> Batches {
+    assert!(batch_size >= 1);
+    let mut out = Vec::with_capacity(windows.len().div_ceil(batch_size));
+    for chunk in windows.chunks(batch_size) {
+        let b = chunk.len();
+        let xs = chunk[0].x.shape().to_vec();
+        let ys = chunk[0].y.shape().to_vec();
+        let mut x = Vec::with_capacity(b * chunk[0].x.len());
+        let mut y = Vec::with_capacity(b * chunk[0].y.len());
+        for w in chunk {
+            x.extend_from_slice(w.x.data());
+            y.extend_from_slice(w.y.data());
+        }
+        let mut x_shape = vec![b];
+        x_shape.extend_from_slice(&xs);
+        let mut y_shape = vec![b];
+        y_shape.extend_from_slice(&ys);
+        out.push((Tensor::from_vec(x_shape, x), Tensor::from_vec(y_shape, y)));
+    }
+    out
+}
+
+/// Fisher–Yates shuffle of a window list (fresh order per epoch).
+pub fn shuffle_windows(rng: &mut impl Rng, windows: &mut [Window]) {
+    for i in (1..windows.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        windows.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn mk_windows(count: usize) -> Vec<Window> {
+        (0..count)
+            .map(|i| Window {
+                x: Tensor::full([2, 3, 1], i as f32),
+                y: Tensor::full([2, 1], i as f32),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_shapes_and_partial_tail() {
+        let batches = batches_from_windows(&mk_windows(7), 3);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].0.shape(), &[3, 2, 3, 1]);
+        assert_eq!(batches[0].1.shape(), &[3, 2, 1]);
+        assert_eq!(batches[2].0.shape(), &[1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn batch_preserves_values_in_order() {
+        let batches = batches_from_windows(&mk_windows(4), 2);
+        assert_eq!(batches[1].1.at(&[0, 0, 0]), 2.0);
+        assert_eq!(batches[1].1.at(&[1, 1, 0]), 3.0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut w = mk_windows(20);
+        shuffle_windows(&mut rng, &mut w);
+        let mut labels: Vec<i32> = w.iter().map(|w| w.y.at(&[0, 0]) as i32).collect();
+        labels.sort_unstable();
+        assert_eq!(labels, (0..20).collect::<Vec<_>>());
+    }
+}

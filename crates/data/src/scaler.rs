@@ -1,0 +1,127 @@
+//! Z-score normalisation fit on the training portion only.
+#![allow(clippy::needless_range_loop)]
+
+use cts_tensor::Tensor;
+
+/// Per-feature standardiser for `[N, T, F]` values.
+#[derive(Clone, Debug)]
+pub struct Scaler {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Scaler {
+    /// Fit on `values[:, ..t_train, :]`.
+    pub fn fit(values: &Tensor, t_train: usize) -> Self {
+        let (n, t, f) = (values.shape()[0], values.shape()[1], values.shape()[2]);
+        let t_train = t_train.min(t).max(1);
+        let mut mean = vec![0.0f64; f];
+        let mut count = 0.0f64;
+        for i in 0..n {
+            for s in 0..t_train {
+                for k in 0..f {
+                    mean[k] += values.data()[(i * t + s) * f + k] as f64;
+                }
+                count += 1.0;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= count;
+        }
+        let mut var = vec![0.0f64; f];
+        for i in 0..n {
+            for s in 0..t_train {
+                for k in 0..f {
+                    let d = values.data()[(i * t + s) * f + k] as f64 - mean[k];
+                    var[k] += d * d;
+                }
+            }
+        }
+        let std: Vec<f32> = var
+            .iter()
+            .map(|v| ((v / count).sqrt() as f32).max(1e-4))
+            .collect();
+        Self {
+            mean: mean.iter().map(|&m| m as f32).collect(),
+            std,
+        }
+    }
+
+    /// Identity scaler (tests, toy pipelines).
+    pub fn identity(f: usize) -> Self {
+        Self {
+            mean: vec![0.0; f],
+            std: vec![1.0; f],
+        }
+    }
+
+    /// Mean of the target feature (feature 0).
+    pub fn target_mean(&self) -> f32 {
+        self.mean[0]
+    }
+
+    /// Std of the target feature (feature 0).
+    pub fn target_std(&self) -> f32 {
+        self.std[0]
+    }
+
+    /// Standardise an `[..., F]` tensor in place.
+    pub fn transform(&self, x: &mut Tensor) {
+        let f = *x.shape().last().expect("scaler on rank-0");
+        assert_eq!(f, self.mean.len(), "feature mismatch");
+        for (i, v) in x.data_mut().iter_mut().enumerate() {
+            let k = i % f;
+            *v = (*v - self.mean[k]) / self.std[k];
+        }
+    }
+
+    /// Invert the target-feature transform on a value.
+    pub fn invert_target(&self, v: f32) -> f32 {
+        v * self.std[0] + self.mean[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_transform_standardizes_train_region() {
+        // two features with different scales
+        let mut vals = Vec::new();
+        for i in 0..200 {
+            vals.push(10.0 + (i % 7) as f32); // feature 0
+            vals.push(0.5); // feature 1 constant
+        }
+        let t = Tensor::from_vec([1, 200, 2], vals);
+        let scaler = Scaler::fit(&t, 150);
+        let mut x = t.clone();
+        scaler.transform(&mut x);
+        // feature 0 approx zero-mean on train region
+        let m: f32 = (0..150).map(|s| x.at(&[0, s, 0])).sum::<f32>() / 150.0;
+        assert!(m.abs() < 0.05, "mean {m}");
+        // constant feature doesn't blow up (std floored)
+        assert!(!x.has_non_finite());
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        let t = Tensor::from_vec([1, 4, 1], vec![2.0, 4.0, 6.0, 8.0]);
+        let scaler = Scaler::fit(&t, 4);
+        let mut x = t.clone();
+        scaler.transform(&mut x);
+        for (orig, z) in t.data().iter().zip(x.data().iter()) {
+            assert!((scaler.invert_target(*z) - orig).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn identity_scaler_is_noop() {
+        let scaler = Scaler::identity(2);
+        let mut x = Tensor::from_vec([1, 1, 2], vec![5.0, -3.0]);
+        scaler.transform(&mut x);
+        assert_eq!(x.data(), &[5.0, -3.0]);
+        assert_eq!(scaler.target_mean(), 0.0);
+        assert_eq!(scaler.target_std(), 1.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Diffusion-GCN transition matrices (Eq. 15, Li et al. 2018).
+
+use cts_tensor::{ops, Tensor};
+
+/// Forward and backward random-walk transition matrices
+/// `(D_O⁻¹ A, D_I⁻¹ Aᵀ)`; rows with zero degree stay zero.
+pub fn transition_matrices(adjacency: &Tensor) -> (Tensor, Tensor) {
+    let n = adjacency.shape()[0];
+    let mut fwd = adjacency.clone();
+    for i in 0..n {
+        let out_deg: f32 = (0..n).map(|j| adjacency.at(&[i, j])).sum();
+        if out_deg > 0.0 {
+            for j in 0..n {
+                *fwd.at_mut(&[i, j]) /= out_deg;
+            }
+        }
+    }
+    let at = ops::transpose_last2(adjacency);
+    let mut bwd = at.clone();
+    for i in 0..n {
+        let in_deg: f32 = (0..n).map(|j| at.at(&[i, j])).sum();
+        if in_deg > 0.0 {
+            for j in 0..n {
+                *bwd.at_mut(&[i, j]) /= in_deg;
+            }
+        }
+    }
+    (fwd, bwd)
+}
+
+/// Powers `P⁰..P^K` of a transition matrix (`P⁰ = I`), the diffusion steps
+/// of Eq. 15.
+pub fn transition_powers(p: &Tensor, k: usize) -> Vec<Tensor> {
+    let n = p.shape()[0];
+    let mut powers = vec![Tensor::eye(n)];
+    for i in 1..=k {
+        let next = ops::matmul(&powers[i - 1], p);
+        powers.push(next);
+    }
+    powers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn directed_pair() -> Tensor {
+        // 0 -> 1 with weight 2
+        let mut a = Tensor::zeros([2, 2]);
+        *a.at_mut(&[0, 1]) = 2.0;
+        a
+    }
+
+    #[test]
+    fn forward_rows_are_stochastic() {
+        let (fwd, _) = transition_matrices(&directed_pair());
+        assert_eq!(fwd.at(&[0, 1]), 1.0);
+        assert_eq!(fwd.at(&[1, 0]), 0.0); // zero out-degree row stays zero
+    }
+
+    #[test]
+    fn backward_uses_transpose() {
+        let (_, bwd) = transition_matrices(&directed_pair());
+        // Aᵀ has the edge 1 -> 0 viewed from node 1's in-degree
+        assert_eq!(bwd.at(&[1, 0]), 1.0);
+        assert_eq!(bwd.at(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn powers_start_at_identity() {
+        let (fwd, _) = transition_matrices(&directed_pair());
+        let powers = transition_powers(&fwd, 2);
+        assert_eq!(powers.len(), 3);
+        assert!(powers[0].approx_eq(&Tensor::eye(2), 0.0));
+        assert!(powers[1].approx_eq(&fwd, 0.0));
+    }
+
+    #[test]
+    fn stochastic_rows_stay_stochastic_under_powers() {
+        let mut a = Tensor::zeros([3, 3]);
+        *a.at_mut(&[0, 1]) = 1.0;
+        *a.at_mut(&[1, 2]) = 3.0;
+        *a.at_mut(&[1, 0]) = 1.0;
+        *a.at_mut(&[2, 0]) = 2.0;
+        let (fwd, _) = transition_matrices(&a);
+        for p in transition_powers(&fwd, 3) {
+            for i in 0..3 {
+                let s: f32 = (0..3).map(|j| p.at(&[i, j])).sum();
+                assert!((s - 1.0).abs() < 1e-5, "row {i} sums to {s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! `cts-graph`: sensor-graph construction and the spectral/diffusion
+//! machinery used by the S-operators.
+//!
+//! Provides the weighted graph `G = (V, E, A)` of §2, the Gaussian-kernel
+//! adjacency used by DCRNN/STGCN/Graph WaveNet, scaled Laplacians with
+//! Chebyshev polynomial bases (Eq. 14), and the forward/backward diffusion
+//! transition matrices of the diffusion GCN (Eq. 15).
+
+#![warn(missing_docs)]
+
+mod diffusion;
+mod gen;
+mod laplacian;
+mod sensor_graph;
+
+pub use diffusion::{transition_matrices, transition_powers};
+pub use gen::{random_geometric_graph, GraphGenConfig};
+pub use laplacian::{chebyshev_basis, normalized_laplacian, scaled_laplacian};
+pub use sensor_graph::SensorGraph;

@@ -1,0 +1,184 @@
+//! The weighted sensor graph `G = (V, E, A)`.
+
+use cts_tensor::Tensor;
+
+/// A weighted, possibly directed sensor graph over `N` time series.
+///
+/// `adjacency[i][j]` is the spatial-correlation strength of the edge
+/// `i → j` (row-normalisable). Sensor coordinates are kept for generators
+/// and diagnostics.
+#[derive(Clone, Debug)]
+pub struct SensorGraph {
+    n: usize,
+    adjacency: Tensor,
+    coords: Vec<(f32, f32)>,
+}
+
+impl SensorGraph {
+    /// Build from an `[N, N]` adjacency and optional coordinates.
+    pub fn new(adjacency: Tensor, coords: Vec<(f32, f32)>) -> Self {
+        assert_eq!(adjacency.rank(), 2);
+        let n = adjacency.shape()[0];
+        assert_eq!(adjacency.shape()[1], n, "adjacency must be square");
+        assert!(coords.is_empty() || coords.len() == n);
+        Self {
+            n,
+            adjacency,
+            coords,
+        }
+    }
+
+    /// Fully disconnected graph (used when no predefined adjacency exists —
+    /// Solar-Energy / Electricity in Table 4).
+    pub fn disconnected(n: usize) -> Self {
+        Self::new(Tensor::zeros([n, n]), vec![])
+    }
+
+    /// Identity-only graph (every node sees itself).
+    pub fn identity(n: usize) -> Self {
+        Self::new(Tensor::eye(n), vec![])
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The raw `[N, N]` adjacency.
+    pub fn adjacency(&self) -> &Tensor {
+        &self.adjacency
+    }
+
+    /// Sensor coordinates (may be empty).
+    pub fn coords(&self) -> &[(f32, f32)] {
+        &self.coords
+    }
+
+    /// Number of non-zero directed edges (excluding self-loops).
+    pub fn edge_count(&self) -> usize {
+        let mut count = 0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j && self.adjacency.at(&[i, j]) != 0.0 {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// True when weights are symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f32) -> bool {
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if (self.adjacency.at(&[i, j]) - self.adjacency.at(&[j, i])).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Adjacency with ones on the diagonal (self-loops added).
+    pub fn with_self_loops(&self) -> Tensor {
+        let mut a = self.adjacency.clone();
+        for i in 0..self.n {
+            *a.at_mut(&[i, i]) = 1.0;
+        }
+        a
+    }
+
+    /// Row-normalised adjacency `D⁻¹A` (rows of zeros stay zero).
+    pub fn row_normalized(&self) -> Tensor {
+        let mut a = self.adjacency.clone();
+        for i in 0..self.n {
+            let row_sum: f32 = (0..self.n).map(|j| a.at(&[i, j])).sum();
+            if row_sum > 0.0 {
+                for j in 0..self.n {
+                    *a.at_mut(&[i, j]) /= row_sum;
+                }
+            }
+        }
+        a
+    }
+
+    /// BFS hop distance from `source` to every node (`usize::MAX` when
+    /// unreachable); used by the synthetic generators to propagate
+    /// congestion waves along the graph.
+    pub fn hop_distances(&self, source: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[source] = 0;
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            for v in 0..self.n {
+                if v != u
+                    && dist[v] == usize::MAX
+                    && (self.adjacency.at(&[u, v]) != 0.0 || self.adjacency.at(&[v, u]) != 0.0)
+                {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> SensorGraph {
+        // 0 - 1 - 2
+        let mut a = Tensor::zeros([3, 3]);
+        *a.at_mut(&[0, 1]) = 1.0;
+        *a.at_mut(&[1, 0]) = 1.0;
+        *a.at_mut(&[1, 2]) = 1.0;
+        *a.at_mut(&[2, 1]) = 1.0;
+        SensorGraph::new(a, vec![])
+    }
+
+    #[test]
+    fn edge_count_and_symmetry() {
+        let g = line3();
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.is_symmetric(1e-6));
+        assert_eq!(g.n(), 3);
+    }
+
+    #[test]
+    fn row_normalization_sums_to_one() {
+        let g = line3();
+        let p = g.row_normalized();
+        for i in 0..3 {
+            let s: f32 = (0..3).map(|j| p.at(&[i, j])).sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert_eq!(p.at(&[1, 0]), 0.5);
+    }
+
+    #[test]
+    fn disconnected_rows_stay_zero() {
+        let g = SensorGraph::disconnected(4);
+        let p = g.row_normalized();
+        assert_eq!(p.sum(), 0.0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn hop_distances_on_line() {
+        let g = line3();
+        assert_eq!(g.hop_distances(0), vec![0, 1, 2]);
+        assert_eq!(g.hop_distances(1), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn self_loops_added() {
+        let g = line3();
+        let a = g.with_self_loops();
+        for i in 0..3 {
+            assert_eq!(a.at(&[i, i]), 1.0);
+        }
+    }
+}

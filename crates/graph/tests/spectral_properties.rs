@@ -1,0 +1,106 @@
+//! Property-based tests of the spectral/diffusion machinery.
+#![allow(clippy::needless_range_loop)]
+
+use cts_graph::{
+    chebyshev_basis, normalized_laplacian, random_geometric_graph, scaled_laplacian,
+    transition_matrices, transition_powers, GraphGenConfig,
+};
+use cts_tensor::ops;
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn graph_strategy() -> impl Strategy<Value = cts_graph::SensorGraph> {
+    (4usize..12, 0u64..1000).prop_map(|(n, seed)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        random_geometric_graph(
+            &mut rng,
+            &GraphGenConfig {
+                n,
+                sigma: 0.4,
+                threshold: 0.2,
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The symmetric normalised Laplacian is symmetric.
+    #[test]
+    fn laplacian_is_symmetric(g in graph_strategy()) {
+        let l = normalized_laplacian(g.adjacency());
+        let lt = ops::transpose_last2(&l);
+        prop_assert!(l.approx_eq(&lt, 1e-5));
+    }
+
+    /// L is positive semidefinite: xᵀLx >= 0 for random x (spot check).
+    #[test]
+    fn laplacian_psd(g in graph_strategy(), seed in 0u64..100) {
+        let l = normalized_laplacian(g.adjacency());
+        let n = g.n();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let x = cts_tensor::init::uniform(&mut rng, [n, 1], -1.0, 1.0);
+        let xt_l_x = ops::matmul(&ops::transpose_last2(&x), &ops::matmul(&l, &x)).item();
+        prop_assert!(xt_l_x >= -1e-4, "x'Lx = {xt_l_x}");
+    }
+
+    /// Scaled Laplacian keeps the spectral radius bounded: repeated
+    /// application of L̃ to a unit vector never blows up.
+    #[test]
+    fn scaled_laplacian_bounded_dynamics(g in graph_strategy()) {
+        let lt = scaled_laplacian(g.adjacency());
+        let n = g.n();
+        let mut v = cts_tensor::Tensor::zeros([n, 1]);
+        v.data_mut()[0] = 1.0;
+        for _ in 0..30 {
+            v = ops::matmul(&lt, &v);
+        }
+        prop_assert!(v.norm() <= 3.0, "norm grew to {}", v.norm());
+    }
+
+    /// Chebyshev basis satisfies the three-term recurrence exactly.
+    #[test]
+    fn chebyshev_recurrence(g in graph_strategy()) {
+        let basis = chebyshev_basis(g.adjacency(), 4);
+        let lt = scaled_laplacian(g.adjacency());
+        for k in 2..4 {
+            let expect = ops::sub(
+                &ops::scale(&ops::matmul(&lt, &basis[k - 1]), 2.0),
+                &basis[k - 2],
+            );
+            prop_assert!(basis[k].approx_eq(&expect, 1e-3));
+        }
+    }
+
+    /// Transition matrices are row-stochastic on connected rows, and so are
+    /// their powers.
+    #[test]
+    fn transition_rows_stochastic(g in graph_strategy()) {
+        let (fwd, bwd) = transition_matrices(g.adjacency());
+        for p in [&fwd, &bwd] {
+            for pk in transition_powers(p, 2).iter().skip(1) {
+                for i in 0..g.n() {
+                    let s: f32 = (0..g.n()).map(|j| pk.at(&[i, j])).sum();
+                    prop_assert!(
+                        (s - 1.0).abs() < 1e-4 || s.abs() < 1e-6,
+                        "row {i} sums to {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Diffusion from a delta spreads mass only to reachable nodes.
+    #[test]
+    fn diffusion_respects_reachability(g in graph_strategy()) {
+        let (fwd, _) = transition_matrices(g.adjacency());
+        let p2 = &transition_powers(&fwd, 2)[2];
+        let dist = g.hop_distances(0);
+        for j in 0..g.n() {
+            if p2.at(&[0, j]) > 1e-6 {
+                prop_assert!(dist[j] != usize::MAX, "mass on unreachable node {j}");
+            }
+        }
+    }
+}

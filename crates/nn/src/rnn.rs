@@ -1,0 +1,219 @@
+//! Recurrent cells (LSTM / GRU), unrolled over the time axis.
+//!
+//! The RNN family is excluded from the AutoCTS compact operator set
+//! (§3.2.3) but is required for the *w/o design principles* ablation
+//! (Table 1's full operator set) and for the DCRNN / AGCRN / LSTNet /
+//! TPA-LSTM baselines.
+
+use crate::Linear;
+use cts_autograd::{Parameter, Tape, Var};
+use rand::Rng;
+
+/// A long short-term memory layer over `[B', T, D]`.
+pub struct Lstm {
+    wx: Linear, // D -> 4H (i, f, g, o)
+    wh: Linear, // H -> 4H
+    hidden: usize,
+}
+
+impl Lstm {
+    /// LSTM mapping input width `d_in` to hidden width `hidden`.
+    pub fn new(rng: &mut impl Rng, name: &str, d_in: usize, hidden: usize) -> Self {
+        Self {
+            wx: Linear::new(rng, &format!("{name}.wx"), d_in, 4 * hidden, true),
+            wh: Linear::new(rng, &format!("{name}.wh"), hidden, 4 * hidden, false),
+            hidden,
+        }
+    }
+
+    /// Hidden width `H`.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// One step: `(h, c) = cell(x_t, h, c)`, all `[B', H]`-shaped.
+    pub fn step(&self, tape: &Tape, x_t: &Var, h: &Var, c: &Var) -> (Var, Var) {
+        let gates = self.wx.forward(tape, x_t).add(&self.wh.forward(tape, h));
+        let hsz = self.hidden;
+        let i = gates.slice(1, 0, hsz).sigmoid();
+        let f = gates.slice(1, hsz, 2 * hsz).sigmoid();
+        let g = gates.slice(1, 2 * hsz, 3 * hsz).tanh();
+        let o = gates.slice(1, 3 * hsz, 4 * hsz).sigmoid();
+        let c_new = f.mul(c).add(&i.mul(&g));
+        let h_new = o.mul(&c_new.tanh());
+        (h_new, c_new)
+    }
+
+    /// Unroll over `[B', T, D]`; returns all hidden states `[B', T, H]`.
+    pub fn forward_sequence(&self, tape: &Tape, x: &Var) -> Var {
+        let shape = x.shape();
+        let (b, t) = (shape[0], shape[1]);
+        let mut h = tape.constant(cts_tensor::Tensor::zeros([b, self.hidden]));
+        let mut c = h.clone();
+        let mut outputs = Vec::with_capacity(t);
+        for ti in 0..t {
+            let x_t = x.slice(1, ti, ti + 1).reshape(&[b, shape[2]]);
+            let (h2, c2) = self.step(tape, &x_t, &h, &c);
+            h = h2;
+            c = c2;
+            outputs.push(h.reshape(&[b, 1, self.hidden]));
+        }
+        Var::concat(&outputs, 1)
+    }
+
+    /// Only the final hidden state `[B', H]`.
+    pub fn forward_last(&self, tape: &Tape, x: &Var) -> Var {
+        let t = x.shape()[1];
+        let all = self.forward_sequence(tape, x);
+        let b = x.shape()[0];
+        all.slice(1, t - 1, t).reshape(&[b, self.hidden])
+    }
+
+    /// Parameters of the cell.
+    pub fn parameters(&self) -> Vec<Parameter> {
+        let mut v = self.wx.parameters();
+        v.extend(self.wh.parameters());
+        v
+    }
+}
+
+/// A gated recurrent unit layer over `[B', T, D]`.
+pub struct Gru {
+    wx_zr: Linear, // D -> 2H (z, r)
+    wh_zr: Linear, // H -> 2H
+    wx_n: Linear,  // D -> H
+    wh_n: Linear,  // H -> H (applied to r ⊙ h)
+    hidden: usize,
+}
+
+impl Gru {
+    /// GRU mapping input width `d_in` to hidden width `hidden`.
+    pub fn new(rng: &mut impl Rng, name: &str, d_in: usize, hidden: usize) -> Self {
+        Self {
+            wx_zr: Linear::new(rng, &format!("{name}.wx_zr"), d_in, 2 * hidden, true),
+            wh_zr: Linear::new(rng, &format!("{name}.wh_zr"), hidden, 2 * hidden, false),
+            wx_n: Linear::new(rng, &format!("{name}.wx_n"), d_in, hidden, true),
+            wh_n: Linear::new(rng, &format!("{name}.wh_n"), hidden, hidden, false),
+            hidden,
+        }
+    }
+
+    /// Hidden width `H`.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// One step: `h' = (1-z)⊙n + z⊙h`.
+    pub fn step(&self, tape: &Tape, x_t: &Var, h: &Var) -> Var {
+        let hsz = self.hidden;
+        let zr = self
+            .wx_zr
+            .forward(tape, x_t)
+            .add(&self.wh_zr.forward(tape, h));
+        let z = zr.slice(1, 0, hsz).sigmoid();
+        let r = zr.slice(1, hsz, 2 * hsz).sigmoid();
+        let n = self
+            .wx_n
+            .forward(tape, x_t)
+            .add(&self.wh_n.forward(tape, &r.mul(h)))
+            .tanh();
+        let one_minus_z = z.neg().add_scalar(1.0);
+        one_minus_z.mul(&n).add(&z.mul(h))
+    }
+
+    /// Unroll over `[B', T, D]`; returns all hidden states `[B', T, H]`.
+    pub fn forward_sequence(&self, tape: &Tape, x: &Var) -> Var {
+        let shape = x.shape();
+        let (b, t) = (shape[0], shape[1]);
+        let mut h = tape.constant(cts_tensor::Tensor::zeros([b, self.hidden]));
+        let mut outputs = Vec::with_capacity(t);
+        for ti in 0..t {
+            let x_t = x.slice(1, ti, ti + 1).reshape(&[b, shape[2]]);
+            h = self.step(tape, &x_t, &h);
+            outputs.push(h.reshape(&[b, 1, self.hidden]));
+        }
+        Var::concat(&outputs, 1)
+    }
+
+    /// Only the final hidden state `[B', H]`.
+    pub fn forward_last(&self, tape: &Tape, x: &Var) -> Var {
+        let t = x.shape()[1];
+        let b = x.shape()[0];
+        self.forward_sequence(tape, x)
+            .slice(1, t - 1, t)
+            .reshape(&[b, self.hidden])
+    }
+
+    /// Parameters of the cell.
+    pub fn parameters(&self) -> Vec<Parameter> {
+        let mut v = self.wx_zr.parameters();
+        v.extend(self.wh_zr.parameters());
+        v.extend(self.wx_n.parameters());
+        v.extend(self.wh_n.parameters());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_tensor::{init, Tensor};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn lstm_shapes() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let lstm = Lstm::new(&mut rng, "lstm", 3, 5);
+        let tape = Tape::new();
+        let x = tape.constant(init::uniform(&mut rng, [2, 4, 3], -1.0, 1.0));
+        let seq = lstm.forward_sequence(&tape, &x);
+        assert_eq!(seq.shape(), vec![2, 4, 5]);
+        assert_eq!(lstm.forward_last(&tape, &x).shape(), vec![2, 5]);
+    }
+
+    #[test]
+    fn gru_shapes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let gru = Gru::new(&mut rng, "gru", 3, 6);
+        let tape = Tape::new();
+        let x = tape.constant(init::uniform(&mut rng, [2, 4, 3], -1.0, 1.0));
+        assert_eq!(gru.forward_sequence(&tape, &x).shape(), vec![2, 4, 6]);
+        assert_eq!(gru.hidden(), 6);
+    }
+
+    #[test]
+    fn zero_input_zero_state_stays_bounded() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let lstm = Lstm::new(&mut rng, "lstm", 2, 4);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros([1, 10, 2]));
+        let y = lstm.forward_sequence(&tape, &x).value();
+        assert!(y.max().abs() < 1.0);
+    }
+
+    #[test]
+    fn rnn_gradients_flow_through_time() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let gru = Gru::new(&mut rng, "gru", 2, 3);
+        let tape = Tape::new();
+        let x = tape.constant(init::uniform(&mut rng, [2, 5, 2], -1.0, 1.0));
+        let loss = gru.forward_last(&tape, &x).square().sum_all();
+        tape.backward(&loss);
+        for p in gru.parameters() {
+            assert!(p.grad().norm() > 0.0, "no grad for {}", p.name());
+        }
+    }
+
+    #[test]
+    fn lstm_gradcheck_tiny() {
+        use cts_autograd::gradcheck::assert_gradients;
+        let mut rng = SmallRng::seed_from_u64(4);
+        let lstm = Lstm::new(&mut rng, "lstm", 2, 2);
+        let x = init::uniform(&mut rng, [1, 3, 2], -1.0, 1.0);
+        let params = lstm.parameters();
+        assert_gradients(&params, 1e-2, 5e-2, |tape| {
+            let xv = tape.constant(x.clone());
+            lstm.forward_last(tape, &xv).square().sum_all()
+        });
+    }
+}

@@ -1,0 +1,78 @@
+//! Training schedules: the exponentially annealed softmax temperature of
+//! §3.2.2/§4.1.4.
+
+/// Exponential temperature annealing: τ ← max(τ·factor, min), starting from
+/// `init` (paper defaults: 5.0 → 0.001 with factor 0.9 per epoch).
+#[derive(Clone, Debug)]
+pub struct TemperatureSchedule {
+    tau: f32,
+    factor: f32,
+    min: f32,
+}
+
+impl TemperatureSchedule {
+    /// The paper's default schedule.
+    pub fn paper_default() -> Self {
+        Self::new(5.0, 0.9, 1e-3)
+    }
+
+    /// A constant τ = 1 schedule — the *w/o temperature* ablation.
+    pub fn constant_one() -> Self {
+        Self::new(1.0, 1.0, 1.0)
+    }
+
+    /// Custom schedule.
+    pub fn new(init: f32, factor: f32, min: f32) -> Self {
+        assert!(init > 0.0 && factor > 0.0 && min > 0.0);
+        Self {
+            tau: init,
+            factor,
+            min,
+        }
+    }
+
+    /// Current temperature.
+    pub fn tau(&self) -> f32 {
+        self.tau
+    }
+
+    /// Advance one epoch.
+    pub fn step(&mut self) {
+        self.tau = (self.tau * self.factor).max(self.min);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anneals_toward_minimum() {
+        let mut s = TemperatureSchedule::paper_default();
+        assert_eq!(s.tau(), 5.0);
+        for _ in 0..200 {
+            s.step();
+        }
+        assert_eq!(s.tau(), 1e-3);
+    }
+
+    #[test]
+    fn monotone_decreasing() {
+        let mut s = TemperatureSchedule::new(2.0, 0.5, 0.1);
+        let mut last = s.tau();
+        for _ in 0..10 {
+            s.step();
+            assert!(s.tau() <= last);
+            last = s.tau();
+        }
+    }
+
+    #[test]
+    fn constant_schedule_never_moves() {
+        let mut s = TemperatureSchedule::constant_one();
+        for _ in 0..5 {
+            s.step();
+        }
+        assert_eq!(s.tau(), 1.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Attention-family T- and S-operators (Eqs. 12–13, 16–17).
+
+use crate::registry::StOperator;
+use crate::{GraphContext, OpKind};
+use cts_autograd::{Parameter, Tape, Var};
+use cts_nn::{AttentionKind, AttentionLayer};
+use rand::Rng;
+
+/// Informer's default sampling factor `c` in `u = ⌈c·ln L⌉`.
+const INFORMER_FACTOR: f32 = 1.0;
+
+fn temporal_view(x: &Var) -> (Var, [usize; 4]) {
+    let s = x.shape();
+    let dims = [s[0], s[1], s[2], s[3]];
+    (x.reshape(&[s[0] * s[1], s[2], s[3]]), dims)
+}
+
+fn spatial_view(x: &Var) -> (Var, [usize; 4]) {
+    let s = x.shape();
+    let dims = [s[0], s[1], s[2], s[3]];
+    // [B,N,T,D] -> [B,T,N,D] -> [B·T, N, D]
+    (
+        x.permute(&[0, 2, 1, 3]).reshape(&[s[0] * s[2], s[1], s[3]]),
+        dims,
+    )
+}
+
+fn from_temporal(y: &Var, d: [usize; 4]) -> Var {
+    y.reshape(&[d[0], d[1], d[2], d[3]])
+}
+
+fn from_spatial(y: &Var, d: [usize; 4]) -> Var {
+    y.reshape(&[d[0], d[2], d[1], d[3]]).permute(&[0, 2, 1, 3])
+}
+
+macro_rules! attention_op {
+    ($name:ident, $kind:expr, $attn:expr, $view:ident, $unview:ident, $doc:literal) => {
+        #[doc = $doc]
+        pub struct $name {
+            attn: AttentionLayer,
+        }
+
+        impl $name {
+            /// Build with channel width `d`.
+            pub fn new(rng: &mut impl Rng, name: &str, d: usize) -> Self {
+                Self {
+                    attn: AttentionLayer::new(rng, name, d, $attn),
+                }
+            }
+        }
+
+        impl StOperator for $name {
+            fn forward(&self, tape: &Tape, x: &Var, _ctx: &GraphContext) -> Var {
+                let (v, dims) = $view(x);
+                let y = self.attn.forward(tape, &v);
+                $unview(&y, dims)
+            }
+
+            fn parameters(&self) -> Vec<Parameter> {
+                self.attn.parameters()
+            }
+
+            fn kind(&self) -> OpKind {
+                $kind
+            }
+        }
+    };
+}
+
+attention_op!(
+    TransformerTOp,
+    OpKind::TransformerT,
+    AttentionKind::Full,
+    temporal_view,
+    from_temporal,
+    "Full self-attention over timestamps per series (Eq. 12)."
+);
+
+attention_op!(
+    InformerTOp,
+    OpKind::InformerT,
+    AttentionKind::ProbSparse { factor: INFORMER_FACTOR },
+    temporal_view,
+    from_temporal,
+    "ProbSparse self-attention over timestamps per series — INF-T (Eq. 13)."
+);
+
+attention_op!(
+    TransformerSOp,
+    OpKind::TransformerS,
+    AttentionKind::Full,
+    spatial_view,
+    from_spatial,
+    "Full self-attention over series per timestamp (Eq. 16)."
+);
+
+attention_op!(
+    InformerSOp,
+    OpKind::InformerS,
+    AttentionKind::ProbSparse { factor: INFORMER_FACTOR },
+    spatial_view,
+    from_spatial,
+    "ProbSparse self-attention over series per timestamp — INF-S (Eq. 17)."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_graph::SensorGraph;
+    use cts_tensor::init;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn ctx(n: usize) -> GraphContext {
+        GraphContext::from_graph(&SensorGraph::identity(n), 2)
+    }
+
+    #[test]
+    fn views_roundtrip() {
+        let tape = cts_autograd::Tape::new();
+        let x = tape.constant(init::uniform(
+            &mut SmallRng::seed_from_u64(0),
+            [2, 3, 4, 5],
+            -1.0,
+            1.0,
+        ));
+        let (tv, td) = temporal_view(&x);
+        assert_eq!(tv.shape(), vec![6, 4, 5]);
+        assert!(from_temporal(&tv, td).value().approx_eq(&x.value(), 0.0));
+        let (sv, sd) = spatial_view(&x);
+        assert_eq!(sv.shape(), vec![8, 3, 5]);
+        assert!(from_spatial(&sv, sd).value().approx_eq(&x.value(), 1e-6));
+    }
+
+    #[test]
+    fn temporal_attention_isolates_series() {
+        // T-attention must not mix information across nodes.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let op = TransformerTOp::new(&mut rng, "att", 3);
+        let tape = cts_autograd::Tape::new();
+        let mut x = init::uniform(&mut rng, [1, 2, 4, 3], -1.0, 1.0);
+        let y0 = op.forward(&tape, &tape.constant(x.clone()), &ctx(2)).value();
+        for t in 0..4 {
+            for d in 0..3 {
+                *x.at_mut(&[0, 1, t, d]) += 3.0;
+            }
+        }
+        let y1 = op.forward(&tape, &tape.constant(x), &ctx(2)).value();
+        for t in 0..4 {
+            for d in 0..3 {
+                assert_eq!(y0.at(&[0, 0, t, d]), y1.at(&[0, 0, t, d]));
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_attention_isolates_timestamps() {
+        // S-attention must not mix information across time.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let op = TransformerSOp::new(&mut rng, "att", 3);
+        let tape = cts_autograd::Tape::new();
+        let mut x = init::uniform(&mut rng, [1, 3, 4, 3], -1.0, 1.0);
+        let y0 = op.forward(&tape, &tape.constant(x.clone()), &ctx(3)).value();
+        for n in 0..3 {
+            for d in 0..3 {
+                *x.at_mut(&[0, n, 3, d]) += 3.0; // only t=3 changes
+            }
+        }
+        let y1 = op.forward(&tape, &tape.constant(x), &ctx(3)).value();
+        for n in 0..3 {
+            for t in 0..3 {
+                for d in 0..3 {
+                    assert_eq!(y0.at(&[0, n, t, d]), y1.at(&[0, n, t, d]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_attention_mixes_nodes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let op = TransformerSOp::new(&mut rng, "att", 3);
+        let tape = cts_autograd::Tape::new();
+        let mut x = init::uniform(&mut rng, [1, 3, 2, 3], -1.0, 1.0);
+        let y0 = op.forward(&tape, &tape.constant(x.clone()), &ctx(3)).value();
+        *x.at_mut(&[0, 2, 0, 0]) += 4.0;
+        let y1 = op.forward(&tape, &tape.constant(x), &ctx(3)).value();
+        // node 0 at t=0 should feel node 2's change
+        assert_ne!(y0.at(&[0, 0, 0, 0]), y1.at(&[0, 0, 0, 0]));
+    }
+}

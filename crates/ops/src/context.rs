@@ -1,0 +1,178 @@
+//! Graph context shared by all S-operators: precomputed diffusion supports,
+//! Chebyshev bases, and (optionally) a learned adaptive adjacency.
+
+use cts_autograd::{Parameter, Tape, Var};
+use cts_graph::{chebyshev_basis, transition_matrices, transition_powers, SensorGraph};
+use cts_tensor::{init, Tensor};
+use rand::Rng;
+
+/// Everything an S-operator needs beyond its own weights.
+///
+/// Built once per model from the dataset's [`SensorGraph`]; the diffusion
+/// powers `P_f^k`, `P_b^k` (Eq. 15) and the Chebyshev basis `T_k(L̃)`
+/// (Eq. 14) are precomputed as constants. When the dataset has no
+/// predefined adjacency (Solar-Energy, Electricity) an *adaptive* adjacency
+/// `softmax(relu(E₁·E₂))` is learned from node embeddings instead
+/// (Graph WaveNet / MTGNN style).
+pub struct GraphContext {
+    n: usize,
+    diffusion_fwd: Vec<Tensor>,
+    diffusion_bwd: Vec<Tensor>,
+    cheb: Vec<Tensor>,
+    adaptive: Option<(Parameter, Parameter)>,
+}
+
+impl GraphContext {
+    /// Precompute supports from a sensor graph with `k` diffusion steps /
+    /// Chebyshev order.
+    pub fn from_graph(graph: &SensorGraph, k: usize) -> Self {
+        let (fwd, bwd) = transition_matrices(graph.adjacency());
+        Self {
+            n: graph.n(),
+            // skip power 0 (identity) — the identity path is the DAG's job
+            diffusion_fwd: transition_powers(&fwd, k)[1..].to_vec(),
+            diffusion_bwd: transition_powers(&bwd, k)[1..].to_vec(),
+            cheb: chebyshev_basis(graph.adjacency(), k + 1),
+            adaptive: None,
+        }
+    }
+
+    /// Add learned node embeddings for an adaptive adjacency.
+    pub fn with_adaptive(mut self, rng: &mut impl Rng, emb_dim: usize) -> Self {
+        let e1 = Parameter::new("adaptive.e1", init::normal(rng, [self.n, emb_dim], 0.1));
+        let e2 = Parameter::new("adaptive.e2", init::normal(rng, [emb_dim, self.n], 0.1));
+        self.adaptive = Some((e1, e2));
+        self
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Diffusion-step count `K`.
+    pub fn k(&self) -> usize {
+        self.diffusion_fwd.len()
+    }
+
+    /// Forward diffusion supports `P_f¹..P_f^K` as tape constants.
+    pub fn diffusion_fwd(&self, tape: &Tape) -> Vec<Var> {
+        self.diffusion_fwd.iter().map(|m| tape.constant(m.clone())).collect()
+    }
+
+    /// Backward diffusion supports `P_b¹..P_b^K` as tape constants.
+    pub fn diffusion_bwd(&self, tape: &Tape) -> Vec<Var> {
+        self.diffusion_bwd.iter().map(|m| tape.constant(m.clone())).collect()
+    }
+
+    /// Chebyshev basis `T₀..T_K` as tape constants.
+    pub fn chebyshev(&self, tape: &Tape) -> Vec<Var> {
+        self.cheb.iter().map(|m| tape.constant(m.clone())).collect()
+    }
+
+    /// The adaptive adjacency `softmax(relu(E₁·E₂))` as a differentiable
+    /// var, when embeddings are present.
+    pub fn adaptive_support(&self, tape: &Tape) -> Option<Var> {
+        self.adaptive.as_ref().map(|(e1, e2)| {
+            tape.param(e1)
+                .matmul(&tape.param(e2))
+                .relu()
+                .softmax_last()
+        })
+    }
+
+    /// Embedding parameters (must be trained with the network weights).
+    pub fn parameters(&self) -> Vec<Parameter> {
+        match &self.adaptive {
+            Some((e1, e2)) => vec![e1.clone(), e2.clone()],
+            None => vec![],
+        }
+    }
+
+    /// True when the context carries usable spatial structure (either a
+    /// non-empty predefined graph or adaptive embeddings).
+    pub fn has_spatial_signal(&self) -> bool {
+        self.adaptive.is_some() || self.diffusion_fwd.iter().any(|m| m.sum() > 0.0)
+    }
+}
+
+/// Mix node information: `A · X` over the node axis of `[B, N, T, D]`.
+///
+/// `support` is `[N, N]` (constant or learned). Implemented as
+/// permute → broadcast matmul → permute.
+pub fn node_mix(x: &Var, support: &Var) -> Var {
+    let shape = x.shape(); // [B,N,T,D]
+    debug_assert_eq!(shape.len(), 4);
+    let xt = x.permute(&[0, 2, 1, 3]); // [B,T,N,D]
+    let mixed = support.matmul(&xt); // broadcast over [B,T]
+    mixed.permute(&[0, 2, 1, 3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_graph::{random_geometric_graph, GraphGenConfig};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn ctx() -> GraphContext {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let g = random_geometric_graph(&mut rng, &GraphGenConfig { n: 6, ..Default::default() });
+        GraphContext::from_graph(&g, 2)
+    }
+
+    #[test]
+    fn supports_have_right_counts_and_shapes() {
+        let c = ctx();
+        let tape = Tape::new();
+        assert_eq!(c.diffusion_fwd(&tape).len(), 2);
+        assert_eq!(c.diffusion_bwd(&tape).len(), 2);
+        assert_eq!(c.chebyshev(&tape).len(), 3);
+        assert_eq!(c.diffusion_fwd(&tape)[0].shape(), vec![6, 6]);
+        assert!(c.adaptive_support(&tape).is_none());
+        assert!(c.has_spatial_signal());
+    }
+
+    #[test]
+    fn adaptive_rows_are_distributions() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let c = ctx().with_adaptive(&mut rng, 4);
+        let tape = Tape::new();
+        let a = c.adaptive_support(&tape).unwrap().value();
+        for i in 0..6 {
+            let s: f32 = (0..6).map(|j| a.at(&[i, j])).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert_eq!(c.parameters().len(), 2);
+    }
+
+    #[test]
+    fn node_mix_identity_is_noop() {
+        let tape = Tape::new();
+        let x = tape.constant(cts_tensor::init::uniform(
+            &mut SmallRng::seed_from_u64(2),
+            [2, 4, 3, 5],
+            -1.0,
+            1.0,
+        ));
+        let eye = tape.constant(Tensor::eye(4));
+        let y = node_mix(&x, &eye);
+        assert!(y.value().approx_eq(&x.value(), 1e-6));
+    }
+
+    #[test]
+    fn node_mix_averages_neighbours() {
+        let tape = Tape::new();
+        // two nodes, swap matrix
+        let x = tape.constant(Tensor::from_vec([1, 2, 1, 1], vec![1.0, 5.0]));
+        let swap = tape.constant(Tensor::from_vec([2, 2], vec![0.0, 1.0, 1.0, 0.0]));
+        let y = node_mix(&x, &swap).value();
+        assert_eq!(y.data(), &[5.0, 1.0]);
+    }
+
+    #[test]
+    fn disconnected_graph_has_no_signal() {
+        let g = SensorGraph::disconnected(4);
+        let c = GraphContext::from_graph(&g, 2);
+        assert!(!c.has_spatial_signal());
+    }
+}

@@ -1,0 +1,208 @@
+//! GCN-family S-operators: Chebyshev GCN (Eq. 14) and Diffusion GCN
+//! (Eq. 15).
+
+use crate::registry::StOperator;
+use crate::{node_mix, GraphContext, OpKind};
+use cts_autograd::{Parameter, Tape, Var};
+use cts_nn::Linear;
+use rand::Rng;
+
+/// Chebyshev graph convolution: `H_t = Σ_k W_k T_k(L̃) Z_t`.
+pub struct ChebGcnOp {
+    weights: Vec<Linear>,
+}
+
+impl ChebGcnOp {
+    /// One linear map per Chebyshev order (K is fixed by the context; we
+    /// allocate for the workspace default of 3 basis matrices).
+    pub fn new(rng: &mut impl Rng, name: &str, d: usize) -> Self {
+        let weights = (0..3)
+            .map(|k| Linear::new(rng, &format!("{name}.w{k}"), d, d, k == 0))
+            .collect();
+        Self { weights }
+    }
+}
+
+impl StOperator for ChebGcnOp {
+    fn forward(&self, tape: &Tape, x: &Var, ctx: &GraphContext) -> Var {
+        let basis = ctx.chebyshev(tape);
+        let mut acc: Option<Var> = None;
+        for (t_k, w_k) in basis.iter().zip(self.weights.iter()) {
+            let mixed = node_mix(x, t_k);
+            let term = w_k.forward(tape, &mixed);
+            acc = Some(match acc {
+                Some(a) => a.add(&term),
+                None => term,
+            });
+        }
+        acc.expect("chebyshev basis is never empty")
+    }
+
+    fn parameters(&self) -> Vec<Parameter> {
+        self.weights.iter().flat_map(Linear::parameters).collect()
+    }
+
+    fn kind(&self) -> OpKind {
+        OpKind::ChebGcn
+    }
+}
+
+/// Diffusion graph convolution:
+/// `H_t = Σ_k (D_O⁻¹A)^k Z_t W1_k + (D_I⁻¹Aᵀ)^k Z_t W2_k`, plus an adaptive
+/// third direction when the context learns one (Graph WaveNet extension —
+/// this is what lets DGCN run on datasets without a predefined adjacency).
+pub struct DgcnOp {
+    fwd_weights: Vec<Linear>,
+    bwd_weights: Vec<Linear>,
+    adp_weights: Vec<Linear>,
+    self_weight: Linear,
+}
+
+impl DgcnOp {
+    /// DGCN with `d` channels (two diffusion steps per direction).
+    pub fn new(rng: &mut impl Rng, name: &str, d: usize) -> Self {
+        let mk = |tag: &str, rng: &mut dyn FnMut(&str) -> Linear| -> Vec<Linear> {
+            (0..2).map(|k| rng(&format!("{name}.{tag}{k}"))).collect()
+        };
+        let mut build = |n: &str| Linear::new(rng, n, d, d, false);
+        let fwd_weights = mk("fwd", &mut build);
+        let bwd_weights = mk("bwd", &mut build);
+        let adp_weights = mk("adp", &mut build);
+        Self {
+            fwd_weights,
+            bwd_weights,
+            adp_weights,
+            self_weight: Linear::new(rng, &format!("{name}.self"), d, d, true),
+        }
+    }
+}
+
+impl StOperator for DgcnOp {
+    fn forward(&self, tape: &Tape, x: &Var, ctx: &GraphContext) -> Var {
+        // k = 0 term: the node's own features.
+        let mut acc = self.self_weight.forward(tape, x);
+        let fwd = ctx.diffusion_fwd(tape);
+        let bwd = ctx.diffusion_bwd(tape);
+        for (p_k, w_k) in fwd.iter().zip(self.fwd_weights.iter()) {
+            acc = acc.add(&w_k.forward(tape, &node_mix(x, p_k)));
+        }
+        for (p_k, w_k) in bwd.iter().zip(self.bwd_weights.iter()) {
+            acc = acc.add(&w_k.forward(tape, &node_mix(x, p_k)));
+        }
+        if let Some(adp) = ctx.adaptive_support(tape) {
+            let mut mixed = x.clone();
+            for w_k in &self.adp_weights {
+                mixed = node_mix(&mixed, &adp);
+                acc = acc.add(&w_k.forward(tape, &mixed));
+            }
+        }
+        acc
+    }
+
+    fn parameters(&self) -> Vec<Parameter> {
+        let mut v: Vec<Parameter> = self
+            .fwd_weights
+            .iter()
+            .chain(self.bwd_weights.iter())
+            .chain(self.adp_weights.iter())
+            .flat_map(Linear::parameters)
+            .collect();
+        v.extend(self.self_weight.parameters());
+        v
+    }
+
+    fn kind(&self) -> OpKind {
+        OpKind::Dgcn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_graph::{random_geometric_graph, GraphGenConfig, SensorGraph};
+    use cts_tensor::init;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn dgcn_uses_neighbour_information() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let g = random_geometric_graph(&mut rng, &GraphGenConfig { n: 5, sigma: 0.8, threshold: 0.1 });
+        let ctx = GraphContext::from_graph(&g, 2);
+        let op = DgcnOp::new(&mut rng, "dgcn", 3);
+        let tape = cts_autograd::Tape::new();
+        let mut x = init::uniform(&mut rng, [1, 5, 2, 3], -1.0, 1.0);
+        let y0 = op.forward(&tape, &tape.constant(x.clone()), &ctx).value();
+        // perturb node 4; some other node's output must change
+        for t in 0..2 {
+            for d in 0..3 {
+                *x.at_mut(&[0, 4, t, d]) += 2.0;
+            }
+        }
+        let y1 = op.forward(&tape, &tape.constant(x), &ctx).value();
+        let mut changed = false;
+        for n in 0..4 {
+            for t in 0..2 {
+                for d in 0..3 {
+                    if (y0.at(&[0, n, t, d]) - y1.at(&[0, n, t, d])).abs() > 1e-6 {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        assert!(changed, "diffusion did not propagate");
+    }
+
+    #[test]
+    fn dgcn_on_disconnected_graph_degenerates_to_self_term() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ctx = GraphContext::from_graph(&SensorGraph::disconnected(4), 2);
+        let op = DgcnOp::new(&mut rng, "dgcn", 3);
+        let tape = cts_autograd::Tape::new();
+        let mut x = init::uniform(&mut rng, [1, 4, 2, 3], -1.0, 1.0);
+        let y0 = op.forward(&tape, &tape.constant(x.clone()), &ctx).value();
+        for t in 0..2 {
+            for d in 0..3 {
+                *x.at_mut(&[0, 3, t, d]) += 2.0;
+            }
+        }
+        let y1 = op.forward(&tape, &tape.constant(x), &ctx).value();
+        for n in 0..3 {
+            for t in 0..2 {
+                for d in 0..3 {
+                    assert_eq!(y0.at(&[0, n, t, d]), y1.at(&[0, n, t, d]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dgcn_adaptive_support_gets_gradients() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let ctx = GraphContext::from_graph(&SensorGraph::disconnected(4), 2)
+            .with_adaptive(&mut rng, 3);
+        let op = DgcnOp::new(&mut rng, "dgcn", 3);
+        let tape = cts_autograd::Tape::new();
+        let x = tape.constant(init::uniform(&mut rng, [1, 4, 2, 3], -1.0, 1.0));
+        let loss = op.forward(&tape, &x, &ctx).square().sum_all();
+        tape.backward(&loss);
+        for p in ctx.parameters() {
+            assert!(p.grad().norm() > 0.0, "adaptive embedding got no grad");
+        }
+    }
+
+    #[test]
+    fn cheb_gcn_shape_and_grads() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = random_geometric_graph(&mut rng, &GraphGenConfig { n: 4, ..Default::default() });
+        let ctx = GraphContext::from_graph(&g, 2);
+        let op = ChebGcnOp::new(&mut rng, "cheb", 3);
+        let tape = cts_autograd::Tape::new();
+        let x = tape.constant(init::uniform(&mut rng, [2, 4, 3, 3], -1.0, 1.0));
+        let y = op.forward(&tape, &x, &ctx);
+        assert_eq!(y.shape(), vec![2, 4, 3, 3]);
+        let loss = y.square().sum_all();
+        tape.backward(&loss);
+        assert!(op.parameters().iter().all(|p| p.grad().norm() >= 0.0));
+        assert!(op.parameters().iter().any(|p| p.grad().norm() > 0.0));
+    }
+}

@@ -1,0 +1,143 @@
+//! The `StOperator` trait, the compact/full operator sets, and the factory.
+
+use crate::{
+    ChebGcnOp, Conv1dOp, DgcnOp, GdccOp, GraphContext, GruOp, IdentityOp, InformerSOp,
+    InformerTOp, LstmOp, OpKind, TransformerSOp, TransformerTOp, ZeroOp,
+};
+use cts_autograd::{Parameter, Tape, Var};
+use cts_nn::LayerNorm;
+use rand::Rng;
+
+/// A spatio-temporal operator: `[B,N,T,D] → [B,N,T,D]`.
+pub trait StOperator {
+    /// Apply the operator.
+    fn forward(&self, tape: &Tape, x: &Var, ctx: &GraphContext) -> Var;
+    /// The operator's trainable weights (excluding shared context params).
+    fn parameters(&self) -> Vec<Parameter>;
+    /// Which kind this operator instantiates.
+    fn kind(&self) -> OpKind;
+}
+
+/// The paper's compact operator set `O` (§3.2.3): GDCC, INF-T, DGCN, INF-S
+/// plus the non-parametric zero and identity.
+pub fn compact_set() -> Vec<OpKind> {
+    vec![
+        OpKind::Zero,
+        OpKind::Identity,
+        OpKind::Gdcc,
+        OpKind::InformerT,
+        OpKind::Dgcn,
+        OpKind::InformerS,
+    ]
+}
+
+/// Every operator of Table 1 plus zero/identity — the *w/o design
+/// principles* ablation search space (Tables 9–16).
+pub fn full_set() -> Vec<OpKind> {
+    OpKind::all().to_vec()
+}
+
+/// ReLU → op → LayerNorm wrapper applied to every parametric operator for
+/// training stability (the paper follows DARTS's ReLU-op-BN ordering;
+/// LayerNorm substitutes for BN, see DESIGN.md).
+struct ReluNormed {
+    inner: Box<dyn StOperator>,
+    norm: LayerNorm,
+}
+
+impl StOperator for ReluNormed {
+    fn forward(&self, tape: &Tape, x: &Var, ctx: &GraphContext) -> Var {
+        let activated = x.relu();
+        let out = self.inner.forward(tape, &activated, ctx);
+        self.norm.forward(tape, &out)
+    }
+
+    fn parameters(&self) -> Vec<Parameter> {
+        let mut v = self.inner.parameters();
+        v.extend(self.norm.parameters());
+        v
+    }
+
+    fn kind(&self) -> OpKind {
+        self.inner.kind()
+    }
+}
+
+/// Instantiate an operator of `kind` with channel width `d`.
+///
+/// Parametric operators are wrapped in ReLU-op-norm; zero/identity are
+/// returned bare.
+pub fn build_operator(rng: &mut impl Rng, kind: OpKind, name: &str, d: usize) -> Box<dyn StOperator> {
+    let inner: Box<dyn StOperator> = match kind {
+        OpKind::Zero => return Box::new(ZeroOp),
+        OpKind::Identity => return Box::new(IdentityOp),
+        OpKind::Conv1d => Box::new(Conv1dOp::new(rng, name, d)),
+        OpKind::Gdcc => Box::new(GdccOp::new(rng, name, d)),
+        OpKind::Lstm => Box::new(LstmOp::new(rng, name, d)),
+        OpKind::Gru => Box::new(GruOp::new(rng, name, d)),
+        OpKind::TransformerT => Box::new(TransformerTOp::new(rng, name, d)),
+        OpKind::InformerT => Box::new(InformerTOp::new(rng, name, d)),
+        OpKind::ChebGcn => Box::new(ChebGcnOp::new(rng, name, d)),
+        OpKind::Dgcn => Box::new(DgcnOp::new(rng, name, d)),
+        OpKind::TransformerS => Box::new(TransformerSOp::new(rng, name, d)),
+        OpKind::InformerS => Box::new(InformerSOp::new(rng, name, d)),
+    };
+    Box::new(ReluNormed {
+        inner,
+        norm: LayerNorm::new(&format!("{name}.norm"), d),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_graph::{random_geometric_graph, GraphGenConfig};
+    use cts_tensor::init;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn compact_set_matches_paper() {
+        let set = compact_set();
+        assert_eq!(set.len(), 6);
+        assert!(set.contains(&OpKind::Gdcc));
+        assert!(set.contains(&OpKind::InformerT));
+        assert!(set.contains(&OpKind::Dgcn));
+        assert!(set.contains(&OpKind::InformerS));
+        assert!(set.contains(&OpKind::Zero));
+        assert!(set.contains(&OpKind::Identity));
+        // RNNs and the non-chosen variants are excluded
+        assert!(!set.contains(&OpKind::Gru));
+        assert!(!set.contains(&OpKind::TransformerT));
+        assert!(!set.contains(&OpKind::ChebGcn));
+    }
+
+    #[test]
+    fn full_set_has_all_twelve() {
+        assert_eq!(full_set().len(), 12);
+    }
+
+    #[test]
+    fn every_operator_preserves_shape_and_trains() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let g = random_geometric_graph(&mut rng, &GraphGenConfig { n: 5, ..Default::default() });
+        let ctx = GraphContext::from_graph(&g, 2);
+        let d = 6;
+        for kind in full_set() {
+            let op = build_operator(&mut rng, kind, "op", d);
+            assert_eq!(op.kind(), kind);
+            let tape = Tape::new();
+            let x = tape.constant(init::uniform(&mut rng, [2, 5, 8, d], -1.0, 1.0));
+            let y = op.forward(&tape, &x, &ctx);
+            assert_eq!(y.shape(), vec![2, 5, 8, d], "{kind} changed shape");
+            if kind.is_parametric() {
+                let loss = y.square().sum_all();
+                tape.backward(&loss);
+                let got_grad = op.parameters().iter().any(|p| p.grad().norm() > 0.0);
+                assert!(got_grad, "{kind}: no gradient reached any parameter");
+                assert!(!op.parameters().is_empty());
+            } else {
+                assert!(op.parameters().is_empty());
+            }
+        }
+    }
+}

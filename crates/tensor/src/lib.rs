@@ -1,0 +1,23 @@
+//! `cts-tensor`: a small, dependency-light dense tensor library used as the
+//! numeric substrate for the AutoCTS reproduction.
+//!
+//! Tensors are row-major, contiguous, `f32`. Every differentiable operation
+//! exposed by [`ops`] comes with analytic gradient functions so that the
+//! autograd layer (`cts-autograd`) can stay a thin bookkeeping shim.
+//!
+//! The canonical activation layout throughout the workspace is
+//! `[B, N, T, D]` — batch, node (time series), time step, channel.
+
+#![warn(missing_docs)]
+
+mod shape;
+mod tensor;
+
+pub mod init;
+pub mod ops;
+
+pub use shape::{broadcast_shapes, strides_for, Shape};
+pub use tensor::Tensor;
+
+/// Numerical tolerance used by tests and gradient checks across the workspace.
+pub const TEST_EPS: f32 = 1e-4;

@@ -1,0 +1,223 @@
+//! Dilated causal temporal convolution over `[B, N, T, D]` activations.
+//!
+//! The convolution is *causal*: output step `t` only sees inputs at
+//! `t, t-d, t-2d, …` (implicit left zero-padding keeps the sequence length
+//! unchanged), matching the gated dilated causal convolutions of
+//! Graph WaveNet / WaveNet-style ST models.
+
+use crate::Tensor;
+
+/// Forward dilated causal conv.
+///
+/// * `x`: `[B, N, T, D_in]`
+/// * `w`: `[K, D_in, D_out]` (tap `K-1` reads the current step)
+///
+/// Returns `[B, N, T, D_out]`.
+pub fn temporal_conv(x: &Tensor, w: &Tensor, dilation: usize) -> Tensor {
+    let (b, n, t, din) = dims4(x);
+    let (k, wdin, dout) = dims3(w);
+    assert_eq!(din, wdin, "temporal_conv channel mismatch");
+    assert!(dilation >= 1);
+    let mut out = vec![0.0f32; b * n * t * dout];
+    let xd = x.data();
+    let wd = w.data();
+    let series = b * n;
+    for s in 0..series {
+        let x_off = s * t * din;
+        let o_off = s * t * dout;
+        for ti in 0..t {
+            let orow = &mut out[o_off + ti * dout..o_off + (ti + 1) * dout];
+            for ki in 0..k {
+                let lag = (k - 1 - ki) * dilation;
+                if lag > ti {
+                    continue;
+                }
+                let src = ti - lag;
+                let xrow = &xd[x_off + src * din..x_off + (src + 1) * din];
+                let wmat = &wd[ki * din * dout..(ki + 1) * din * dout];
+                for (i, &xv) in xrow.iter().enumerate() {
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    let wrow = &wmat[i * dout..(i + 1) * dout];
+                    for (o, &wv) in orow.iter_mut().zip(wrow.iter()) {
+                        *o += xv * wv;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![b, n, t, dout], out)
+}
+
+/// ∂temporal_conv/∂x.
+pub fn temporal_conv_grad_x(grad: &Tensor, w: &Tensor, x_shape: &[usize], dilation: usize) -> Tensor {
+    let (b, n, t, din) = (x_shape[0], x_shape[1], x_shape[2], x_shape[3]);
+    let (k, _, dout) = dims3(w);
+    let mut gx = vec![0.0f32; b * n * t * din];
+    let gd = grad.data();
+    let wd = w.data();
+    let series = b * n;
+    for s in 0..series {
+        let x_off = s * t * din;
+        let g_off = s * t * dout;
+        for ti in 0..t {
+            let grow = &gd[g_off + ti * dout..g_off + (ti + 1) * dout];
+            for ki in 0..k {
+                let lag = (k - 1 - ki) * dilation;
+                if lag > ti {
+                    continue;
+                }
+                let src = ti - lag;
+                let xrow = &mut gx[x_off + src * din..x_off + (src + 1) * din];
+                let wmat = &wd[ki * din * dout..(ki + 1) * din * dout];
+                for (i, xg) in xrow.iter_mut().enumerate() {
+                    let wrow = &wmat[i * dout..(i + 1) * dout];
+                    let mut acc = 0.0f32;
+                    for (gv, wv) in grow.iter().zip(wrow.iter()) {
+                        acc += gv * wv;
+                    }
+                    *xg += acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(x_shape.to_vec(), gx)
+}
+
+/// ∂temporal_conv/∂w.
+pub fn temporal_conv_grad_w(grad: &Tensor, x: &Tensor, w_shape: &[usize], dilation: usize) -> Tensor {
+    let (b, n, t, din) = dims4(x);
+    let (k, _, dout) = (w_shape[0], w_shape[1], w_shape[2]);
+    let mut gw = vec![0.0f32; k * din * dout];
+    let gd = grad.data();
+    let xd = x.data();
+    let series = b * n;
+    for s in 0..series {
+        let x_off = s * t * din;
+        let g_off = s * t * dout;
+        for ti in 0..t {
+            let grow = &gd[g_off + ti * dout..g_off + (ti + 1) * dout];
+            for ki in 0..k {
+                let lag = (k - 1 - ki) * dilation;
+                if lag > ti {
+                    continue;
+                }
+                let src = ti - lag;
+                let xrow = &xd[x_off + src * din..x_off + (src + 1) * din];
+                let wmat = &mut gw[ki * din * dout..(ki + 1) * din * dout];
+                for (i, &xv) in xrow.iter().enumerate() {
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    let wrow = &mut wmat[i * dout..(i + 1) * dout];
+                    for (wv, &gv) in wrow.iter_mut().zip(grow.iter()) {
+                        *wv += xv * gv;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(w_shape.to_vec(), gw)
+}
+
+fn dims4(x: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(x.rank(), 4, "expected [B,N,T,D], got {:?}", x.shape());
+    (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3])
+}
+
+fn dims3(w: &Tensor) -> (usize, usize, usize) {
+    assert_eq!(w.rank(), 3, "expected [K,Din,Dout], got {:?}", w.shape());
+    (w.shape()[0], w.shape()[1], w.shape()[2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // K=1, Din=Dout=1, w=[[1]] => output == input
+        let x = Tensor::from_vec([1, 1, 4, 1], vec![1.0, 2.0, 3.0, 4.0]);
+        let w = Tensor::from_vec([1, 1, 1], vec![1.0]);
+        let y = temporal_conv(&x, &w, 1);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn causal_difference_kernel() {
+        // K=2, w = [-1 (prev), +1 (cur)] computes x[t]-x[t-1] with x[-1]=0.
+        let x = Tensor::from_vec([1, 1, 4, 1], vec![1.0, 3.0, 6.0, 10.0]);
+        let w = Tensor::from_vec([2, 1, 1], vec![-1.0, 1.0]);
+        let y = temporal_conv(&x, &w, 1);
+        assert_eq!(y.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn dilation_skips_steps() {
+        // K=2, dilation=2: y[t] = x[t] - x[t-2]
+        let x = Tensor::from_vec([1, 1, 5, 1], vec![1.0, 2.0, 4.0, 8.0, 16.0]);
+        let w = Tensor::from_vec([2, 1, 1], vec![-1.0, 1.0]);
+        let y = temporal_conv(&x, &w, 2);
+        assert_eq!(y.data(), &[1.0, 2.0, 3.0, 6.0, 12.0]);
+    }
+
+    #[test]
+    fn causality_no_future_leak() {
+        // Changing x[t0] must not affect outputs before t0.
+        let mut x = Tensor::zeros([1, 1, 6, 2]);
+        let w = Tensor::from_vec([3, 2, 1], vec![0.5; 6]);
+        let y0 = temporal_conv(&x, &w, 1);
+        x.data_mut()[3 * 2] = 7.0; // bump t=3, channel 0
+        let y1 = temporal_conv(&x, &w, 1);
+        for t in 0..3 {
+            assert_eq!(y0.at(&[0, 0, t, 0]), y1.at(&[0, 0, t, 0]));
+        }
+        assert_ne!(y0.at(&[0, 0, 3, 0]), y1.at(&[0, 0, 3, 0]));
+    }
+
+    #[test]
+    fn grads_match_finite_difference() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        let x = Tensor::from_vec(
+            [2, 2, 5, 3],
+            (0..60).map(|_| rng.gen_range(-1.0..1.0)).collect::<Vec<f32>>(),
+        );
+        let w = Tensor::from_vec(
+            [2, 3, 2],
+            (0..12).map(|_| rng.gen_range(-1.0..1.0)).collect::<Vec<f32>>(),
+        );
+        let dil = 2;
+        let y = temporal_conv(&x, &w, dil);
+        let g = Tensor::ones(y.shape().to_vec());
+        let gx = temporal_conv_grad_x(&g, &w, x.shape(), dil);
+        let gw = temporal_conv_grad_w(&g, &x, w.shape(), dil);
+        let f = |x: &Tensor, w: &Tensor| temporal_conv(x, w, dil).sum();
+        let eps = 1e-2;
+        for idx in [0usize, 7, 30, 59] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (f(&xp, &w) - f(&xm, &w)) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[idx]).abs() < 1e-2,
+                "gx[{idx}]: num {num} vs {}",
+                gx.data()[idx]
+            );
+        }
+        for idx in [0usize, 5, 11] {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let num = (f(&x, &wp) - f(&x, &wm)) / (2.0 * eps);
+            assert!(
+                (num - gw.data()[idx]).abs() < 1e-1,
+                "gw[{idx}]: num {num} vs {}",
+                gw.data()[idx]
+            );
+        }
+    }
+}

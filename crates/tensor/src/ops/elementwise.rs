@@ -1,0 +1,352 @@
+//! Elementwise binary (broadcasting) and unary operations.
+
+use crate::shape::{broadcast_shapes, numel, ravel_broadcast, unravel};
+use crate::Tensor;
+
+/// Elementwise binary op with NumPy broadcasting.
+fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    if a.shape() == b.shape() {
+        // Fast path: identical shapes.
+        let data = a
+            .data()
+            .iter()
+            .zip(b.data().iter())
+            .map(|(&x, &y)| f(x, y))
+            .collect();
+        return Tensor::from_vec(a.shape().to_vec(), data);
+    }
+    let out_shape = broadcast_shapes(a.shape(), b.shape())
+        .unwrap_or_else(|| panic!("broadcast mismatch {:?} vs {:?}", a.shape(), b.shape()));
+    let n = numel(&out_shape);
+    let mut data = Vec::with_capacity(n);
+    for flat in 0..n {
+        let coords = unravel(flat, &out_shape);
+        let x = a.data()[ravel_broadcast(&coords, a.shape())];
+        let y = b.data()[ravel_broadcast(&coords, b.shape())];
+        data.push(f(x, y));
+    }
+    Tensor::from_vec(out_shape, data)
+}
+
+/// Reduce `grad` (in broadcast-output shape) back to `target_shape` by
+/// summing over the dimensions that were broadcast.
+pub fn reduce_to_shape(grad: &Tensor, target_shape: &[usize]) -> Tensor {
+    if grad.shape() == target_shape {
+        return grad.clone();
+    }
+    let mut out = Tensor::zeros(target_shape.to_vec());
+    let gshape = grad.shape().to_vec();
+    for flat in 0..grad.len() {
+        let coords = unravel(flat, &gshape);
+        let idx = ravel_broadcast(&coords, target_shape);
+        out.data_mut()[idx] += grad.data()[flat];
+    }
+    out
+}
+
+/// `a + b` with broadcasting.
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_broadcast(a, b, |x, y| x + y)
+}
+
+/// `a - b` with broadcasting.
+pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_broadcast(a, b, |x, y| x - y)
+}
+
+/// `a * b` with broadcasting.
+pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_broadcast(a, b, |x, y| x * y)
+}
+
+/// `a / b` with broadcasting.
+pub fn div(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_broadcast(a, b, |x, y| x / y)
+}
+
+/// ∂(a∘b)/∂a for add/sub: pass-through (sign handled by caller for sub).
+pub fn binary_grad_passthrough(grad: &Tensor, input_shape: &[usize]) -> Tensor {
+    reduce_to_shape(grad, input_shape)
+}
+
+/// ∂(a*b)/∂a = grad * b, reduced to a's shape.
+pub fn mul_grad(grad: &Tensor, other: &Tensor, input_shape: &[usize]) -> Tensor {
+    reduce_to_shape(&mul(grad, other), input_shape)
+}
+
+/// ∂(a/b)/∂a = grad / b, reduced to a's shape.
+pub fn div_grad_a(grad: &Tensor, b: &Tensor, a_shape: &[usize]) -> Tensor {
+    reduce_to_shape(&div(grad, b), a_shape)
+}
+
+/// ∂(a/b)/∂b = -grad * a / b², reduced to b's shape.
+pub fn div_grad_b(grad: &Tensor, a: &Tensor, b: &Tensor) -> Tensor {
+    let gb = zip_broadcast(&mul(grad, a), b, |num, den| -num / (den * den));
+    reduce_to_shape(&gb, b.shape())
+}
+
+// ---------------------------------------------------------------------------
+// Unary ops
+// ---------------------------------------------------------------------------
+
+/// Elementwise negation.
+pub fn neg(a: &Tensor) -> Tensor {
+    a.map(|x| -x)
+}
+
+/// `a * c` for scalar `c`.
+pub fn scale(a: &Tensor, c: f32) -> Tensor {
+    a.map(|x| x * c)
+}
+
+/// `a + c` for scalar `c`.
+pub fn add_scalar(a: &Tensor, c: f32) -> Tensor {
+    a.map(|x| x + c)
+}
+
+/// Rectified linear unit.
+pub fn relu(a: &Tensor) -> Tensor {
+    a.map(|x| x.max(0.0))
+}
+
+/// ∂relu/∂a = grad ⊙ 1[a>0].
+pub fn relu_grad(grad: &Tensor, a: &Tensor) -> Tensor {
+    let data = grad
+        .data()
+        .iter()
+        .zip(a.data().iter())
+        .map(|(&g, &x)| if x > 0.0 { g } else { 0.0 })
+        .collect();
+    Tensor::from_vec(a.shape().to_vec(), data)
+}
+
+/// Logistic sigmoid, numerically stable for large |x|.
+pub fn sigmoid(a: &Tensor) -> Tensor {
+    a.map(|x| {
+        if x >= 0.0 {
+            1.0 / (1.0 + (-x).exp())
+        } else {
+            let e = x.exp();
+            e / (1.0 + e)
+        }
+    })
+}
+
+/// ∂sigmoid/∂a given the saved output `y`: grad ⊙ y(1-y).
+pub fn sigmoid_grad(grad: &Tensor, y: &Tensor) -> Tensor {
+    let data = grad
+        .data()
+        .iter()
+        .zip(y.data().iter())
+        .map(|(&g, &s)| g * s * (1.0 - s))
+        .collect();
+    Tensor::from_vec(y.shape().to_vec(), data)
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(a: &Tensor) -> Tensor {
+    a.map(f32::tanh)
+}
+
+/// ∂tanh/∂a given the saved output `y`: grad ⊙ (1-y²).
+pub fn tanh_grad(grad: &Tensor, y: &Tensor) -> Tensor {
+    let data = grad
+        .data()
+        .iter()
+        .zip(y.data().iter())
+        .map(|(&g, &t)| g * (1.0 - t * t))
+        .collect();
+    Tensor::from_vec(y.shape().to_vec(), data)
+}
+
+/// Elementwise exp.
+pub fn exp(a: &Tensor) -> Tensor {
+    a.map(f32::exp)
+}
+
+/// Natural log (inputs must be positive; callers clamp).
+pub fn ln(a: &Tensor) -> Tensor {
+    a.map(f32::ln)
+}
+
+/// ∂ln/∂a = grad / a.
+pub fn ln_grad(grad: &Tensor, a: &Tensor) -> Tensor {
+    let data = grad
+        .data()
+        .iter()
+        .zip(a.data().iter())
+        .map(|(&g, &x)| g / x)
+        .collect();
+    Tensor::from_vec(a.shape().to_vec(), data)
+}
+
+/// Elementwise square root.
+pub fn sqrt(a: &Tensor) -> Tensor {
+    a.map(f32::sqrt)
+}
+
+/// ∂sqrt/∂a given the saved output `y`: grad / (2y).
+pub fn sqrt_grad(grad: &Tensor, y: &Tensor) -> Tensor {
+    let data = grad
+        .data()
+        .iter()
+        .zip(y.data().iter())
+        .map(|(&g, &s)| g / (2.0 * s))
+        .collect();
+    Tensor::from_vec(y.shape().to_vec(), data)
+}
+
+/// Elementwise absolute value.
+pub fn abs(a: &Tensor) -> Tensor {
+    a.map(f32::abs)
+}
+
+/// ∂|a|/∂a = grad ⊙ sign(a) (sub-gradient 0 at 0).
+pub fn abs_grad(grad: &Tensor, a: &Tensor) -> Tensor {
+    let data = grad
+        .data()
+        .iter()
+        .zip(a.data().iter())
+        .map(|(&g, &x)| {
+            if x > 0.0 {
+                g
+            } else if x < 0.0 {
+                -g
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Tensor::from_vec(a.shape().to_vec(), data)
+}
+
+/// Elementwise square.
+pub fn square(a: &Tensor) -> Tensor {
+    a.map(|x| x * x)
+}
+
+/// ∂a²/∂a = 2·grad⊙a.
+pub fn square_grad(grad: &Tensor, a: &Tensor) -> Tensor {
+    let data = grad
+        .data()
+        .iter()
+        .zip(a.data().iter())
+        .map(|(&g, &x)| 2.0 * g * x)
+        .collect();
+    Tensor::from_vec(a.shape().to_vec(), data)
+}
+
+/// Gaussian error linear unit (tanh approximation).
+pub fn gelu(a: &Tensor) -> Tensor {
+    a.map(gelu_scalar)
+}
+
+fn gelu_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// ∂gelu/∂a via the tanh approximation derivative.
+pub fn gelu_grad(grad: &Tensor, a: &Tensor) -> Tensor {
+    const C: f32 = 0.797_884_6;
+    let data = grad
+        .data()
+        .iter()
+        .zip(a.data().iter())
+        .map(|(&g, &x)| {
+            let x3 = x * x * x;
+            let u = C * (x + 0.044715 * x3);
+            let t = u.tanh();
+            let du = C * (1.0 + 3.0 * 0.044715 * x * x);
+            g * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du)
+        })
+        .collect();
+    Tensor::from_vec(a.shape().to_vec(), data)
+}
+
+/// Clamp every element into `[lo, hi]`.
+pub fn clamp(a: &Tensor, lo: f32, hi: f32) -> Tensor {
+    a.map(|x| x.clamp(lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::from_vec(shape.to_vec(), data.to_vec())
+    }
+
+    #[test]
+    fn add_same_shape() {
+        let a = t(&[2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let b = t(&[2, 2], &[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(add(&a, &b).data(), &[11.0, 22.0, 33.0, 44.0]);
+    }
+
+    #[test]
+    fn add_broadcast_row() {
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(&[3], &[10.0, 20.0, 30.0]);
+        assert_eq!(add(&a, &b).data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn mul_broadcast_col() {
+        let a = t(&[2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let b = t(&[2, 1], &[10.0, 100.0]);
+        assert_eq!(mul(&a, &b).data(), &[10.0, 20.0, 300.0, 400.0]);
+    }
+
+    #[test]
+    fn reduce_to_shape_sums_broadcast_dims() {
+        let g = t(&[2, 3], &[1.0; 6]);
+        let r = reduce_to_shape(&g, &[3]);
+        assert_eq!(r.data(), &[2.0, 2.0, 2.0]);
+        let r2 = reduce_to_shape(&g, &[2, 1]);
+        assert_eq!(r2.data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn div_grads() {
+        let a = t(&[2], &[4.0, 9.0]);
+        let b = t(&[2], &[2.0, 3.0]);
+        let g = t(&[2], &[1.0, 1.0]);
+        assert_eq!(div_grad_a(&g, &b, a.shape()).data(), &[0.5, 1.0 / 3.0]);
+        let gb = div_grad_b(&g, &a, &b);
+        assert_eq!(gb.data(), &[-1.0, -1.0]);
+    }
+
+    #[test]
+    fn sigmoid_matches_definition() {
+        let a = t(&[3], &[0.0, 50.0, -50.0]);
+        let s = sigmoid(&a);
+        assert!((s.data()[0] - 0.5).abs() < 1e-6);
+        assert!((s.data()[1] - 1.0).abs() < 1e-6);
+        assert!(s.data()[2] < 1e-6);
+        assert!(!s.has_non_finite());
+    }
+
+    #[test]
+    fn relu_and_grad() {
+        let a = t(&[4], &[-1.0, 0.0, 0.5, 2.0]);
+        assert_eq!(relu(&a).data(), &[0.0, 0.0, 0.5, 2.0]);
+        let g = t(&[4], &[1.0; 4]);
+        assert_eq!(relu_grad(&g, &a).data(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn abs_grad_signs() {
+        let a = t(&[3], &[-2.0, 0.0, 3.0]);
+        let g = t(&[3], &[1.0; 3]);
+        assert_eq!(abs_grad(&g, &a).data(), &[-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn gelu_values() {
+        let a = t(&[2], &[0.0, 100.0]);
+        let y = gelu(&a);
+        assert!(y.data()[0].abs() < 1e-6);
+        assert!((y.data()[1] - 100.0).abs() < 1e-3);
+    }
+}

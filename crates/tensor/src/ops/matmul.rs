@@ -1,0 +1,162 @@
+//! Batched matrix multiplication with broadcasting over batch dimensions.
+
+use crate::shape::{broadcast_shapes, numel, ravel_broadcast, unravel};
+use crate::Tensor;
+
+/// Matrix product over the last two dims: `a: [..., m, k] × b: [..., k, n]`.
+///
+/// Leading (batch) dimensions broadcast against each other, so a shared
+/// weight `[k, n]` multiplies a batch `[B, T, m, k]` directly.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert!(a.rank() >= 2 && b.rank() >= 2, "matmul needs rank >= 2");
+    let (m, ka) = (a.shape()[a.rank() - 2], a.shape()[a.rank() - 1]);
+    let (kb, n) = (b.shape()[b.rank() - 2], b.shape()[b.rank() - 1]);
+    assert_eq!(ka, kb, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
+    let k = ka;
+
+    let a_batch = &a.shape()[..a.rank() - 2];
+    let b_batch = &b.shape()[..b.rank() - 2];
+    let batch_shape = broadcast_shapes(a_batch, b_batch)
+        .unwrap_or_else(|| panic!("matmul batch broadcast {:?} x {:?}", a.shape(), b.shape()));
+    let batch = numel(&batch_shape);
+
+    let mut out_shape = batch_shape.clone();
+    out_shape.push(m);
+    out_shape.push(n);
+    let mut out = vec![0.0f32; batch * m * n];
+
+    let a_data = a.data();
+    let b_data = b.data();
+    for bi in 0..batch {
+        let coords = unravel(bi, &batch_shape);
+        let a_off = ravel_broadcast(&coords, a_batch) * m * k;
+        let b_off = ravel_broadcast(&coords, b_batch) * k * n;
+        let o_off = bi * m * n;
+        // i-k-j loop order: row of b streamed for each a[i][k].
+        for i in 0..m {
+            let a_row = &a_data[a_off + i * k..a_off + (i + 1) * k];
+            let out_row = &mut out[o_off + i * n..o_off + (i + 1) * n];
+            for (kk, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b_data[b_off + kk * n..b_off + (kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out_shape, out)
+}
+
+/// Transpose the last two dimensions.
+pub fn transpose_last2(a: &Tensor) -> Tensor {
+    assert!(a.rank() >= 2);
+    let r = a.rank();
+    let (m, n) = (a.shape()[r - 2], a.shape()[r - 1]);
+    let batch: usize = a.shape()[..r - 2].iter().product();
+    let mut out_shape = a.shape().to_vec();
+    out_shape[r - 2] = n;
+    out_shape[r - 1] = m;
+    let mut out = vec![0.0f32; a.len()];
+    let data = a.data();
+    for b in 0..batch {
+        let off = b * m * n;
+        for i in 0..m {
+            for j in 0..n {
+                out[off + j * m + i] = data[off + i * n + j];
+            }
+        }
+    }
+    Tensor::from_vec(out_shape, out)
+}
+
+/// ∂(a·b)/∂a = grad · bᵀ, reduced over broadcast batch dims to a's shape.
+pub fn matmul_grad_a(grad: &Tensor, b: &Tensor, a_shape: &[usize]) -> Tensor {
+    let ga = matmul(grad, &transpose_last2(b));
+    super::reduce_to_shape(&ga, a_shape)
+}
+
+/// ∂(a·b)/∂b = aᵀ · grad, reduced over broadcast batch dims to b's shape.
+pub fn matmul_grad_b(grad: &Tensor, a: &Tensor, b_shape: &[usize]) -> Tensor {
+    let gb = matmul(&transpose_last2(a), grad);
+    super::reduce_to_shape(&gb, b_shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::from_vec(shape.to_vec(), data.to_vec())
+    }
+
+    #[test]
+    fn matmul_2x2() {
+        let a = t(&[2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let b = t(&[2, 2], &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(matmul(&a, &b).data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = t(&[1, 3], &[1.0, 2.0, 3.0]);
+        let b = t(&[3, 2], &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        assert_eq!(matmul(&a, &b).data(), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn matmul_batched_broadcast_weight() {
+        // [2,1,2,2] batch times shared [2,2] weight
+        let a = t(&[2, 2, 2], &[1.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 2.0]);
+        let w = t(&[2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let y = matmul(&a, &w);
+        assert_eq!(y.shape(), &[2, 2, 2]);
+        assert_eq!(&y.data()[..4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(&y.data()[4..], &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn matmul_broadcast_matrix_times_batch() {
+        // A [3,3] times X [2,3,1]
+        let a = Tensor::eye(3);
+        let x = t(&[2, 3, 1], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = matmul(&a, &x);
+        assert_eq!(y.shape(), &[2, 3, 1]);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let at = transpose_last2(&a);
+        assert_eq!(at.shape(), &[3, 2]);
+        assert_eq!(at.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(transpose_last2(&at).data(), a.data());
+    }
+
+    #[test]
+    fn grads_match_manual() {
+        // f = sum(a@b); df/da = ones @ b^T, df/db = a^T @ ones.
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(&[3, 2], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = Tensor::ones([2, 2]);
+        let ga = matmul_grad_a(&g, &b, a.shape());
+        assert_eq!(ga.data(), &[3.0, 7.0, 11.0, 3.0, 7.0, 11.0]);
+        let gb = matmul_grad_b(&g, &a, b.shape());
+        assert_eq!(gb.data(), &[5.0, 5.0, 7.0, 7.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn grad_reduces_broadcast_batch() {
+        // shared weight [2,2] used across batch of 3
+        let a = t(&[3, 1, 2], &[1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        let w = Tensor::eye(2);
+        let g = Tensor::ones([3, 1, 2]);
+        let gw = matmul_grad_b(&g, &a, w.shape());
+        assert_eq!(gw.shape(), &[2, 2]);
+        // each batch contributes a^T@ones = [[a0],[a1]] broadcast over cols
+        assert_eq!(gw.data(), &[6.0, 6.0, 6.0, 6.0]);
+    }
+}

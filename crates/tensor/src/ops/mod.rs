@@ -1,0 +1,21 @@
+//! Tensor operations and their analytic gradients.
+//!
+//! Each differentiable op `f` exposes a forward function and one gradient
+//! function per differentiable input, named `f_grad_<input>`. Gradient
+//! functions take the upstream gradient (w.r.t. the op output) plus whatever
+//! saved values they need and return the gradient w.r.t. that input, already
+//! shaped like the input (broadcasting is reduced away internally).
+
+mod conv;
+mod elementwise;
+mod matmul;
+mod reduce;
+mod shapeops;
+mod softmax;
+
+pub use conv::*;
+pub use elementwise::*;
+pub use matmul::*;
+pub use reduce::*;
+pub use shapeops::*;
+pub use softmax::*;

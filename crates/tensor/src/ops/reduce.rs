@@ -1,0 +1,191 @@
+//! Reductions (sum/mean over an axis or all elements) and broadcasting back.
+
+use crate::Tensor;
+
+/// Shape with `axis` removed (`keepdim=false`) or set to 1 (`keepdim=true`).
+fn reduced_shape(shape: &[usize], axis: usize, keepdim: bool) -> Vec<usize> {
+    let mut s = shape.to_vec();
+    if keepdim {
+        s[axis] = 1;
+    } else {
+        s.remove(axis);
+    }
+    if s.is_empty() {
+        s.push(1);
+    }
+    s
+}
+
+/// Decompose a shape around `axis` into (outer, axis_len, inner).
+fn split_at_axis(shape: &[usize], axis: usize) -> (usize, usize, usize) {
+    let outer: usize = shape[..axis].iter().product();
+    let len = shape[axis];
+    let inner: usize = shape[axis + 1..].iter().product();
+    (outer, len, inner)
+}
+
+/// Sum over one axis.
+pub fn sum_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
+    let (outer, len, inner) = split_at_axis(a.shape(), axis);
+    let mut out = vec![0.0f32; outer * inner];
+    let data = a.data();
+    for o in 0..outer {
+        for l in 0..len {
+            let base = (o * len + l) * inner;
+            let obase = o * inner;
+            for i in 0..inner {
+                out[obase + i] += data[base + i];
+            }
+        }
+    }
+    Tensor::from_vec(reduced_shape(a.shape(), axis, keepdim), out)
+}
+
+/// Mean over one axis.
+pub fn mean_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
+    let len = a.shape()[axis] as f32;
+    let mut s = sum_axis(a, axis, keepdim);
+    s.scale_inplace(1.0 / len);
+    s
+}
+
+/// ∂sum_axis/∂a: upstream grad broadcast back along `axis`.
+pub fn sum_axis_grad(grad: &Tensor, a_shape: &[usize], axis: usize) -> Tensor {
+    let (outer, len, inner) = split_at_axis(a_shape, axis);
+    let mut out = vec![0.0f32; outer * len * inner];
+    let g = grad.data();
+    debug_assert_eq!(g.len(), outer * inner);
+    for o in 0..outer {
+        for l in 0..len {
+            let base = (o * len + l) * inner;
+            let gbase = o * inner;
+            out[base..base + inner].copy_from_slice(&g[gbase..gbase + inner]);
+        }
+    }
+    Tensor::from_vec(a_shape.to_vec(), out)
+}
+
+/// ∂mean_axis/∂a: broadcast divided by axis length.
+pub fn mean_axis_grad(grad: &Tensor, a_shape: &[usize], axis: usize) -> Tensor {
+    let mut g = sum_axis_grad(grad, a_shape, axis);
+    g.scale_inplace(1.0 / a_shape[axis] as f32);
+    g
+}
+
+/// Sum of all elements as a `[1]` tensor.
+pub fn sum_all(a: &Tensor) -> Tensor {
+    Tensor::scalar(a.sum())
+}
+
+/// Mean of all elements as a `[1]` tensor.
+pub fn mean_all(a: &Tensor) -> Tensor {
+    Tensor::scalar(a.mean())
+}
+
+/// ∂sum_all/∂a: the scalar upstream grad splattered everywhere.
+pub fn sum_all_grad(grad: &Tensor, a_shape: &[usize]) -> Tensor {
+    Tensor::full(a_shape.to_vec(), grad.item())
+}
+
+/// ∂mean_all/∂a.
+pub fn mean_all_grad(grad: &Tensor, a_shape: &[usize]) -> Tensor {
+    let n: usize = a_shape.iter().product();
+    Tensor::full(a_shape.to_vec(), grad.item() / n as f32)
+}
+
+/// Maximum over one axis (non-differentiable helper for e.g. Informer's
+/// sparsity measurement; used on detached values only).
+pub fn max_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
+    let (outer, len, inner) = split_at_axis(a.shape(), axis);
+    let mut out = vec![f32::NEG_INFINITY; outer * inner];
+    let data = a.data();
+    for o in 0..outer {
+        for l in 0..len {
+            let base = (o * len + l) * inner;
+            let obase = o * inner;
+            for i in 0..inner {
+                out[obase + i] = out[obase + i].max(data[base + i]);
+            }
+        }
+    }
+    Tensor::from_vec(reduced_shape(a.shape(), axis, keepdim), out)
+}
+
+/// Materialize `a` broadcast to `target` shape.
+pub fn broadcast_to(a: &Tensor, target: &[usize]) -> Tensor {
+    use crate::shape::{numel, ravel_broadcast, unravel};
+    if a.shape() == target {
+        return a.clone();
+    }
+    let n = numel(target);
+    let mut out = Vec::with_capacity(n);
+    for flat in 0..n {
+        let coords = unravel(flat, target);
+        out.push(a.data()[ravel_broadcast(&coords, a.shape())]);
+    }
+    Tensor::from_vec(target.to_vec(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::from_vec(shape.to_vec(), data.to_vec())
+    }
+
+    #[test]
+    fn sum_axis_middle() {
+        let a = t(&[2, 3, 2], &(1..=12).map(|x| x as f32).collect::<Vec<_>>());
+        let s = sum_axis(&a, 1, false);
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.data(), &[9.0, 12.0, 27.0, 30.0]);
+        let sk = sum_axis(&a, 1, true);
+        assert_eq!(sk.shape(), &[2, 1, 2]);
+        assert_eq!(sk.data(), s.data());
+    }
+
+    #[test]
+    fn mean_axis_last() {
+        let a = t(&[2, 2], &[1.0, 3.0, 5.0, 7.0]);
+        let m = mean_axis(&a, 1, false);
+        assert_eq!(m.data(), &[2.0, 6.0]);
+    }
+
+    #[test]
+    fn sum_axis_grad_broadcasts() {
+        let g = t(&[2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let back = sum_axis_grad(&g, &[2, 3, 2], 1);
+        assert_eq!(back.shape(), &[2, 3, 2]);
+        assert_eq!(back.at(&[0, 0, 1]), 2.0);
+        assert_eq!(back.at(&[0, 2, 1]), 2.0);
+        assert_eq!(back.at(&[1, 1, 0]), 3.0);
+    }
+
+    #[test]
+    fn all_reductions() {
+        let a = t(&[2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(sum_all(&a).item(), 10.0);
+        assert_eq!(mean_all(&a).item(), 2.5);
+        let g = Tensor::scalar(2.0);
+        assert_eq!(sum_all_grad(&g, a.shape()).data(), &[2.0; 4]);
+        assert_eq!(mean_all_grad(&g, a.shape()).data(), &[0.5; 4]);
+    }
+
+    #[test]
+    fn max_axis_works() {
+        let a = t(&[2, 3], &[1.0, 5.0, 3.0, 7.0, 2.0, 6.0]);
+        let m = max_axis(&a, 1, false);
+        assert_eq!(m.data(), &[5.0, 7.0]);
+        let m0 = max_axis(&a, 0, true);
+        assert_eq!(m0.shape(), &[1, 3]);
+        assert_eq!(m0.data(), &[7.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn broadcast_to_materializes() {
+        let a = t(&[1, 3], &[1.0, 2.0, 3.0]);
+        let b = broadcast_to(&a, &[2, 3]);
+        assert_eq!(b.data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Softmax over the last axis (with optional temperature via pre-scaling).
+
+use crate::Tensor;
+
+/// Numerically stable softmax over the last axis.
+pub fn softmax_last(a: &Tensor) -> Tensor {
+    let r = a.rank();
+    let n = a.shape()[r - 1];
+    let rows = a.len() / n;
+    let mut out = vec![0.0f32; a.len()];
+    let data = a.data();
+    for row in 0..rows {
+        let s = &data[row * n..(row + 1) * n];
+        let m = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let o = &mut out[row * n..(row + 1) * n];
+        let mut z = 0.0f32;
+        for (oi, &x) in o.iter_mut().zip(s.iter()) {
+            let e = (x - m).exp();
+            *oi = e;
+            z += e;
+        }
+        let inv = 1.0 / z;
+        for oi in o.iter_mut() {
+            *oi *= inv;
+        }
+    }
+    Tensor::from_vec(a.shape().to_vec(), out)
+}
+
+/// ∂softmax/∂a given the saved output `y`: `y ⊙ (g − Σ g⊙y)` per row.
+pub fn softmax_last_grad(grad: &Tensor, y: &Tensor) -> Tensor {
+    let r = y.rank();
+    let n = y.shape()[r - 1];
+    let rows = y.len() / n;
+    let mut out = vec![0.0f32; y.len()];
+    let g = grad.data();
+    let yv = y.data();
+    for row in 0..rows {
+        let base = row * n;
+        let dot: f32 = (0..n).map(|i| g[base + i] * yv[base + i]).sum();
+        for i in 0..n {
+            out[base + i] = yv[base + i] * (g[base + i] - dot);
+        }
+    }
+    Tensor::from_vec(y.shape().to_vec(), out)
+}
+
+/// Log-sum-exp over the last axis (stable), used by some losses.
+pub fn logsumexp_last(a: &Tensor) -> Tensor {
+    let r = a.rank();
+    let n = a.shape()[r - 1];
+    let rows = a.len() / n;
+    let mut out = Vec::with_capacity(rows);
+    for row in 0..rows {
+        let s = &a.data()[row * n..(row + 1) * n];
+        let m = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let z: f32 = s.iter().map(|&x| (x - m).exp()).sum();
+        out.push(m + z.ln());
+    }
+    let mut shape = a.shape()[..r - 1].to_vec();
+    if shape.is_empty() {
+        shape.push(1);
+    }
+    Tensor::from_vec(shape, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let y = softmax_last(&a);
+        let row0: f32 = y.data()[..3].iter().sum();
+        let row1: f32 = y.data()[3..].iter().sum();
+        assert!((row0 - 1.0).abs() < 1e-6);
+        assert!((row1 - 1.0).abs() < 1e-6);
+        // monotone within rows
+        assert!(y.data()[0] < y.data()[1] && y.data()[1] < y.data()[2]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_inputs() {
+        let a = Tensor::from_vec([1, 2], vec![1000.0, 1001.0]);
+        let y = softmax_last(&a);
+        assert!(!y.has_non_finite());
+        assert!((y.data()[0] + y.data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_grad_zero_for_uniform_upstream() {
+        // If upstream grad is constant, softmax grad must be ~0 (probability
+        // simplex is invariant to common shifts).
+        let a = Tensor::from_vec([1, 4], vec![0.3, -1.0, 2.0, 0.0]);
+        let y = softmax_last(&a);
+        let g = Tensor::ones([1, 4]);
+        let dx = softmax_last_grad(&g, &y);
+        for v in dx.data() {
+            assert!(v.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn logsumexp_matches_naive() {
+        let a = Tensor::from_vec([1, 3], vec![0.0, 1.0, 2.0]);
+        let l = logsumexp_last(&a);
+        let naive = (0f32.exp() + 1f32.exp() + 2f32.exp()).ln();
+        assert!((l.item() - naive).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,124 @@
+//! Shape arithmetic: strides, broadcasting, and index helpers.
+
+/// A tensor shape: the extent of every dimension, outermost first.
+pub type Shape = Vec<usize>;
+
+/// Row-major strides for `shape` (in elements, not bytes).
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![0; shape.len()];
+    let mut acc = 1usize;
+    for (stride, &dim) in strides.iter_mut().zip(shape.iter()).rev() {
+        *stride = acc;
+        acc *= dim;
+    }
+    strides
+}
+
+/// Number of elements a shape holds.
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// NumPy-style broadcast of two shapes (align from the right; each dimension
+/// must be equal or one of them must be 1).
+///
+/// Returns `None` when the shapes are incompatible.
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Shape> {
+    let rank = a.len().max(b.len());
+    let mut out = vec![0; rank];
+    for i in 0..rank {
+        let da = dim_from_right(a, i);
+        let db = dim_from_right(b, i);
+        let d = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return None;
+        };
+        out[rank - 1 - i] = d;
+    }
+    Some(out)
+}
+
+/// Dimension `i` counting from the right, treating missing dims as 1.
+pub fn dim_from_right(shape: &[usize], i: usize) -> usize {
+    if i < shape.len() {
+        shape[shape.len() - 1 - i]
+    } else {
+        1
+    }
+}
+
+/// Convert a flat index into multi-dimensional coordinates for `shape`.
+pub fn unravel(mut flat: usize, shape: &[usize]) -> Vec<usize> {
+    let mut coords = vec![0; shape.len()];
+    for i in (0..shape.len()).rev() {
+        coords[i] = flat % shape[i];
+        flat /= shape[i];
+    }
+    coords
+}
+
+/// Convert coordinates into a flat row-major index for `shape`.
+pub fn ravel(coords: &[usize], shape: &[usize]) -> usize {
+    debug_assert_eq!(coords.len(), shape.len());
+    let mut flat = 0;
+    for (c, d) in coords.iter().zip(shape.iter()) {
+        debug_assert!(c < d);
+        flat = flat * d + c;
+    }
+    flat
+}
+
+/// Flat index into a tensor of `shape` for coordinates in a *broadcast* space:
+/// dimensions where `shape` is 1 are pinned to 0.
+pub fn ravel_broadcast(coords: &[usize], shape: &[usize]) -> usize {
+    let offset = coords.len() - shape.len();
+    let mut flat = 0;
+    for (i, &d) in shape.iter().enumerate() {
+        let c = if d == 1 { 0 } else { coords[offset + i] };
+        flat = flat * d + c;
+    }
+    flat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_for(&[5]), vec![1]);
+        assert_eq!(strides_for(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[4, 1, 3], &[2, 1]), Some(vec![4, 2, 3]));
+        assert_eq!(broadcast_shapes(&[2, 3], &[4, 3]), None);
+    }
+
+    #[test]
+    fn ravel_roundtrip() {
+        let shape = [2, 3, 4];
+        for flat in 0..numel(&shape) {
+            let coords = unravel(flat, &shape);
+            assert_eq!(ravel(&coords, &shape), flat);
+        }
+    }
+
+    #[test]
+    fn ravel_broadcast_pins_ones() {
+        // shape [1,3] viewed in broadcast space [2,3]
+        assert_eq!(ravel_broadcast(&[1, 2], &[1, 3]), 2);
+        // scalar-ish shape [] -> always 0
+        assert_eq!(ravel_broadcast(&[1, 2], &[]), 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of algebraic identities the tensor kernels must
+//! satisfy — these pin down the substrate every model relies on.
+
+use cts_tensor::{ops, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(shape: &'static [usize]) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape.iter().product();
+    proptest::collection::vec(-10.0f32..10.0, n)
+        .prop_map(move |v| Tensor::from_vec(shape.to_vec(), v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn matmul_identity_left_and_right(a in tensor_strategy(&[3, 3])) {
+        let i = Tensor::eye(3);
+        prop_assert!(ops::matmul(&i, &a).approx_eq(&a, 1e-4));
+        prop_assert!(ops::matmul(&a, &i).approx_eq(&a, 1e-4));
+    }
+
+    #[test]
+    fn matmul_associative(a in tensor_strategy(&[2, 3]),
+                          b in tensor_strategy(&[3, 4]),
+                          c in tensor_strategy(&[4, 2])) {
+        let left = ops::matmul(&ops::matmul(&a, &b), &c);
+        let right = ops::matmul(&a, &ops::matmul(&b, &c));
+        // tolerances scale with magnitudes (f32 accumulation)
+        let tol = 1e-2 * (1.0 + left.norm());
+        prop_assert!(left.approx_eq(&right, tol), "assoc violated");
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in tensor_strategy(&[2, 3]),
+                                   b in tensor_strategy(&[3, 2]),
+                                   c in tensor_strategy(&[3, 2])) {
+        let lhs = ops::matmul(&a, &ops::add(&b, &c));
+        let rhs = ops::add(&ops::matmul(&a, &b), &ops::matmul(&a, &c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3 * (1.0 + lhs.norm())));
+    }
+
+    #[test]
+    fn transpose_is_involution(a in tensor_strategy(&[3, 4])) {
+        let tt = ops::transpose_last2(&ops::transpose_last2(&a));
+        prop_assert!(tt.approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn elementwise_ops_commute_where_expected(a in tensor_strategy(&[2, 4]),
+                                              b in tensor_strategy(&[2, 4])) {
+        prop_assert!(ops::add(&a, &b).approx_eq(&ops::add(&b, &a), 0.0));
+        prop_assert!(ops::mul(&a, &b).approx_eq(&ops::mul(&b, &a), 0.0));
+    }
+
+    #[test]
+    fn broadcast_equals_materialized(a in tensor_strategy(&[2, 3]),
+                                     row in tensor_strategy(&[3])) {
+        // a + row (broadcast) == a + broadcast_to(row)
+        let fast = ops::add(&a, &row);
+        let slow = ops::add(&a, &ops::broadcast_to(&row, &[2, 3]));
+        prop_assert!(fast.approx_eq(&slow, 0.0));
+    }
+
+    #[test]
+    fn temporal_conv_is_linear_in_input(x in tensor_strategy(&[1, 2, 5, 2]),
+                                        y in tensor_strategy(&[1, 2, 5, 2]),
+                                        w in tensor_strategy(&[2, 2, 3])) {
+        let sum = ops::temporal_conv(&ops::add(&x, &y), &w, 1);
+        let parts = ops::add(
+            &ops::temporal_conv(&x, &w, 1),
+            &ops::temporal_conv(&y, &w, 1),
+        );
+        prop_assert!(sum.approx_eq(&parts, 1e-2 * (1.0 + sum.norm())));
+    }
+
+    #[test]
+    fn sum_axis_consistent_with_total(a in tensor_strategy(&[3, 4])) {
+        let by_rows = ops::sum_axis(&a, 0, false).sum();
+        let by_cols = ops::sum_axis(&a, 1, false).sum();
+        prop_assert!((by_rows - a.sum()).abs() < 1e-3);
+        prop_assert!((by_cols - a.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn permute_preserves_multiset(a in tensor_strategy(&[2, 3, 4])) {
+        let p = ops::permute(&a, &[2, 0, 1]);
+        let mut x: Vec<f32> = a.data().to_vec();
+        let mut y: Vec<f32> = p.data().to_vec();
+        x.sort_by(f32::total_cmp);
+        y.sort_by(f32::total_cmp);
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn slice_concat_roundtrip(a in tensor_strategy(&[2, 6])) {
+        let left = ops::slice(&a, 1, 0, 2);
+        let right = ops::slice(&a, 1, 2, 6);
+        let back = ops::concat(&[&left, &right], 1);
+        prop_assert!(back.approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn softmax_invariant_to_shift(a in tensor_strategy(&[2, 5])) {
+        let shifted = ops::add_scalar(&a, 7.3);
+        prop_assert!(ops::softmax_last(&a).approx_eq(&ops::softmax_last(&shifted), 1e-4));
+    }
+
+    #[test]
+    fn index_select_all_is_identity(a in tensor_strategy(&[4, 3])) {
+        let all = ops::index_select(&a, 0, &[0, 1, 2, 3]);
+        prop_assert!(all.approx_eq(&a, 0.0));
+    }
+}

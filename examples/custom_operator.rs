@@ -1,0 +1,62 @@
+//! Extending the search space with a brand-new operator — the workflow
+//! the paper motivates in §1 ("whenever a new S/T-operator is designed,
+//! it can be easily included in the search space").
+//!
+//! We restrict the operator set (as a user could do to trade accuracy for
+//! search speed) and compare the restricted search against the compact
+//! default on the same data.
+//!
+//! ```sh
+//! cargo run --release --example custom_operator
+//! ```
+
+use autocts::{AutoCts, SearchConfig};
+use cts_data::{build_windows, generate, DatasetSpec};
+use cts_ops::OpKind;
+
+fn main() {
+    let spec = DatasetSpec::metr_la().scaled(14.0 / 207.0, 1000.0 / 34_272.0);
+    let data = generate(&spec, 5);
+    let windows = build_windows(&data, 4, 40);
+
+    // A user-chosen operator set: CNN-only temporal modelling plus both
+    // GCN variants spatially (e.g. to avoid attention on tiny hardware).
+    let custom_set = vec![
+        OpKind::Zero,
+        OpKind::Identity,
+        OpKind::Conv1d,
+        OpKind::Gdcc,
+        OpKind::ChebGcn,
+        OpKind::Dgcn,
+    ];
+
+    for (label, op_set) in [
+        ("compact set (paper)", cts_ops::compact_set()),
+        ("custom CNN+GCN set", custom_set),
+    ] {
+        let cfg = SearchConfig {
+            op_set,
+            epochs: 2,
+            ..SearchConfig::default()
+        };
+        println!(
+            "\n[{label}] |O| = {}, micro space = {:.1e} ST-blocks per block",
+            cfg.op_set.len(),
+            cfg.micro_space_size()
+        );
+        let auto = AutoCts::new(cfg);
+        let outcome = auto.search(&spec, &data.graph, &windows);
+        let report = auto.evaluate(&outcome.genotype, &spec, &data.graph, &windows, 8);
+        println!(
+            "  searched in {:.0}s; test MAE {:.3}; operators used: {:?}",
+            outcome.stats.secs,
+            report.overall.mae,
+            outcome
+                .genotype
+                .op_histogram()
+                .iter()
+                .map(|(op, c)| format!("{op}x{c}"))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Efficiency-aware architecture search — the paper's §6 future-work item,
+//! implemented as a differentiable operator-cost penalty on the
+//! architecture objective: `L_val(Θ) + λ · E[operator cost](α)`.
+//!
+//! Sweeps λ and shows the accuracy/cost trade-off: larger penalties push
+//! the search toward cheaper operators (identity/convolutions) at some
+//! accuracy loss.
+//!
+//! ```sh
+//! cargo run --release --example efficiency_aware_search
+//! ```
+
+use autocts::{AutoCts, SearchConfig};
+use cts_data::{build_windows, generate, DatasetSpec};
+use cts_ops::OpKind;
+
+fn genotype_cost(genotype: &autocts::Genotype) -> f32 {
+    genotype
+        .op_histogram()
+        .iter()
+        .map(|(op, count)| op.relative_cost() * *count as f32)
+        .sum()
+}
+
+fn main() {
+    let spec = DatasetSpec::metr_la().scaled(14.0 / 207.0, 1000.0 / 34_272.0);
+    let data = generate(&spec, 8);
+    let windows = build_windows(&data, 4, 40);
+
+    println!(
+        "{:<10} {:>10} {:>12} {:>10}  operators",
+        "lambda", "test MAE", "arch cost", "search s"
+    );
+    for lambda in [0.0f32, 1.0, 10.0, 50.0] {
+        let cfg = SearchConfig {
+            m: 4,
+            b: 2,
+            epochs: 3,
+            ..SearchConfig::default()
+        }
+        .with_cost_penalty(lambda);
+        let auto = AutoCts::new(cfg);
+        let outcome = auto.search(&spec, &data.graph, &windows);
+        let report = auto.evaluate(&outcome.genotype, &spec, &data.graph, &windows, 8);
+        let hist: Vec<String> = outcome
+            .genotype
+            .op_histogram()
+            .iter()
+            .map(|(op, c)| format!("{op}x{c}"))
+            .collect();
+        println!(
+            "{:<10} {:>10.3} {:>12.1} {:>10.1}  {}",
+            lambda,
+            report.overall.mae,
+            genotype_cost(&outcome.genotype),
+            outcome.stats.secs,
+            hist.join(" ")
+        );
+    }
+    println!(
+        "\n(relative op costs: identity {:.2}, conv1d {:.2}, gdcc {:.2}, inf {:.2}, dgcn {:.2})",
+        OpKind::Identity.relative_cost(),
+        OpKind::Conv1d.relative_cost(),
+        OpKind::Gdcc.relative_cost(),
+        OpKind::InformerT.relative_cost(),
+        OpKind::Dgcn.relative_cost()
+    );
+}

@@ -1,0 +1,102 @@
+//! Workspace-level property-based tests on core invariants.
+
+use autocts::{derive_genotype, Genotype, SearchConfig, SupernetModel};
+use cts_data::{build_windows, generate, DatasetSpec, EvalMetrics};
+use cts_ops::OpKind;
+use cts_tensor::Tensor;
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Derivation always yields a valid genotype, for any (M, B, edges)
+    /// and any randomly initialised supernet.
+    #[test]
+    fn derivation_always_valid(m in 2usize..6, b in 1usize..4, edges in 1usize..3, seed in 0u64..500) {
+        let cfg = SearchConfig {
+            m,
+            b,
+            d_model: 4,
+            edges_per_node: edges,
+            seed,
+            ..Default::default()
+        };
+        let spec = DatasetSpec::metr_la().scaled(0.04, 0.012);
+        let data = generate(&spec, seed);
+        let windows = build_windows(&data, 8, 8);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let supernet = SupernetModel::new(&mut rng, &cfg, &spec, &data.graph, &windows.scaler);
+        let g = derive_genotype(&supernet);
+        prop_assert!(g.validate().is_ok(), "{:?}", g.validate());
+        prop_assert_eq!(g.b(), b);
+        // derived blocks never contain the zero op
+        for block in &g.blocks {
+            for (_, _, op) in &block.edges {
+                prop_assert!(*op != OpKind::Zero);
+            }
+        }
+        // per-node incoming-edge budget respected
+        for block in &g.blocks {
+            for j in 1..block.m {
+                prop_assert!(block.incoming(j).len() <= edges.max(1));
+            }
+        }
+    }
+
+    /// Genotype text serialisation roundtrips for derived genotypes.
+    #[test]
+    fn genotype_text_roundtrip(seed in 0u64..1000) {
+        let cfg = SearchConfig { m: 4, b: 3, d_model: 4, seed, ..Default::default() };
+        let spec = DatasetSpec::pems08().scaled(0.06, 0.02);
+        let data = generate(&spec, seed);
+        let windows = build_windows(&data, 8, 8);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let supernet = SupernetModel::new(&mut rng, &cfg, &spec, &data.graph, &windows.scaler);
+        let g = derive_genotype(&supernet);
+        let parsed = Genotype::from_text(&g.to_text()).unwrap();
+        prop_assert_eq!(parsed, g);
+    }
+
+    /// Metrics invariants: RMSE >= MAE, perfect predictions score zero
+    /// error and CORR 1, and metrics are permutation-consistent.
+    #[test]
+    fn metric_invariants(values in proptest::collection::vec(1.0f32..100.0, 24)) {
+        let target = Tensor::from_vec([4, 3, 2], values.clone());
+        let perfect = EvalMetrics::compute(&target, &target, None);
+        prop_assert!(perfect.mae == 0.0 && perfect.rmse == 0.0 && perfect.rrse == 0.0);
+
+        let pred = target.map(|v| v + 1.0);
+        let m = EvalMetrics::compute(&pred, &target, None);
+        prop_assert!((m.mae - 1.0).abs() < 1e-5);
+        prop_assert!(m.rmse + 1e-6 >= m.mae);
+        prop_assert!(m.mape > 0.0);
+    }
+
+    /// The scaler roundtrips target values for any time series.
+    #[test]
+    fn scaler_roundtrip(values in proptest::collection::vec(-50f32..50.0, 40)) {
+        let t = Tensor::from_vec([2, 20, 1], values.clone());
+        let scaler = cts_data::Scaler::fit(&t, 20);
+        let mut z = t.clone();
+        scaler.transform(&mut z);
+        for (orig, zv) in t.data().iter().zip(z.data().iter()) {
+            prop_assert!((scaler.invert_target(*zv) - orig).abs() < 2e-2);
+        }
+    }
+
+    /// Window extraction never leaks future values into inputs: the last
+    /// input step of window `s` comes strictly before its first target.
+    #[test]
+    fn windows_are_causal(seed in 0u64..200) {
+        let spec = DatasetSpec::pems04().scaled(0.04, 0.02);
+        let data = generate(&spec, seed);
+        let windows = build_windows(&data, 3, 10);
+        let p = spec.input_len;
+        // reconstruct: for the first train window (start 0), inputs are
+        // t in [0, P), targets start at t = P
+        let w = &windows.train[0];
+        let raw_target_first = data.values.at(&[0, p, 0]);
+        prop_assert!((w.y.at(&[0, 0]) - raw_target_first).abs() < 1e-5);
+    }
+}
