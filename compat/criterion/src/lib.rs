@@ -1,0 +1,254 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the subset the workspace benches use — `Criterion`,
+//! `benchmark_group`/`bench_function`, `Bencher::iter`, the
+//! `criterion_group!`/`criterion_main!` macros and `black_box` — with a
+//! simple wall-clock measurement loop (warm-up, then timed samples; the
+//! mean, min and max per-iteration times are printed).
+//!
+//! When the binary is not invoked with `--bench` (e.g. under `cargo test`,
+//! which runs `harness = false` bench targets directly), every benchmark
+//! body executes exactly once as a smoke test, so `cargo test` stays fast.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Is this process doing real measurement (`cargo bench` passes `--bench`)?
+fn measuring() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Top-level benchmark driver (`criterion::Criterion` stand-in).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        run_one(self, &id.to_string(), f);
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named benchmark group (`criterion::BenchmarkGroup` stand-in).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &full, f);
+    }
+
+    /// Finish the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the payload.
+pub struct Bencher {
+    mode: Mode,
+    /// Mean per-iteration time of the last `iter` call, when measuring.
+    last_mean: Option<Duration>,
+    stats: Option<(Duration, Duration)>,
+}
+
+enum Mode {
+    Smoke,
+    Measure {
+        sample_size: usize,
+        measurement_time: Duration,
+        warm_up_time: Duration,
+    },
+}
+
+impl Bencher {
+    /// Repeatedly run `f`, measuring wall-clock time per iteration.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(f());
+            }
+            Mode::Measure {
+                sample_size,
+                measurement_time,
+                warm_up_time,
+            } => {
+                // Warm-up: run until the warm-up budget is spent, counting
+                // iterations to size the timed samples.
+                let warm_start = Instant::now();
+                let mut warm_iters: u64 = 0;
+                while warm_start.elapsed() < warm_up_time {
+                    black_box(f());
+                    warm_iters += 1;
+                }
+                let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+                // Spread the measurement budget over `sample_size` samples.
+                let budget = measurement_time.max(Duration::from_millis(1));
+                let iters_per_sample = ((budget.as_nanos()
+                    / per_iter.as_nanos().max(1)
+                    / sample_size as u128)
+                    .max(1)) as u64;
+                let mut samples = Vec::with_capacity(sample_size);
+                for _ in 0..sample_size {
+                    let t0 = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(f());
+                    }
+                    samples.push(t0.elapsed() / iters_per_sample as u32);
+                }
+                let total: Duration = samples.iter().sum();
+                let mean = total / samples.len() as u32;
+                let min = samples.iter().min().copied().unwrap_or(mean);
+                let max = samples.iter().max().copied().unwrap_or(mean);
+                self.last_mean = Some(mean);
+                self.stats = Some((min, max));
+            }
+        }
+    }
+}
+
+fn run_one(c: &Criterion, id: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        mode: if measuring() {
+            Mode::Measure {
+                sample_size: c.sample_size,
+                measurement_time: c.measurement_time,
+                warm_up_time: c.warm_up_time,
+            }
+        } else {
+            Mode::Smoke
+        },
+        last_mean: None,
+        stats: None,
+    };
+    f(&mut b);
+    match (b.last_mean, b.stats) {
+        (Some(mean), Some((min, max))) => {
+            println!(
+                "{id:<48} time: [{} {} {}]",
+                fmt_dur(min),
+                fmt_dur(mean),
+                fmt_dur(max)
+            );
+        }
+        _ => {
+            if measuring() {
+                println!("{id:<48} (no iter() call)");
+            } else {
+                println!("{id:<48} ... smoke ok");
+            }
+        }
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Build a function that runs the listed benchmark targets with a config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point invoking one or more [`criterion_group!`] functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion::default().sample_size(10);
+        let mut count = 0;
+        c.bench_function("counting", |b| b.iter(|| count += 1));
+        // Not invoked with --bench inside the test harness -> smoke mode.
+        assert_eq!(count, 1);
+        let mut group = c.benchmark_group("g");
+        group.bench_function("inner", |b| b.iter(|| count += 1));
+        group.finish();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_dur(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(fmt_dur(Duration::from_millis(9)), "9.00 ms");
+        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -1,0 +1,81 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, exposing the scoped-thread API the workspace uses.
+//!
+//! Since Rust 1.63 the standard library ships scoped threads with the same
+//! soundness guarantees crossbeam pioneered, so this shim is a thin adapter
+//! that keeps crossbeam's calling convention (`scope(|s| { s.spawn(|_| …) })`
+//! returning a `Result`) while delegating to [`std::thread::scope`].
+
+#![warn(missing_docs)]
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    /// Handle used to spawn threads inside a [`scope`].
+    ///
+    /// Mirrors `crossbeam::thread::Scope`: spawn closures receive a `&Scope`
+    /// so they can spawn further siblings.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread bound to the enclosing scope.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing, scoped threads can be
+    /// spawned; joins them all before returning.
+    ///
+    /// All spawned threads are joined by `std::thread::scope`, which panics
+    /// if a child panicked; the `Result` wrapper is kept for crossbeam API
+    /// compatibility and is always `Ok` on normal return.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|s| {
+            let (left, right) = out.split_at_mut(2);
+            s.spawn(|_| {
+                for (o, v) in left.iter_mut().zip(&data[..2]) {
+                    *o = v * 10;
+                }
+            });
+            s.spawn(|_| {
+                for (o, v) in right.iter_mut().zip(&data[2..]) {
+                    *o = v * 10;
+                }
+            });
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

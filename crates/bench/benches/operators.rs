@@ -5,7 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use cts_autograd::Tape;
 use cts_graph::{random_geometric_graph, GraphGenConfig};
 use cts_ops::{build_operator, full_set, GraphContext};
-use cts_tensor::init;
+use cts_tensor::ops::{self, reference};
+use cts_tensor::{init, parallel};
 use rand::{rngs::SmallRng, SeedableRng};
 
 fn bench_operators(c: &mut Criterion) {
@@ -32,12 +33,65 @@ fn bench_operators(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial-vs-parallel (and naive-vs-blocked) throughput for the tensor
+/// kernels the operators bottom out in. `reference` is the seed repo's
+/// naive serial loop; `threads=1` is the optimized (cache-blocked, packed)
+/// kernel pinned to one worker; higher thread counts exercise the scoped
+/// pool. On a single-core host the threaded rows simply confirm there is
+/// no partitioning overhead regression.
+fn bench_parallel_kernels(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    // Projection-heavy shape from the supernet: [B, N, T, d] x [d, d'].
+    let a = init::uniform(&mut rng, [8, 16, 48, 64], -1.0, 1.0);
+    let w = init::uniform(&mut rng, [64, 64], -1.0, 1.0);
+    let logits = init::uniform(&mut rng, [8, 16, 48, 48], -4.0, 4.0);
+
+    let mut group = c.benchmark_group("matmul_batched_large");
+    group.bench_function("reference", |b| {
+        b.iter(|| std::hint::black_box(reference::matmul(&a, &w)))
+    });
+    for threads in [1usize, 2, 4] {
+        parallel::set_num_threads(threads);
+        group.bench_function(format!("threads={threads}"), |b| {
+            b.iter(|| std::hint::black_box(ops::matmul(&a, &w)))
+        });
+    }
+    parallel::set_num_threads(0);
+    group.finish();
+
+    let mut group = c.benchmark_group("softmax_last_large");
+    group.bench_function("reference", |b| {
+        b.iter(|| std::hint::black_box(reference::softmax_last(&logits)))
+    });
+    for threads in [1usize, 4] {
+        parallel::set_num_threads(threads);
+        group.bench_function(format!("threads={threads}"), |b| {
+            b.iter(|| std::hint::black_box(ops::softmax_last(&logits)))
+        });
+    }
+    parallel::set_num_threads(0);
+    group.finish();
+
+    let mut group = c.benchmark_group("elementwise_add_large");
+    group.bench_function("reference", |b| {
+        b.iter(|| std::hint::black_box(reference::add(&a, &a)))
+    });
+    for threads in [1usize, 4] {
+        parallel::set_num_threads(threads);
+        group.bench_function(format!("threads={threads}"), |b| {
+            b.iter(|| std::hint::black_box(ops::add(&a, &a)))
+        });
+    }
+    parallel::set_num_threads(0);
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_operators
+    targets = bench_operators, bench_parallel_kernels
 }
 criterion_main!(benches);

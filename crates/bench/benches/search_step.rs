@@ -20,28 +20,34 @@ fn bench_search_step(c: &mut Criterion) {
     let mut weight_opt = Adam::new(model.weight_parameters(), cfg.weight_lr, cfg.weight_wd);
     let loss_kind = LossKind::MaskedMae { null_value: Some(0.0) };
 
-    c.bench_function("supernet_bilevel_step", |b| {
-        b.iter(|| {
-            // Θ step
-            let tape = Tape::new();
-            let pred = model.forward(&tape, &tape.constant(x.clone()));
-            let loss = loss_kind.compute(&tape, &pred, &y);
-            tape.backward(&loss);
-            for pm in weight_opt.params() {
-                pm.zero_grad();
-            }
-            arch_opt.step();
-            // w step
-            let tape = Tape::new();
-            let pred = model.forward(&tape, &tape.constant(x.clone()));
-            let loss = loss_kind.compute(&tape, &pred, &y);
-            tape.backward(&loss);
-            for pm in arch_opt.params() {
-                pm.zero_grad();
-            }
-            weight_opt.step();
-        })
-    });
+    // One row per worker count: serial (threads=1, the CTS_NUM_THREADS=1
+    // path) against the scoped pool, end-to-end through forward + backward.
+    for threads in [1usize, 2, 4] {
+        cts_tensor::parallel::set_num_threads(threads);
+        c.bench_function(format!("supernet_bilevel_step/threads={threads}"), |b| {
+            b.iter(|| {
+                // Θ step
+                let tape = Tape::new();
+                let pred = model.forward(&tape, &tape.constant(x.clone()));
+                let loss = loss_kind.compute(&tape, &pred, &y);
+                tape.backward(&loss);
+                for pm in weight_opt.params() {
+                    pm.zero_grad();
+                }
+                arch_opt.step();
+                // w step
+                let tape = Tape::new();
+                let pred = model.forward(&tape, &tape.constant(x.clone()));
+                let loss = loss_kind.compute(&tape, &pred, &y);
+                tape.backward(&loss);
+                for pm in arch_opt.params() {
+                    pm.zero_grad();
+                }
+                weight_opt.step();
+            })
+        });
+    }
+    cts_tensor::parallel::set_num_threads(0);
 }
 
 criterion_group! {

@@ -15,6 +15,7 @@ mod tensor;
 
 pub mod init;
 pub mod ops;
+pub mod parallel;
 
 pub use shape::{broadcast_shapes, strides_for, Shape};
 pub use tensor::Tensor;

@@ -4,7 +4,20 @@
 //! `t, t-d, t-2d, …` (implicit left zero-padding keeps the sequence length
 //! unchanged), matching the gated dilated causal convolutions of
 //! Graph WaveNet / WaveNet-style ST models.
+//!
+//! Series (the `B*N` leading dims) are independent, so forward and both
+//! gradients run on the scoped-thread pool in [`crate::parallel`]. The
+//! weight gradient accumulates into a shared `[K, Din, Dout]` buffer, so it
+//! goes through [`crate::parallel::partial_sums`]: each worker owns a
+//! zeroed copy, summed in deterministic worker order afterwards.
+//!
+//! Note: the original kernels skipped `x == 0.0` terms as a "sparsity"
+//! shortcut. That silently masked NaN/∞ (`0 × NaN` must be NaN, but the
+//! skip produced 0), hiding numerical blow-ups from `has_non_finite`
+//! checks downstream — same bug class as the old matmul kernel. The skip
+//! is gone; see `zero_times_nan_propagates` below.
 
+use crate::parallel;
 use crate::Tensor;
 
 /// Forward dilated causal conv.
@@ -22,31 +35,35 @@ pub fn temporal_conv(x: &Tensor, w: &Tensor, dilation: usize) -> Tensor {
     let xd = x.data();
     let wd = w.data();
     let series = b * n;
-    for s in 0..series {
-        let x_off = s * t * din;
-        let o_off = s * t * dout;
-        for ti in 0..t {
-            let orow = &mut out[o_off + ti * dout..o_off + (ti + 1) * dout];
-            for ki in 0..k {
-                let lag = (k - 1 - ki) * dilation;
-                if lag > ti {
-                    continue;
-                }
-                let src = ti - lag;
-                let xrow = &xd[x_off + src * din..x_off + (src + 1) * din];
-                let wmat = &wd[ki * din * dout..(ki + 1) * din * dout];
-                for (i, &xv) in xrow.iter().enumerate() {
-                    if xv == 0.0 {
+    let unit = t * dout;
+    let work = 2 * series * t * k * din * dout;
+    parallel::for_units(&mut out, unit.max(1), work, |u0, chunk| {
+        if unit == 0 {
+            return;
+        }
+        for (si, oser) in chunk.chunks_mut(unit).enumerate() {
+            let s = u0 + si;
+            let x_off = s * t * din;
+            for ti in 0..t {
+                let orow = &mut oser[ti * dout..(ti + 1) * dout];
+                for ki in 0..k {
+                    let lag = (k - 1 - ki) * dilation;
+                    if lag > ti {
                         continue;
                     }
-                    let wrow = &wmat[i * dout..(i + 1) * dout];
-                    for (o, &wv) in orow.iter_mut().zip(wrow.iter()) {
-                        *o += xv * wv;
+                    let src = ti - lag;
+                    let xrow = &xd[x_off + src * din..x_off + (src + 1) * din];
+                    let wmat = &wd[ki * din * dout..(ki + 1) * din * dout];
+                    for (i, &xv) in xrow.iter().enumerate() {
+                        let wrow = &wmat[i * dout..(i + 1) * dout];
+                        for (o, &wv) in orow.iter_mut().zip(wrow.iter()) {
+                            *o += xv * wv;
+                        }
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(vec![b, n, t, dout], out)
 }
 
@@ -58,30 +75,37 @@ pub fn temporal_conv_grad_x(grad: &Tensor, w: &Tensor, x_shape: &[usize], dilati
     let gd = grad.data();
     let wd = w.data();
     let series = b * n;
-    for s in 0..series {
-        let x_off = s * t * din;
-        let g_off = s * t * dout;
-        for ti in 0..t {
-            let grow = &gd[g_off + ti * dout..g_off + (ti + 1) * dout];
-            for ki in 0..k {
-                let lag = (k - 1 - ki) * dilation;
-                if lag > ti {
-                    continue;
-                }
-                let src = ti - lag;
-                let xrow = &mut gx[x_off + src * din..x_off + (src + 1) * din];
-                let wmat = &wd[ki * din * dout..(ki + 1) * din * dout];
-                for (i, xg) in xrow.iter_mut().enumerate() {
-                    let wrow = &wmat[i * dout..(i + 1) * dout];
-                    let mut acc = 0.0f32;
-                    for (gv, wv) in grow.iter().zip(wrow.iter()) {
-                        acc += gv * wv;
+    let unit = t * din;
+    let work = 2 * series * t * k * din * dout;
+    parallel::for_units(&mut gx, unit.max(1), work, |u0, chunk| {
+        if unit == 0 {
+            return;
+        }
+        for (si, xser) in chunk.chunks_mut(unit).enumerate() {
+            let s = u0 + si;
+            let g_off = s * t * dout;
+            for ti in 0..t {
+                let grow = &gd[g_off + ti * dout..g_off + (ti + 1) * dout];
+                for ki in 0..k {
+                    let lag = (k - 1 - ki) * dilation;
+                    if lag > ti {
+                        continue;
                     }
-                    *xg += acc;
+                    let src = ti - lag;
+                    let xrow = &mut xser[src * din..(src + 1) * din];
+                    let wmat = &wd[ki * din * dout..(ki + 1) * din * dout];
+                    for (i, xg) in xrow.iter_mut().enumerate() {
+                        let wrow = &wmat[i * dout..(i + 1) * dout];
+                        let mut acc = 0.0f32;
+                        for (gv, wv) in grow.iter().zip(wrow.iter()) {
+                            acc += gv * wv;
+                        }
+                        *xg += acc;
+                    }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(x_shape.to_vec(), gx)
 }
 
@@ -89,11 +113,11 @@ pub fn temporal_conv_grad_x(grad: &Tensor, w: &Tensor, x_shape: &[usize], dilati
 pub fn temporal_conv_grad_w(grad: &Tensor, x: &Tensor, w_shape: &[usize], dilation: usize) -> Tensor {
     let (b, n, t, din) = dims4(x);
     let (k, _, dout) = (w_shape[0], w_shape[1], w_shape[2]);
-    let mut gw = vec![0.0f32; k * din * dout];
     let gd = grad.data();
     let xd = x.data();
     let series = b * n;
-    for s in 0..series {
+    let work = 2 * series * t * k * din * dout;
+    let gw = parallel::partial_sums(series, k * din * dout, work, |s, acc| {
         let x_off = s * t * din;
         let g_off = s * t * dout;
         for ti in 0..t {
@@ -105,11 +129,8 @@ pub fn temporal_conv_grad_w(grad: &Tensor, x: &Tensor, w_shape: &[usize], dilati
                 }
                 let src = ti - lag;
                 let xrow = &xd[x_off + src * din..x_off + (src + 1) * din];
-                let wmat = &mut gw[ki * din * dout..(ki + 1) * din * dout];
+                let wmat = &mut acc[ki * din * dout..(ki + 1) * din * dout];
                 for (i, &xv) in xrow.iter().enumerate() {
-                    if xv == 0.0 {
-                        continue;
-                    }
                     let wrow = &mut wmat[i * dout..(i + 1) * dout];
                     for (wv, &gv) in wrow.iter_mut().zip(grow.iter()) {
                         *wv += xv * gv;
@@ -117,7 +138,7 @@ pub fn temporal_conv_grad_w(grad: &Tensor, x: &Tensor, w_shape: &[usize], dilati
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(w_shape.to_vec(), gw)
 }
 
@@ -174,6 +195,20 @@ mod tests {
             assert_eq!(y0.at(&[0, 0, t, 0]), y1.at(&[0, 0, t, 0]));
         }
         assert_ne!(y0.at(&[0, 0, 3, 0]), y1.at(&[0, 0, 3, 0]));
+    }
+
+    #[test]
+    fn zero_times_nan_propagates() {
+        // A NaN weight must poison the output even where x is exactly 0 —
+        // the old `xv == 0.0 { continue }` shortcut hid it.
+        let x = Tensor::zeros([1, 1, 3, 2]);
+        let w = Tensor::from_vec([1, 2, 1], vec![f32::NAN, 1.0]);
+        let y = temporal_conv(&x, &w, 1);
+        assert!(y.data().iter().all(|v| v.is_nan()), "NaN masked: {:?}", y.data());
+        // Same for the weight gradient with a NaN upstream and zero input.
+        let g = Tensor::full(vec![1, 1, 3, 1], f32::NAN);
+        let gw = temporal_conv_grad_w(&g, &x, w.shape(), 1);
+        assert!(gw.data().iter().all(|v| v.is_nan()), "gw masked: {:?}", gw.data());
     }
 
     #[test]

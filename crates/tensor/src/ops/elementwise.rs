@@ -1,45 +1,129 @@
 //! Elementwise binary (broadcasting) and unary operations.
+//!
+//! All three shapes of elementwise work — same-shape zips, broadcasting
+//! zips, and unary maps — run through [`crate::parallel`]: the flat output
+//! is split into contiguous ranges and each worker fills its own range.
+//! Broadcast indexing uses precomputed broadcast strides and an odometer
+//! walk instead of per-element `unravel`/`ravel`, which also speeds up the
+//! serial path.
 
-use crate::shape::{broadcast_shapes, numel, ravel_broadcast, unravel};
+use crate::parallel;
+use crate::shape::{broadcast_shapes, numel, strides_for, unravel};
 use crate::Tensor;
 
+/// Per-axis strides of `shape` viewed in the broadcast space `out_shape`
+/// (right-aligned; broadcast axes get stride 0).
+fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
+    let mut out = vec![0usize; out_shape.len()];
+    let offset = out_shape.len() - shape.len();
+    let real = strides_for(shape);
+    for (i, (&dim, &stride)) in shape.iter().zip(real.iter()).enumerate() {
+        out[offset + i] = if dim == 1 { 0 } else { stride };
+    }
+    out
+}
+
 /// Elementwise binary op with NumPy broadcasting.
-fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
     if a.shape() == b.shape() {
-        // Fast path: identical shapes.
-        let data = a
-            .data()
-            .iter()
-            .zip(b.data().iter())
-            .map(|(&x, &y)| f(x, y))
-            .collect();
+        // Fast path: identical shapes, one flat parallel zip.
+        let (ad, bd) = (a.data(), b.data());
+        let mut data = vec![0.0f32; ad.len()];
+        parallel::for_units(&mut data, 1, ad.len(), |start, chunk| {
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = f(ad[start + i], bd[start + i]);
+            }
+        });
         return Tensor::from_vec(a.shape().to_vec(), data);
     }
     let out_shape = broadcast_shapes(a.shape(), b.shape())
         .unwrap_or_else(|| panic!("broadcast mismatch {:?} vs {:?}", a.shape(), b.shape()));
     let n = numel(&out_shape);
-    let mut data = Vec::with_capacity(n);
-    for flat in 0..n {
-        let coords = unravel(flat, &out_shape);
-        let x = a.data()[ravel_broadcast(&coords, a.shape())];
-        let y = b.data()[ravel_broadcast(&coords, b.shape())];
-        data.push(f(x, y));
-    }
+    let a_str = broadcast_strides(a.shape(), &out_shape);
+    let b_str = broadcast_strides(b.shape(), &out_shape);
+    let (ad, bd) = (a.data(), b.data());
+    let mut data = vec![0.0f32; n];
+    parallel::for_units(&mut data, 1, n, |start, chunk| {
+        // Odometer walk: carry coordinates and both source offsets along.
+        let mut coords = unravel(start, &out_shape);
+        let mut ia: usize = coords.iter().zip(a_str.iter()).map(|(c, s)| c * s).sum();
+        let mut ib: usize = coords.iter().zip(b_str.iter()).map(|(c, s)| c * s).sum();
+        let last = chunk.len() - 1;
+        for (i, o) in chunk.iter_mut().enumerate() {
+            *o = f(ad[ia], bd[ib]);
+            if i == last {
+                break;
+            }
+            for d in (0..out_shape.len()).rev() {
+                coords[d] += 1;
+                ia += a_str[d];
+                ib += b_str[d];
+                if coords[d] < out_shape[d] {
+                    break;
+                }
+                coords[d] = 0;
+                ia -= a_str[d] * out_shape[d];
+                ib -= b_str[d] * out_shape[d];
+            }
+        }
+    });
     Tensor::from_vec(out_shape, data)
+}
+
+/// Elementwise unary map, parallel over flat ranges.
+fn unary(a: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+    let ad = a.data();
+    let mut data = vec![0.0f32; ad.len()];
+    parallel::for_units(&mut data, 1, ad.len(), |start, chunk| {
+        for (o, &x) in chunk.iter_mut().zip(ad[start..].iter()) {
+            *o = f(x);
+        }
+    });
+    Tensor::from_vec(a.shape().to_vec(), data)
+}
+
+/// Exact-shape zip of two buffers (used by saved-value gradient kernels).
+fn zip_exact(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+    debug_assert_eq!(a.len(), b.len(), "zip_exact length mismatch");
+    let (ad, bd) = (a.data(), b.data());
+    let mut data = vec![0.0f32; ad.len()];
+    parallel::for_units(&mut data, 1, ad.len(), |start, chunk| {
+        for (i, o) in chunk.iter_mut().enumerate() {
+            *o = f(ad[start + i], bd[start + i]);
+        }
+    });
+    Tensor::from_vec(b.shape().to_vec(), data)
 }
 
 /// Reduce `grad` (in broadcast-output shape) back to `target_shape` by
 /// summing over the dimensions that were broadcast.
+///
+/// Serial: the scatter-add into the (usually much smaller) target would
+/// race across workers, and in practice the target is a parameter-sized
+/// tensor, so this is never the hot side of a backward pass.
 pub fn reduce_to_shape(grad: &Tensor, target_shape: &[usize]) -> Tensor {
     if grad.shape() == target_shape {
         return grad.clone();
     }
     let mut out = Tensor::zeros(target_shape.to_vec());
     let gshape = grad.shape().to_vec();
+    let t_str = broadcast_strides(target_shape, &gshape);
+    let mut coords = vec![0usize; gshape.len()];
+    let mut idx = 0usize;
     for flat in 0..grad.len() {
-        let coords = unravel(flat, &gshape);
-        let idx = ravel_broadcast(&coords, target_shape);
         out.data_mut()[idx] += grad.data()[flat];
+        if flat + 1 == grad.len() {
+            break;
+        }
+        for d in (0..gshape.len()).rev() {
+            coords[d] += 1;
+            idx += t_str[d];
+            if coords[d] < gshape[d] {
+                break;
+            }
+            coords[d] = 0;
+            idx -= t_str[d] * gshape[d];
+        }
     }
     out
 }
@@ -91,38 +175,32 @@ pub fn div_grad_b(grad: &Tensor, a: &Tensor, b: &Tensor) -> Tensor {
 
 /// Elementwise negation.
 pub fn neg(a: &Tensor) -> Tensor {
-    a.map(|x| -x)
+    unary(a, |x| -x)
 }
 
 /// `a * c` for scalar `c`.
 pub fn scale(a: &Tensor, c: f32) -> Tensor {
-    a.map(|x| x * c)
+    unary(a, |x| x * c)
 }
 
 /// `a + c` for scalar `c`.
 pub fn add_scalar(a: &Tensor, c: f32) -> Tensor {
-    a.map(|x| x + c)
+    unary(a, |x| x + c)
 }
 
 /// Rectified linear unit.
 pub fn relu(a: &Tensor) -> Tensor {
-    a.map(|x| x.max(0.0))
+    unary(a, |x| x.max(0.0))
 }
 
 /// ∂relu/∂a = grad ⊙ 1[a>0].
 pub fn relu_grad(grad: &Tensor, a: &Tensor) -> Tensor {
-    let data = grad
-        .data()
-        .iter()
-        .zip(a.data().iter())
-        .map(|(&g, &x)| if x > 0.0 { g } else { 0.0 })
-        .collect();
-    Tensor::from_vec(a.shape().to_vec(), data)
+    zip_exact(grad, a, |g, x| if x > 0.0 { g } else { 0.0 })
 }
 
 /// Logistic sigmoid, numerically stable for large |x|.
 pub fn sigmoid(a: &Tensor) -> Tensor {
-    a.map(|x| {
+    unary(a, |x| {
         if x >= 0.0 {
             1.0 / (1.0 + (-x).exp())
         } else {
@@ -134,111 +212,75 @@ pub fn sigmoid(a: &Tensor) -> Tensor {
 
 /// ∂sigmoid/∂a given the saved output `y`: grad ⊙ y(1-y).
 pub fn sigmoid_grad(grad: &Tensor, y: &Tensor) -> Tensor {
-    let data = grad
-        .data()
-        .iter()
-        .zip(y.data().iter())
-        .map(|(&g, &s)| g * s * (1.0 - s))
-        .collect();
-    Tensor::from_vec(y.shape().to_vec(), data)
+    zip_exact(grad, y, |g, s| g * s * (1.0 - s))
 }
 
 /// Hyperbolic tangent.
 pub fn tanh(a: &Tensor) -> Tensor {
-    a.map(f32::tanh)
+    unary(a, f32::tanh)
 }
 
 /// ∂tanh/∂a given the saved output `y`: grad ⊙ (1-y²).
 pub fn tanh_grad(grad: &Tensor, y: &Tensor) -> Tensor {
-    let data = grad
-        .data()
-        .iter()
-        .zip(y.data().iter())
-        .map(|(&g, &t)| g * (1.0 - t * t))
-        .collect();
-    Tensor::from_vec(y.shape().to_vec(), data)
+    zip_exact(grad, y, |g, t| g * (1.0 - t * t))
 }
 
 /// Elementwise exp.
 pub fn exp(a: &Tensor) -> Tensor {
-    a.map(f32::exp)
+    unary(a, f32::exp)
 }
 
 /// Natural log (inputs must be positive; callers clamp).
 pub fn ln(a: &Tensor) -> Tensor {
-    a.map(f32::ln)
+    unary(a, f32::ln)
 }
 
 /// ∂ln/∂a = grad / a.
 pub fn ln_grad(grad: &Tensor, a: &Tensor) -> Tensor {
-    let data = grad
-        .data()
-        .iter()
-        .zip(a.data().iter())
-        .map(|(&g, &x)| g / x)
-        .collect();
-    Tensor::from_vec(a.shape().to_vec(), data)
+    zip_exact(grad, a, |g, x| g / x)
 }
 
 /// Elementwise square root.
 pub fn sqrt(a: &Tensor) -> Tensor {
-    a.map(f32::sqrt)
+    unary(a, f32::sqrt)
 }
 
 /// ∂sqrt/∂a given the saved output `y`: grad / (2y).
 pub fn sqrt_grad(grad: &Tensor, y: &Tensor) -> Tensor {
-    let data = grad
-        .data()
-        .iter()
-        .zip(y.data().iter())
-        .map(|(&g, &s)| g / (2.0 * s))
-        .collect();
-    Tensor::from_vec(y.shape().to_vec(), data)
+    zip_exact(grad, y, |g, s| g / (2.0 * s))
 }
 
 /// Elementwise absolute value.
 pub fn abs(a: &Tensor) -> Tensor {
-    a.map(f32::abs)
+    unary(a, f32::abs)
 }
 
 /// ∂|a|/∂a = grad ⊙ sign(a) (sub-gradient 0 at 0).
 pub fn abs_grad(grad: &Tensor, a: &Tensor) -> Tensor {
-    let data = grad
-        .data()
-        .iter()
-        .zip(a.data().iter())
-        .map(|(&g, &x)| {
-            if x > 0.0 {
-                g
-            } else if x < 0.0 {
-                -g
-            } else {
-                0.0
-            }
-        })
-        .collect();
-    Tensor::from_vec(a.shape().to_vec(), data)
+    zip_exact(grad, a, |g, x| {
+        if x > 0.0 {
+            g
+        } else if x < 0.0 {
+            -g
+        } else {
+            0.0
+        }
+    })
 }
 
 /// Elementwise square.
 pub fn square(a: &Tensor) -> Tensor {
-    a.map(|x| x * x)
+    unary(a, |x| x * x)
 }
 
 /// ∂a²/∂a = 2·grad⊙a.
 pub fn square_grad(grad: &Tensor, a: &Tensor) -> Tensor {
-    let data = grad
-        .data()
-        .iter()
-        .zip(a.data().iter())
-        .map(|(&g, &x)| 2.0 * g * x)
-        .collect();
-    Tensor::from_vec(a.shape().to_vec(), data)
+    zip_exact(grad, a, |g, x| 2.0 * g * x)
 }
 
 /// Gaussian error linear unit (tanh approximation).
 pub fn gelu(a: &Tensor) -> Tensor {
-    a.map(gelu_scalar)
+    unary(a, gelu_scalar)
 }
 
 fn gelu_scalar(x: f32) -> f32 {
@@ -249,24 +291,18 @@ fn gelu_scalar(x: f32) -> f32 {
 /// ∂gelu/∂a via the tanh approximation derivative.
 pub fn gelu_grad(grad: &Tensor, a: &Tensor) -> Tensor {
     const C: f32 = 0.797_884_6;
-    let data = grad
-        .data()
-        .iter()
-        .zip(a.data().iter())
-        .map(|(&g, &x)| {
-            let x3 = x * x * x;
-            let u = C * (x + 0.044715 * x3);
-            let t = u.tanh();
-            let du = C * (1.0 + 3.0 * 0.044715 * x * x);
-            g * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du)
-        })
-        .collect();
-    Tensor::from_vec(a.shape().to_vec(), data)
+    zip_exact(grad, a, |g, x| {
+        let x3 = x * x * x;
+        let u = C * (x + 0.044715 * x3);
+        let t = u.tanh();
+        let du = C * (1.0 + 3.0 * 0.044715 * x * x);
+        g * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du)
+    })
 }
 
 /// Clamp every element into `[lo, hi]`.
 pub fn clamp(a: &Tensor, lo: f32, hi: f32) -> Tensor {
-    a.map(|x| x.clamp(lo, hi))
+    unary(a, |x| x.clamp(lo, hi))
 }
 
 #[cfg(test)]
@@ -296,6 +332,16 @@ mod tests {
         let a = t(&[2, 2], &[1.0, 2.0, 3.0, 4.0]);
         let b = t(&[2, 1], &[10.0, 100.0]);
         assert_eq!(mul(&a, &b).data(), &[10.0, 20.0, 300.0, 400.0]);
+    }
+
+    #[test]
+    fn broadcast_matches_reference_on_mixed_ranks() {
+        let a = t(&[2, 1, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(&[4, 1], &[0.5, 1.0, 2.0, 4.0]);
+        let fast = mul(&a, &b);
+        let slow = super::super::reference::mul(&a, &b);
+        assert_eq!(fast.shape(), slow.shape());
+        assert_eq!(fast.data(), slow.data());
     }
 
     #[test]

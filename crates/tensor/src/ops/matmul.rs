@@ -1,7 +1,27 @@
 //! Batched matrix multiplication with broadcasting over batch dimensions.
+//!
+//! The inner kernel is cache-blocked with a packed-B panel: `B` tiles of at
+//! most `KC × NC` elements are copied into a dense thread-local panel that
+//! stays resident in L1/L2 while all rows of the block consume it. Batched
+//! work is partitioned across scoped worker threads by output row (see
+//! [`crate::parallel`]); each worker owns a disjoint slice of the output.
+//!
+//! Accumulation is always in ascending-`k` order, for every block size and
+//! thread count, so results are bit-identical to the naive serial triple
+//! loop (`ops::reference::matmul`) regardless of `CTS_NUM_THREADS`.
+//!
+//! Non-finite values propagate: `0 × NaN = NaN` contributions are *not*
+//! skipped, so a NaN/∞ in either operand always reaches the output (the
+//! seed kernel's `a == 0.0` fast-out silently masked them).
 
+use crate::parallel;
 use crate::shape::{broadcast_shapes, numel, ravel_broadcast, unravel};
 use crate::Tensor;
+
+/// K-dimension block size of the packed kernel.
+const KC: usize = 128;
+/// N-dimension block size of the packed kernel (panel is `KC × NC` floats).
+const NC: usize = 64;
 
 /// Matrix product over the last two dims: `a: [..., m, k] × b: [..., k, n]`.
 ///
@@ -27,49 +47,129 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 
     let a_data = a.data();
     let b_data = b.data();
-    for bi in 0..batch {
-        let coords = unravel(bi, &batch_shape);
-        let a_off = ravel_broadcast(&coords, a_batch) * m * k;
-        let b_off = ravel_broadcast(&coords, b_batch) * k * n;
-        let o_off = bi * m * n;
-        // i-k-j loop order: row of b streamed for each a[i][k].
-        for i in 0..m {
-            let a_row = &a_data[a_off + i * k..a_off + (i + 1) * k];
-            let out_row = &mut out[o_off + i * n..o_off + (i + 1) * n];
+    let work = 2usize.saturating_mul(batch).saturating_mul(m).saturating_mul(n).saturating_mul(k);
+    // One unit = one output row; contiguous runs of rows go to each worker,
+    // grouped by batch below so B panels are packed once per row block.
+    parallel::for_units(&mut out, n.max(1), work, |row0, chunk| {
+        if n == 0 || m == 0 {
+            return;
+        }
+        let rows = chunk.len() / n;
+        let mut done = 0;
+        while done < rows {
+            let row = row0 + done;
+            let bi = row / m;
+            let i0 = row % m;
+            let take = (m - i0).min(rows - done);
+            let coords = unravel(bi, &batch_shape);
+            let a_off = ravel_broadcast(&coords, a_batch) * m * k;
+            let b_off = ravel_broadcast(&coords, b_batch) * k * n;
+            gemm_rows(
+                &a_data[a_off + i0 * k..a_off + (i0 + take) * k],
+                &b_data[b_off..b_off + k * n],
+                &mut chunk[done * n..(done + take) * n],
+                k,
+                n,
+            );
+            done += take;
+        }
+    });
+    Tensor::from_vec(out_shape, out)
+}
+
+/// `out[rows × n] += a[rows × k] · b[k × n]` for one batch element.
+///
+/// `out` must be zero-initialised by the caller. Small `b` matrices are
+/// streamed directly (they already fit in cache); larger ones go through the
+/// packed-panel path.
+fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    let rows = out.len() / n;
+    if k * n <= KC * NC {
+        for i in 0..rows {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
             for (kk, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let b_row = &b_data[b_off + kk * n..b_off + (kk + 1) * n];
+                let b_row = &b[kk * n..(kk + 1) * n];
                 for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += av * bv;
                 }
             }
         }
+        return;
     }
-    Tensor::from_vec(out_shape, out)
+    // Packed path: copy each KC × NC tile of b into a dense panel so the
+    // inner loops hit a compact, contiguous working set.
+    let mut panel = vec![0.0f32; KC * NC.min(n)];
+    let mut k0 = 0;
+    while k0 < k {
+        let kc = KC.min(k - k0);
+        let mut j0 = 0;
+        while j0 < n {
+            let nc = NC.min(n - j0);
+            for kk in 0..kc {
+                let src = (k0 + kk) * n + j0;
+                panel[kk * nc..kk * nc + nc].copy_from_slice(&b[src..src + nc]);
+            }
+            for i in 0..rows {
+                let a_row = &a[i * k + k0..i * k + k0 + kc];
+                let out_row = &mut out[i * n + j0..i * n + j0 + nc];
+                for (kk, &av) in a_row.iter().enumerate() {
+                    let b_row = &panel[kk * nc..kk * nc + nc];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            j0 += nc;
+        }
+        k0 += kc;
+    }
 }
 
 /// Transpose the last two dimensions.
+///
+/// Tiled (cache-oblivious enough for the sizes used here) and partitioned
+/// across threads by batch element.
 pub fn transpose_last2(a: &Tensor) -> Tensor {
     assert!(a.rank() >= 2);
     let r = a.rank();
     let (m, n) = (a.shape()[r - 2], a.shape()[r - 1]);
-    let batch: usize = a.shape()[..r - 2].iter().product();
     let mut out_shape = a.shape().to_vec();
     out_shape[r - 2] = n;
     out_shape[r - 1] = m;
     let mut out = vec![0.0f32; a.len()];
     let data = a.data();
-    for b in 0..batch {
-        let off = b * m * n;
-        for i in 0..m {
-            for j in 0..n {
-                out[off + j * m + i] = data[off + i * n + j];
-            }
-        }
+    let mat = m * n;
+    if mat == 0 {
+        return Tensor::from_vec(out_shape, out);
     }
+    parallel::for_units(&mut out, mat, a.len(), |b0, chunk| {
+        for (bb, dst) in chunk.chunks_mut(mat).enumerate() {
+            let src = &data[(b0 + bb) * mat..(b0 + bb + 1) * mat];
+            transpose_tile(src, dst, m, n);
+        }
+    });
     Tensor::from_vec(out_shape, out)
+}
+
+/// `dst[n × m] = src[m × n]ᵀ`, in 32×32 tiles.
+fn transpose_tile(src: &[f32], dst: &mut [f32], m: usize, n: usize) {
+    const TB: usize = 32;
+    let mut i0 = 0;
+    while i0 < m {
+        let iend = (i0 + TB).min(m);
+        let mut j0 = 0;
+        while j0 < n {
+            let jend = (j0 + TB).min(n);
+            for i in i0..iend {
+                for j in j0..jend {
+                    dst[j * m + i] = src[i * n + j];
+                }
+            }
+            j0 = jend;
+        }
+        i0 = iend;
+    }
 }
 
 /// ∂(a·b)/∂a = grad · bᵀ, reduced over broadcast batch dims to a's shape.
@@ -128,12 +228,59 @@ mod tests {
     }
 
     #[test]
+    fn matmul_exceeding_block_sizes_matches_reference() {
+        // k and n beyond one KC × NC panel exercise the packed path edges.
+        let (m, k, n) = (3, KC + 5, NC * 2 + 3);
+        let a = t(&[m, k], &(0..m * k).map(|i| (i % 13) as f32 - 6.0).collect::<Vec<_>>());
+        let b = t(&[k, n], &(0..k * n).map(|i| (i % 7) as f32 - 3.0).collect::<Vec<_>>());
+        let fast = matmul(&a, &b);
+        let slow = super::super::reference::matmul(&a, &b);
+        assert_eq!(fast.data(), slow.data(), "packed kernel diverged from reference");
+    }
+
+    #[test]
+    fn matmul_propagates_nan_from_either_operand() {
+        // Regression: the seed kernel skipped a == 0.0 rows, so 0 × NaN was
+        // silently dropped instead of poisoning the output.
+        let mut a = Tensor::zeros([2, 2]);
+        a.data_mut()[0] = 0.0; // explicit: the masking bug needs a zero here
+        let mut b = Tensor::ones([2, 2]);
+        b.data_mut()[0] = f32::NAN;
+        let y = matmul(&a, &b);
+        assert!(y.data()[0].is_nan(), "NaN in b masked by zero in a: {:?}", y);
+
+        let mut a2 = Tensor::ones([2, 2]);
+        a2.data_mut()[3] = f32::NAN;
+        let b2 = Tensor::zeros([2, 2]);
+        let y2 = matmul(&a2, &b2);
+        assert!(y2.data()[2].is_nan() && y2.data()[3].is_nan(), "NaN in a lost: {:?}", y2);
+
+        // Infinity likewise: 0 × ∞ = NaN must reach the output.
+        let mut b3 = Tensor::ones([2, 2]);
+        b3.data_mut()[0] = f32::INFINITY;
+        let y3 = matmul(&Tensor::zeros([2, 2]), &b3);
+        assert!(y3.data()[0].is_nan(), "0 × ∞ must be NaN: {:?}", y3);
+    }
+
+    #[test]
     fn transpose_roundtrip() {
         let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let at = transpose_last2(&a);
         assert_eq!(at.shape(), &[3, 2]);
         assert_eq!(at.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
         assert_eq!(transpose_last2(&at).data(), a.data());
+    }
+
+    #[test]
+    fn transpose_beyond_tile_size() {
+        let (m, n) = (37, 41); // not multiples of the 32-wide tile
+        let a = t(&[m, n], &(0..m * n).map(|i| i as f32).collect::<Vec<_>>());
+        let at = transpose_last2(&a);
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(at.at(&[j, i]), a.at(&[i, j]));
+            }
+        }
     }
 
     #[test]

@@ -5,6 +5,10 @@
 //! functions take the upstream gradient (w.r.t. the op output) plus whatever
 //! saved values they need and return the gradient w.r.t. that input, already
 //! shaped like the input (broadcasting is reduced away internally).
+//!
+//! Large kernels execute on the scoped-thread layer in [`crate::parallel`]
+//! (thread count via `CTS_NUM_THREADS`); [`reference`] holds the naive
+//! serial oracles they are tested and benchmarked against.
 
 mod conv;
 mod elementwise;
@@ -12,6 +16,8 @@ mod matmul;
 mod reduce;
 mod shapeops;
 mod softmax;
+
+pub mod reference;
 
 pub use conv::*;
 pub use elementwise::*;

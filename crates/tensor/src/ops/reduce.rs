@@ -1,5 +1,12 @@
 //! Reductions (sum/mean over an axis or all elements) and broadcasting back.
+//!
+//! Axis reductions partition their output over the *outer* index through
+//! [`crate::parallel::for_units`]: each outer slot owns a disjoint
+//! `inner`-length slice of the output, so workers never share an
+//! accumulator and the per-slot ascending-`l` accumulation order is
+//! identical to the serial kernel (bit-exact at any thread count).
 
+use crate::parallel;
 use crate::Tensor;
 
 /// Shape with `axis` removed (`keepdim=false`) or set to 1 (`keepdim=true`).
@@ -29,15 +36,20 @@ pub fn sum_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
     let (outer, len, inner) = split_at_axis(a.shape(), axis);
     let mut out = vec![0.0f32; outer * inner];
     let data = a.data();
-    for o in 0..outer {
-        for l in 0..len {
-            let base = (o * len + l) * inner;
-            let obase = o * inner;
-            for i in 0..inner {
-                out[obase + i] += data[base + i];
+    parallel::for_units(&mut out, inner.max(1), outer * len * inner, |o0, chunk| {
+        if inner == 0 {
+            return;
+        }
+        for (oi, oslice) in chunk.chunks_mut(inner).enumerate() {
+            let o = o0 + oi;
+            for l in 0..len {
+                let base = (o * len + l) * inner;
+                for (os, &x) in oslice.iter_mut().zip(data[base..base + inner].iter()) {
+                    *os += x;
+                }
             }
         }
-    }
+    });
     Tensor::from_vec(reduced_shape(a.shape(), axis, keepdim), out)
 }
 
@@ -55,13 +67,18 @@ pub fn sum_axis_grad(grad: &Tensor, a_shape: &[usize], axis: usize) -> Tensor {
     let mut out = vec![0.0f32; outer * len * inner];
     let g = grad.data();
     debug_assert_eq!(g.len(), outer * inner);
-    for o in 0..outer {
-        for l in 0..len {
-            let base = (o * len + l) * inner;
-            let gbase = o * inner;
-            out[base..base + inner].copy_from_slice(&g[gbase..gbase + inner]);
+    parallel::for_units(&mut out, (len * inner).max(1), outer * len * inner, |u0, chunk| {
+        if inner == 0 || len == 0 {
+            return;
         }
-    }
+        for (oi, oslice) in chunk.chunks_mut(len * inner).enumerate() {
+            let o = u0 + oi;
+            let gbase = o * inner;
+            for row in oslice.chunks_mut(inner) {
+                row.copy_from_slice(&g[gbase..gbase + inner]);
+            }
+        }
+    });
     Tensor::from_vec(a_shape.to_vec(), out)
 }
 
@@ -99,15 +116,20 @@ pub fn max_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
     let (outer, len, inner) = split_at_axis(a.shape(), axis);
     let mut out = vec![f32::NEG_INFINITY; outer * inner];
     let data = a.data();
-    for o in 0..outer {
-        for l in 0..len {
-            let base = (o * len + l) * inner;
-            let obase = o * inner;
-            for i in 0..inner {
-                out[obase + i] = out[obase + i].max(data[base + i]);
+    parallel::for_units(&mut out, inner.max(1), outer * len * inner, |o0, chunk| {
+        if inner == 0 {
+            return;
+        }
+        for (oi, oslice) in chunk.chunks_mut(inner).enumerate() {
+            let o = o0 + oi;
+            for l in 0..len {
+                let base = (o * len + l) * inner;
+                for (os, &x) in oslice.iter_mut().zip(data[base..base + inner].iter()) {
+                    *os = os.max(x);
+                }
             }
         }
-    }
+    });
     Tensor::from_vec(reduced_shape(a.shape(), axis, keepdim), out)
 }
 
@@ -118,11 +140,15 @@ pub fn broadcast_to(a: &Tensor, target: &[usize]) -> Tensor {
         return a.clone();
     }
     let n = numel(target);
-    let mut out = Vec::with_capacity(n);
-    for flat in 0..n {
-        let coords = unravel(flat, target);
-        out.push(a.data()[ravel_broadcast(&coords, a.shape())]);
-    }
+    let mut out = vec![0.0f32; n];
+    let data = a.data();
+    let shape = a.shape();
+    parallel::for_units(&mut out, 1, n, |start, chunk| {
+        for (i, o) in chunk.iter_mut().enumerate() {
+            let coords = unravel(start + i, target);
+            *o = data[ravel_broadcast(&coords, shape)];
+        }
+    });
     Tensor::from_vec(target.to_vec(), out)
 }
 
@@ -180,6 +206,21 @@ mod tests {
         let m0 = max_axis(&a, 0, true);
         assert_eq!(m0.shape(), &[1, 3]);
         assert_eq!(m0.data(), &[7.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn sum_axis_matches_reference_above_threshold() {
+        // Big enough to cross PAR_THRESHOLD so the parallel branch runs.
+        let a = Tensor::from_vec(
+            vec![8, 16, 96],
+            (0..8 * 16 * 96).map(|i| (i % 97) as f32 * 0.25 - 12.0).collect(),
+        );
+        for axis in 0..3 {
+            let fast = sum_axis(&a, axis, false);
+            let slow = super::super::reference::sum_axis(&a, axis, false);
+            assert_eq!(fast.shape(), slow.shape());
+            assert_eq!(fast.data(), slow.data());
+        }
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Naive serial reference kernels — the oracle the optimized, parallel
+//! kernels are tested (and benchmarked) against.
+//!
+//! Everything here is deliberately the simplest correct implementation:
+//! plain loops, per-element broadcast index math, no blocking, no threads.
+//! These closely match the seed repository's original serial kernels (minus
+//! the `a == 0.0` skip that masked NaN/∞ — see `ops::matmul`), so they also
+//! serve as the "serial baseline" side of the serial-vs-parallel benches.
+
+use crate::shape::{broadcast_shapes, numel, ravel_broadcast, unravel};
+use crate::Tensor;
+
+/// Naive batched matmul: `[..., m, k] × [..., k, n]` with batch broadcasting.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert!(a.rank() >= 2 && b.rank() >= 2, "matmul needs rank >= 2");
+    let (m, k) = (a.shape()[a.rank() - 2], a.shape()[a.rank() - 1]);
+    let (kb, n) = (b.shape()[b.rank() - 2], b.shape()[b.rank() - 1]);
+    assert_eq!(k, kb, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
+    let a_batch = &a.shape()[..a.rank() - 2];
+    let b_batch = &b.shape()[..b.rank() - 2];
+    let batch_shape = broadcast_shapes(a_batch, b_batch)
+        .unwrap_or_else(|| panic!("matmul batch broadcast {:?} x {:?}", a.shape(), b.shape()));
+    let batch = numel(&batch_shape);
+    let mut out_shape = batch_shape.clone();
+    out_shape.push(m);
+    out_shape.push(n);
+    let mut out = vec![0.0f32; batch * m * n];
+    let (ad, bd) = (a.data(), b.data());
+    for bi in 0..batch {
+        let coords = unravel(bi, &batch_shape);
+        let a_off = ravel_broadcast(&coords, a_batch) * m * k;
+        let b_off = ravel_broadcast(&coords, b_batch) * k * n;
+        let o_off = bi * m * n;
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += ad[a_off + i * k + kk] * bd[b_off + kk * n + j];
+                }
+                out[o_off + i * n + j] = acc;
+            }
+        }
+    }
+    Tensor::from_vec(out_shape, out)
+}
+
+/// Naive elementwise binary op with NumPy broadcasting.
+pub fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    let out_shape = broadcast_shapes(a.shape(), b.shape())
+        .unwrap_or_else(|| panic!("broadcast mismatch {:?} vs {:?}", a.shape(), b.shape()));
+    let n = numel(&out_shape);
+    let mut data = Vec::with_capacity(n);
+    for flat in 0..n {
+        let coords = unravel(flat, &out_shape);
+        let x = a.data()[ravel_broadcast(&coords, a.shape())];
+        let y = b.data()[ravel_broadcast(&coords, b.shape())];
+        data.push(f(x, y));
+    }
+    Tensor::from_vec(out_shape, data)
+}
+
+/// Naive `a + b` with broadcasting.
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_broadcast(a, b, |x, y| x + y)
+}
+
+/// Naive `a * b` with broadcasting.
+pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_broadcast(a, b, |x, y| x * y)
+}
+
+/// Naive softmax over the last axis.
+pub fn softmax_last(a: &Tensor) -> Tensor {
+    let n = a.shape()[a.rank() - 1];
+    let rows = a.len() / n.max(1);
+    let mut out = vec![0.0f32; a.len()];
+    for row in 0..rows {
+        let s = &a.data()[row * n..(row + 1) * n];
+        let m = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for (o, &x) in out[row * n..(row + 1) * n].iter_mut().zip(s.iter()) {
+            let e = (x - m).exp();
+            *o = e;
+            z += e;
+        }
+        let inv = 1.0 / z;
+        for o in &mut out[row * n..(row + 1) * n] {
+            *o *= inv;
+        }
+    }
+    Tensor::from_vec(a.shape().to_vec(), out)
+}
+
+/// Naive sum over one axis.
+pub fn sum_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
+    let outer: usize = a.shape()[..axis].iter().product();
+    let len = a.shape()[axis];
+    let inner: usize = a.shape()[axis + 1..].iter().product();
+    let mut out = vec![0.0f32; outer * inner];
+    for o in 0..outer {
+        for l in 0..len {
+            for i in 0..inner {
+                out[o * inner + i] += a.data()[(o * len + l) * inner + i];
+            }
+        }
+    }
+    let mut shape = a.shape().to_vec();
+    if keepdim {
+        shape[axis] = 1;
+    } else {
+        shape.remove(axis);
+    }
+    if shape.is_empty() {
+        shape.push(1);
+    }
+    Tensor::from_vec(shape, out)
+}
+
+/// Naive transpose of the last two dims.
+pub fn transpose_last2(a: &Tensor) -> Tensor {
+    let r = a.rank();
+    let (m, n) = (a.shape()[r - 2], a.shape()[r - 1]);
+    let batch: usize = a.shape()[..r - 2].iter().product();
+    let mut out_shape = a.shape().to_vec();
+    out_shape[r - 2] = n;
+    out_shape[r - 1] = m;
+    let mut out = vec![0.0f32; a.len()];
+    for b in 0..batch {
+        let off = b * m * n;
+        for i in 0..m {
+            for j in 0..n {
+                out[off + j * m + i] = a.data()[off + i * n + j];
+            }
+        }
+    }
+    Tensor::from_vec(out_shape, out)
+}

@@ -1,29 +1,40 @@
 //! Softmax over the last axis (with optional temperature via pre-scaling).
+//!
+//! Rows are independent, so all three kernels partition the row range
+//! across the scoped-thread pool in [`crate::parallel`]; per-row math is
+//! unchanged from the serial version, keeping results bit-exact at any
+//! thread count.
 
+use crate::parallel;
 use crate::Tensor;
 
 /// Numerically stable softmax over the last axis.
 pub fn softmax_last(a: &Tensor) -> Tensor {
     let r = a.rank();
     let n = a.shape()[r - 1];
-    let rows = a.len() / n;
     let mut out = vec![0.0f32; a.len()];
     let data = a.data();
-    for row in 0..rows {
-        let s = &data[row * n..(row + 1) * n];
-        let m = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let o = &mut out[row * n..(row + 1) * n];
-        let mut z = 0.0f32;
-        for (oi, &x) in o.iter_mut().zip(s.iter()) {
-            let e = (x - m).exp();
-            *oi = e;
-            z += e;
+    // ~4 flops per element (max scan, exp, sum, scale).
+    parallel::for_units(&mut out, n.max(1), 4 * a.len(), |start, chunk| {
+        if n == 0 {
+            return;
         }
-        let inv = 1.0 / z;
-        for oi in o.iter_mut() {
-            *oi *= inv;
+        for (ri, o) in chunk.chunks_mut(n).enumerate() {
+            let base = (start + ri) * n;
+            let s = &data[base..base + n];
+            let m = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0f32;
+            for (oi, &x) in o.iter_mut().zip(s.iter()) {
+                let e = (x - m).exp();
+                *oi = e;
+                z += e;
+            }
+            let inv = 1.0 / z;
+            for oi in o.iter_mut() {
+                *oi *= inv;
+            }
         }
-    }
+    });
     Tensor::from_vec(a.shape().to_vec(), out)
 }
 
@@ -31,17 +42,21 @@ pub fn softmax_last(a: &Tensor) -> Tensor {
 pub fn softmax_last_grad(grad: &Tensor, y: &Tensor) -> Tensor {
     let r = y.rank();
     let n = y.shape()[r - 1];
-    let rows = y.len() / n;
     let mut out = vec![0.0f32; y.len()];
     let g = grad.data();
     let yv = y.data();
-    for row in 0..rows {
-        let base = row * n;
-        let dot: f32 = (0..n).map(|i| g[base + i] * yv[base + i]).sum();
-        for i in 0..n {
-            out[base + i] = yv[base + i] * (g[base + i] - dot);
+    parallel::for_units(&mut out, n.max(1), 4 * y.len(), |start, chunk| {
+        if n == 0 {
+            return;
         }
-    }
+        for (ri, o) in chunk.chunks_mut(n).enumerate() {
+            let base = (start + ri) * n;
+            let dot: f32 = (0..n).map(|i| g[base + i] * yv[base + i]).sum();
+            for (i, oi) in o.iter_mut().enumerate() {
+                *oi = yv[base + i] * (g[base + i] - dot);
+            }
+        }
+    });
     Tensor::from_vec(y.shape().to_vec(), out)
 }
 
@@ -49,14 +64,18 @@ pub fn softmax_last_grad(grad: &Tensor, y: &Tensor) -> Tensor {
 pub fn logsumexp_last(a: &Tensor) -> Tensor {
     let r = a.rank();
     let n = a.shape()[r - 1];
-    let rows = a.len() / n;
-    let mut out = Vec::with_capacity(rows);
-    for row in 0..rows {
-        let s = &a.data()[row * n..(row + 1) * n];
-        let m = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let z: f32 = s.iter().map(|&x| (x - m).exp()).sum();
-        out.push(m + z.ln());
-    }
+    let rows = a.len() / n.max(1);
+    let mut out = vec![0.0f32; rows];
+    let data = a.data();
+    parallel::for_units(&mut out, 1, 3 * a.len(), |start, chunk| {
+        for (ri, o) in chunk.iter_mut().enumerate() {
+            let base = (start + ri) * n;
+            let s = &data[base..base + n];
+            let m = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let z: f32 = s.iter().map(|&x| (x - m).exp()).sum();
+            *o = m + z.ln();
+        }
+    });
     let mut shape = a.shape()[..r - 1].to_vec();
     if shape.is_empty() {
         shape.push(1);
@@ -99,6 +118,17 @@ mod tests {
         for v in dx.data() {
             assert!(v.abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn softmax_matches_reference_above_threshold() {
+        let a = Tensor::from_vec(
+            vec![64, 24, 32],
+            (0..64 * 24 * 32).map(|i| ((i * 31 % 113) as f32) * 0.1 - 5.0).collect(),
+        );
+        let fast = softmax_last(&a);
+        let slow = super::super::reference::softmax_last(&a);
+        assert_eq!(fast.data(), slow.data());
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Scoped-thread parallel partitioning for tensor kernels.
+//!
+//! Every data-parallel kernel in [`crate::ops`] funnels through the helpers
+//! here. The model is deliberately simple: an output buffer is viewed as a
+//! sequence of fixed-size *units* (a matmul output row, a softmax row, one
+//! batch matrix, a single element, …) and contiguous runs of units are
+//! dispatched to scoped worker threads (crossbeam-style scoped threads, so
+//! kernels can borrow their inputs without `Arc`).
+//!
+//! # Thread count
+//!
+//! The worker count comes from, in priority order:
+//!
+//! 1. [`set_num_threads`] (process-wide override, mainly for tests/benches),
+//! 2. the `CTS_NUM_THREADS` environment variable (read once, cached),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! With a thread count of 1 every helper takes the exact serial code path,
+//! so `CTS_NUM_THREADS=1` is bit-identical to a fully serial build.
+//!
+//! # Serial fallback
+//!
+//! Callers pass an estimated scalar-op count for the whole kernel; work
+//! smaller than [`PAR_THRESHOLD`] never crosses a thread boundary, so tiny
+//! tensors (the common case inside cell-search inner loops) pay nothing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Estimated scalar-op count below which kernels stay on the serial path.
+///
+/// Spawning a scoped thread costs on the order of tens of microseconds; at
+/// roughly one fused multiply-add per nanosecond, work below ~32k ops is
+/// cheaper to run in place than to fan out.
+pub const PAR_THRESHOLD: usize = 32_768;
+
+/// Sentinel meaning "no override set".
+const UNSET: usize = usize::MAX;
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(UNSET);
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn env_threads() -> usize {
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("CTS_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// The worker-thread count kernels will use for sufficiently large work.
+pub fn num_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        UNSET => env_threads(),
+        n => n,
+    }
+}
+
+/// Override the worker-thread count process-wide.
+///
+/// `n >= 1` forces that many workers; `n == 0` clears the override, falling
+/// back to `CTS_NUM_THREADS` / available parallelism. Intended for tests and
+/// benchmarks that compare serial and parallel execution in one process.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(if n == 0 { UNSET } else { n }, Ordering::Relaxed);
+}
+
+/// Split `units` items over `threads` workers: first `rem` workers get one
+/// extra unit. Returns the unit count for worker `w`.
+fn share(units: usize, threads: usize, w: usize) -> usize {
+    units / threads + usize::from(w < units % threads)
+}
+
+/// Partition `out` into contiguous units of `unit_len` elements and run
+/// `f(first_unit, units_slice)` over disjoint runs of units, in parallel
+/// when `work` (estimated scalar ops) is large enough.
+///
+/// `out.len()` must be a multiple of `unit_len`. The serial path is a single
+/// `f(0, out)` call, so `f` must handle any number of units.
+pub fn for_units<F>(out: &mut [f32], unit_len: usize, work: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    debug_assert!(unit_len > 0 && out.len().is_multiple_of(unit_len));
+    let units = out.len() / unit_len;
+    let threads = num_threads().min(units);
+    if threads <= 1 || work < PAR_THRESHOLD {
+        if !out.is_empty() {
+            f(0, out);
+        }
+        return;
+    }
+    crossbeam::thread::scope(|s| {
+        let f = &f;
+        let mut rest = out;
+        let mut first = 0usize;
+        for w in 0..threads {
+            let n_units = share(units, threads, w);
+            if n_units == 0 {
+                break;
+            }
+            let (head, tail) = rest.split_at_mut(n_units * unit_len);
+            rest = tail;
+            let start = first;
+            s.spawn(move |_| f(start, head));
+            first += n_units;
+        }
+    })
+    .expect("parallel kernel worker panicked");
+}
+
+/// Parallel accumulation: each worker owns a zeroed `acc_len` buffer, calls
+/// `f(unit, acc)` for its run of units, and the per-worker buffers are summed
+/// (in worker order) into the returned vector.
+///
+/// Used by kernels whose output is shared across units (e.g. a weight
+/// gradient accumulated over a batch). Summation order of partial buffers is
+/// deterministic for a fixed thread count; with 1 thread it is exactly the
+/// serial accumulation order.
+pub fn partial_sums<F>(units: usize, acc_len: usize, work: usize, f: F) -> Vec<f32>
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let threads = num_threads().min(units.max(1));
+    if threads <= 1 || work < PAR_THRESHOLD {
+        let mut acc = vec![0.0f32; acc_len];
+        for u in 0..units {
+            f(u, &mut acc);
+        }
+        return acc;
+    }
+    let mut partials: Vec<Vec<f32>> = Vec::with_capacity(threads);
+    crossbeam::thread::scope(|s| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(threads);
+        let mut first = 0usize;
+        for w in 0..threads {
+            let n_units = share(units, threads, w);
+            if n_units == 0 {
+                break;
+            }
+            let start = first;
+            handles.push(s.spawn(move |_| {
+                let mut acc = vec![0.0f32; acc_len];
+                for u in start..start + n_units {
+                    f(u, &mut acc);
+                }
+                acc
+            }));
+            first += n_units;
+        }
+        for h in handles {
+            partials.push(h.join().expect("parallel accumulation worker panicked"));
+        }
+    })
+    .expect("parallel accumulation scope failed");
+    let mut acc = partials.remove(0);
+    for p in &partials {
+        for (a, &v) in acc.iter_mut().zip(p.iter()) {
+            *a += v;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Tests here mutate the process-wide thread override; serialize them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn thread_count_override_roundtrip() {
+        let _g = LOCK.lock().unwrap();
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn for_units_covers_every_unit_once() {
+        let _g = LOCK.lock().unwrap();
+        for threads in [1, 2, 5] {
+            set_num_threads(threads);
+            let mut out = vec![0.0f32; 7 * 3];
+            // work above threshold to force the parallel path
+            for_units(&mut out, 3, PAR_THRESHOLD * 2, |first, chunk| {
+                for (u, slot) in chunk.chunks_mut(3).enumerate() {
+                    for s in slot.iter_mut() {
+                        *s += (first + u) as f32;
+                    }
+                }
+            });
+            let expect: Vec<f32> = (0..7).flat_map(|u| [u as f32; 3]).collect();
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn for_units_small_work_stays_serial() {
+        let _g = LOCK.lock().unwrap();
+        set_num_threads(8);
+        let mut out = vec![0.0f32; 4];
+        let mut calls = std::sync::atomic::AtomicUsize::new(0);
+        for_units(&mut out, 1, 8, |_, chunk| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            for s in chunk.iter_mut() {
+                *s = 1.0;
+            }
+        });
+        assert_eq!(*calls.get_mut(), 1, "below-threshold work must not split");
+        assert_eq!(out, vec![1.0; 4]);
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn partial_sums_matches_serial() {
+        let _g = LOCK.lock().unwrap();
+        let run = |threads| {
+            set_num_threads(threads);
+            partial_sums(10, 4, PAR_THRESHOLD * 2, |u, acc| {
+                for (i, a) in acc.iter_mut().enumerate() {
+                    *a += (u * 4 + i) as f32;
+                }
+            })
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        set_num_threads(0);
+        assert_eq!(serial, parallel);
+        // sum over u of (u*4 + 0) for i = 0: 0+4+..+36 = 180
+        assert_eq!(serial[0], 180.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Property tests pinning the parallel/blocked kernels to the naive serial
+//! oracles in `cts_tensor::ops::reference`, across randomized broadcast
+//! shapes and thread counts.
+//!
+//! Two guarantees are checked:
+//!
+//! 1. **Accuracy**: optimized kernels match the reference to 1e-5 on every
+//!    randomized shape (in practice they are bit-exact, because every path
+//!    accumulates in the same ascending-`k` order — asserted where true).
+//! 2. **Determinism**: a forced single worker (`set_num_threads(1)`, the
+//!    programmatic equivalent of `CTS_NUM_THREADS=1`) produces bit-identical
+//!    results to multi-worker runs.
+//!
+//! Tests mutate the process-wide thread override, so they serialize on a
+//! mutex.
+
+use cts_tensor::ops::{self, reference};
+use cts_tensor::parallel::set_num_threads;
+use cts_tensor::Tensor;
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn rand_tensor(rng: &mut SmallRng, shape: Vec<usize>) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(shape, (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect::<Vec<f32>>())
+}
+
+fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.shape(), b.shape());
+    a.data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+}
+
+/// Run `f` under `threads` workers, restoring the default afterwards.
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    set_num_threads(threads);
+    let out = f();
+    set_num_threads(0);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Shared-weight matmul `[B, T, m, k] × [k, n]` — the projection shape
+    /// used all over the model zoo — plus determinism across thread counts.
+    fn matmul_shared_weight_matches_reference(
+        bsz in 1usize..4,
+        t in 1usize..5,
+        m in 1usize..32,
+        k in 1usize..32,
+        n in 1usize..32,
+        seed in 0u64..1_000_000
+    ) {
+        let _g = LOCK.lock().unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = rand_tensor(&mut rng, vec![bsz, t, m, k]);
+        let b = rand_tensor(&mut rng, vec![k, n]);
+        let serial = with_threads(1, || ops::matmul(&a, &b));
+        let threaded = with_threads(4, || ops::matmul(&a, &b));
+        let oracle = reference::matmul(&a, &b);
+        prop_assert!(max_abs_diff(&serial, &oracle) <= 1e-5);
+        // Ascending-k accumulation makes every path bit-exact.
+        prop_assert_eq!(serial.data(), oracle.data());
+        prop_assert_eq!(serial.data(), threaded.data());
+    }
+
+    /// Batched matmul with broadcast batch dims on either operand.
+    fn matmul_broadcast_batches_match_reference(
+        bsz in 1usize..5,
+        m in 1usize..20,
+        k in 1usize..20,
+        n in 1usize..20,
+        broadcast_a in proptest::bool::ANY,
+        seed in 0u64..1_000_000
+    ) {
+        let _g = LOCK.lock().unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (a_batch, b_batch) = if broadcast_a { (1, bsz) } else { (bsz, 1) };
+        let a = rand_tensor(&mut rng, vec![a_batch, m, k]);
+        let b = rand_tensor(&mut rng, vec![b_batch, k, n]);
+        let serial = with_threads(1, || ops::matmul(&a, &b));
+        let threaded = with_threads(3, || ops::matmul(&a, &b));
+        let oracle = reference::matmul(&a, &b);
+        prop_assert_eq!(serial.shape(), oracle.shape());
+        prop_assert!(max_abs_diff(&serial, &oracle) <= 1e-5);
+        prop_assert_eq!(serial.data(), threaded.data());
+    }
+
+    /// Elementwise add/mul across randomized broadcast shapes.
+    fn elementwise_broadcast_matches_reference(
+        d0 in 1usize..5,
+        d1 in 1usize..6,
+        d2 in 1usize..48,
+        squash_a in proptest::bool::ANY,
+        squash_b in proptest::bool::ANY,
+        seed in 0u64..1_000_000
+    ) {
+        let _g = LOCK.lock().unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Randomly set middle/leading dims to 1 on either side to exercise
+        // broadcasting; at least one side keeps the full shape.
+        let a_shape = if squash_a { vec![d0, 1, d2] } else { vec![d0, d1, d2] };
+        let b_shape = if squash_b && !squash_a { vec![1, d1, 1] } else { vec![d1, d2] };
+        let a = rand_tensor(&mut rng, a_shape);
+        let b = rand_tensor(&mut rng, b_shape);
+        for (fast, slow) in [
+            (ops::add(&a, &b), reference::add(&a, &b)),
+            (ops::mul(&a, &b), reference::mul(&a, &b)),
+        ] {
+            prop_assert_eq!(fast.shape(), slow.shape());
+            // Same per-element expression => bit-exact.
+            prop_assert_eq!(fast.data(), slow.data());
+        }
+        // Determinism across worker counts.
+        let s1 = with_threads(1, || ops::add(&a, &b));
+        let s4 = with_threads(4, || ops::add(&a, &b));
+        prop_assert_eq!(s1.data(), s4.data());
+    }
+
+    /// Softmax over the last axis, rows partitioned across workers.
+    fn softmax_matches_reference(
+        rows0 in 1usize..24,
+        rows1 in 1usize..24,
+        n in 1usize..64,
+        seed in 0u64..1_000_000
+    ) {
+        let _g = LOCK.lock().unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = rand_tensor(&mut rng, vec![rows0, rows1, n]);
+        let serial = with_threads(1, || ops::softmax_last(&a));
+        let threaded = with_threads(5, || ops::softmax_last(&a));
+        let oracle = reference::softmax_last(&a);
+        prop_assert!(max_abs_diff(&serial, &oracle) <= 1e-5);
+        prop_assert_eq!(serial.data(), oracle.data());
+        prop_assert_eq!(serial.data(), threaded.data());
+    }
+
+    /// Axis reductions and transpose stay consistent with the oracle.
+    fn reduce_and_transpose_match_reference(
+        d0 in 1usize..6,
+        d1 in 1usize..24,
+        d2 in 1usize..24,
+        axis in 0usize..3,
+        seed in 0u64..1_000_000
+    ) {
+        let _g = LOCK.lock().unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = rand_tensor(&mut rng, vec![d0, d1, d2]);
+        let fast = with_threads(4, || ops::sum_axis(&a, axis, false));
+        let slow = reference::sum_axis(&a, axis, false);
+        prop_assert_eq!(fast.shape(), slow.shape());
+        prop_assert_eq!(fast.data(), slow.data());
+        let ft = with_threads(4, || ops::transpose_last2(&a));
+        let st = reference::transpose_last2(&a);
+        prop_assert_eq!(ft.data(), st.data());
+    }
+}
+
+/// Deterministic end-to-end: a matmul → softmax → reduce pipeline large
+/// enough to cross the parallel threshold must be bit-identical between a
+/// single forced worker and several.
+#[test]
+fn pipeline_bit_exact_across_thread_counts() {
+    let _g = LOCK.lock().unwrap();
+    let mut rng = SmallRng::seed_from_u64(42);
+    let a = rand_tensor(&mut rng, vec![8, 4, 32, 24]);
+    let w = rand_tensor(&mut rng, vec![24, 48]);
+    let run = || {
+        let h = ops::matmul(&a, &w);
+        let s = ops::softmax_last(&h);
+        ops::sum_axis(&s, 2, false)
+    };
+    let one = with_threads(1, run);
+    let two = with_threads(2, run);
+    let eight = with_threads(8, run);
+    assert_eq!(one.data(), two.data());
+    assert_eq!(one.data(), eight.data());
+}
+
+/// NaN must flow through the parallel matmul even when the other operand is
+/// zero (regression for the old `a == 0.0 { continue }` skip).
+#[test]
+fn matmul_nan_propagates_under_threads() {
+    let _g = LOCK.lock().unwrap();
+    let mut a = Tensor::zeros(vec![4, 64, 32]);
+    a.data_mut()[0] = 0.0; // explicit: row of zeros meets a NaN column
+    let mut b = Tensor::ones(vec![32, 48]);
+    b.data_mut()[5] = f32::NAN;
+    let y = with_threads(4, || ops::matmul(&a, &b));
+    // Column 5 of every output row touched the NaN weight.
+    assert!(y.data()[5].is_nan());
+}

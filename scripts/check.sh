@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full local gate: release build, tests, and lint — everything offline.
+#
+# The workspace has no registry access; all third-party deps resolve to the
+# API-compatible shims in compat/, so --offline must always succeed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q (workspace)"
+cargo test -q --workspace --offline
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "All checks passed."
