@@ -69,7 +69,10 @@ impl Tape {
         param: Option<Parameter>,
         requires_grad: bool,
     ) -> Var {
-        debug_assert!(!value.has_non_finite(), "non-finite forward value from {:?}", op);
+        // Non-finite forward values are deliberately *not* asserted here:
+        // transient NaN/∞ blow-ups during training are the divergence
+        // watchdog's job (`cts_nn::WatchdogConfig`), which rolls the run
+        // back instead of crashing it.
         let mut inner = self.inner.borrow_mut();
         let id = inner.nodes.len();
         inner.nodes.push(Node {

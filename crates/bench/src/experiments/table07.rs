@@ -15,7 +15,8 @@ pub fn run(ctx: &ExpContext) -> String {
     let mut rows = Vec::new();
     for spec in &specs {
         let p = prepare(ctx, spec);
-        let (_, _, stats) = joint_search(&ctx.search_config(), &p.spec, &p.data.graph, &p.windows);
+        let (_, _, stats) = joint_search(&ctx.search_config(), &p.spec, &p.data.graph, &p.windows)
+            .unwrap_or_else(|e| panic!("search failed on {}: {e}", spec.name));
         rows.push(vec![
             spec.name.clone(),
             format!("{:.1}", stats.secs),

@@ -243,8 +243,10 @@ pub fn run_baseline(name: &str, ctx: &ExpContext, p: &Prepared) -> EvalReport {
             null_value: p.spec.null_value,
         },
         patience: 0,
+        ..TrainConfig::default()
     };
     train_and_evaluate(model.as_ref(), &p.spec, &p.windows, &cfg, ctx.batch_for(&p.spec))
+        .unwrap_or_else(|e| panic!("baseline {name} training failed: {e}"))
 }
 
 /// Run the full AutoCTS pipeline: search, then architecture evaluation.

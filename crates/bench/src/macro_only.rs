@@ -180,11 +180,13 @@ pub fn macro_only_search_and_eval(ctx: &ExpContext, p: &Prepared) -> (EvalReport
         clip: 5.0,
         loss: loss_kind,
         patience: 0,
+        ..TrainConfig::default()
     };
     let merged = p.windows.train_and_val();
     let train_batches = batches_from_windows(&merged, ctx.batch);
     let test_batches = batches_from_windows(&p.windows.test, ctx.batch);
-    cts_nn::train_full(&eval_model, &train_batches, None, &cfg);
+    cts_nn::train_full(&eval_model, &train_batches, None, &cfg)
+        .unwrap_or_else(|e| panic!("macro-only retraining failed: {e}"));
     let (overall, horizons) = evaluate_model(&eval_model, &test_batches, p.spec.null_value);
     let report = EvalReport {
         overall,

@@ -98,8 +98,10 @@ pub fn train_single_op_model(kind: OpKind, ctx: &ExpContext, p: &Prepared) -> Ev
             null_value: p.spec.null_value,
         },
         patience: 0,
+        ..TrainConfig::default()
     };
     train_and_evaluate(&model, &p.spec, &p.windows, &cfg, ctx.batch)
+        .unwrap_or_else(|e| panic!("single-op probe training failed: {e}"))
 }
 
 #[cfg(test)]

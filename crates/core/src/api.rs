@@ -16,9 +16,10 @@
 //! ```
 
 use crate::eval::{evaluate_genotype, EvalReport};
-use crate::{joint_search, Genotype, SearchConfig, SearchStats};
+use crate::{joint_search, Genotype, SearchConfig, SearchError, SearchStats};
 use cts_data::{DatasetSpec, SplitWindows};
 use cts_graph::SensorGraph;
+use cts_nn::TrainError;
 
 /// Result of one architecture search.
 #[derive(Clone, Debug)]
@@ -37,9 +38,19 @@ pub struct AutoCts {
 
 impl AutoCts {
     /// AutoCTS with the given search configuration.
+    ///
+    /// Panics on an invalid configuration; use [`AutoCts::try_new`] for a
+    /// typed result.
     pub fn new(config: SearchConfig) -> Self {
         config.validate();
         Self { config }
+    }
+
+    /// AutoCTS with the given search configuration, rejecting invalid
+    /// configurations with [`SearchError::InvalidConfig`].
+    pub fn try_new(config: SearchConfig) -> Result<Self, SearchError> {
+        config.try_validate().map_err(SearchError::InvalidConfig)?;
+        Ok(Self { config })
     }
 
     /// The active configuration.
@@ -48,20 +59,38 @@ impl AutoCts {
     }
 
     /// Stage 1 (§3.4): architecture search on the training windows.
+    ///
+    /// Panics on a search failure; use [`AutoCts::try_search`] for a
+    /// typed result (resume, watchdog, and checkpoint errors).
     pub fn search(
         &self,
         spec: &DatasetSpec,
         graph: &SensorGraph,
         windows: &SplitWindows,
     ) -> SearchOutcome {
-        let (genotype, _model, stats) = joint_search(&self.config, spec, graph, windows);
-        SearchOutcome { genotype, stats }
+        self.try_search(spec, graph, windows)
+            .unwrap_or_else(|e| panic!("search failed: {e}"))
+    }
+
+    /// Stage 1 (§3.4) with a typed result: architecture search on the
+    /// training windows.
+    pub fn try_search(
+        &self,
+        spec: &DatasetSpec,
+        graph: &SensorGraph,
+        windows: &SplitWindows,
+    ) -> Result<SearchOutcome, SearchError> {
+        let (genotype, _model, stats) = joint_search(&self.config, spec, graph, windows)?;
+        Ok(SearchOutcome { genotype, stats })
     }
 
     /// Stage 2 (§3.4): retrain the genotype from scratch on train+val for
     /// `epochs` and report test metrics. Also the entry point for
     /// transferability (Table 35): pass a genotype searched on another
     /// dataset.
+    ///
+    /// Panics on a training failure; use [`AutoCts::try_evaluate`] for a
+    /// typed result.
     pub fn evaluate(
         &self,
         genotype: &Genotype,
@@ -70,6 +99,19 @@ impl AutoCts {
         windows: &SplitWindows,
         epochs: usize,
     ) -> EvalReport {
+        self.try_evaluate(genotype, spec, graph, windows, epochs)
+            .unwrap_or_else(|e| panic!("architecture evaluation failed: {e}"))
+    }
+
+    /// Stage 2 (§3.4) with a typed result.
+    pub fn try_evaluate(
+        &self,
+        genotype: &Genotype,
+        spec: &DatasetSpec,
+        graph: &SensorGraph,
+        windows: &SplitWindows,
+        epochs: usize,
+    ) -> Result<EvalReport, TrainError> {
         evaluate_genotype(&self.config, genotype, spec, graph, windows, epochs)
     }
 }

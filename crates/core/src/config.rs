@@ -1,5 +1,6 @@
 //! Search-space and optimisation configuration (§4.1.4 defaults).
 
+use cts_nn::{CheckpointConfig, WatchdogConfig};
 use cts_ops::OpKind;
 
 /// Everything that defines one AutoCTS search run.
@@ -61,6 +62,12 @@ pub struct SearchConfig {
     pub cost_penalty: f32,
     /// RNG seed controlling initialisation and batch order.
     pub seed: u64,
+    /// Epoch-boundary run-state persistence for the search (None
+    /// disables). A killed search resumes bit-identically from the last
+    /// checkpoint.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Divergence watchdog for the bi-level loop (enabled by default).
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for SearchConfig {
@@ -88,6 +95,8 @@ impl Default for SearchConfig {
             adaptive_emb: 8,
             cost_penalty: 0.0,
             seed: 1,
+            checkpoint: None,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -122,6 +131,13 @@ impl SearchConfig {
         self
     }
 
+    /// Persist search run state to `ck.path` at epoch boundaries and
+    /// resume from it when present (see [`CheckpointConfig`]).
+    pub fn with_checkpoint(mut self, ck: CheckpointConfig) -> Self {
+        self.checkpoint = Some(ck);
+        self
+    }
+
     /// Channel width routed through candidate operators.
     pub fn op_channels(&self) -> usize {
         ((self.d_model as f32 * self.partial_channels).round() as usize)
@@ -139,14 +155,35 @@ impl SearchConfig {
         (self.op_set.len() as f64).powi(self.num_pairs() as i32)
     }
 
+    /// Validate invariants, returning a descriptive message on misuse.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.m < 2 {
+            return Err("micro-DAG needs at least input + output nodes".into());
+        }
+        if self.b < 1 {
+            return Err("backbone needs at least one ST-block".into());
+        }
+        if self.edges_per_node < 1 {
+            return Err("derivation keeps at least one incoming edge per node".into());
+        }
+        if self.op_set.is_empty() {
+            return Err("operator set must not be empty".into());
+        }
+        if self.d_model < 2 {
+            return Err("d_model must be at least 2".into());
+        }
+        if !(self.partial_channels > 0.0 && self.partial_channels <= 1.0) {
+            return Err("partial_channels must be in (0, 1]".into());
+        }
+        Ok(())
+    }
+
     /// Validate invariants; panics with a descriptive message on misuse.
+    /// Use [`SearchConfig::try_validate`] for a typed result.
     pub fn validate(&self) {
-        assert!(self.m >= 2, "micro-DAG needs at least input + output nodes");
-        assert!(self.b >= 1, "backbone needs at least one ST-block");
-        assert!(self.edges_per_node >= 1);
-        assert!(!self.op_set.is_empty());
-        assert!(self.d_model >= 2);
-        assert!(self.partial_channels > 0.0 && self.partial_channels <= 1.0);
+        if let Err(msg) = self.try_validate() {
+            panic!("{msg}");
+        }
     }
 }
 

@@ -47,9 +47,9 @@ fn cost_penalty_prefers_cheaper_operators() {
             .map(|(_, c)| *c)
             .sum()
     };
-    let (g_free, _, _) = joint_search(&base, &spec, &data.graph, &windows);
+    let (g_free, _, _) = joint_search(&base, &spec, &data.graph, &windows).unwrap();
     let penalised = base.clone().with_cost_penalty(50.0);
-    let (g_cheap, _, _) = joint_search(&penalised, &spec, &data.graph, &windows);
+    let (g_cheap, _, _) = joint_search(&penalised, &spec, &data.graph, &windows).unwrap();
     assert!(
         expensive_ops(&g_cheap) <= expensive_ops(&g_free),
         "penalty did not reduce expensive-op usage: {} vs {}",

@@ -1,0 +1,70 @@
+//! Typed errors of the search stage.
+
+use cts_nn::checkpoint::CheckpointError;
+use cts_nn::DivergenceReason;
+use std::fmt;
+
+/// Typed failure of [`crate::joint_search`] (previously panics or
+/// silently-propagated NaNs).
+#[derive(Debug)]
+pub enum SearchError {
+    /// The [`crate::SearchConfig`] violates an invariant.
+    InvalidConfig(String),
+    /// The training split is too small for the bi-level pseudo-split.
+    EmptySplit {
+        /// Pseudo-training windows available.
+        train: usize,
+        /// Pseudo-validation windows available.
+        val: usize,
+    },
+    /// The divergence watchdog exhausted its rollback budget.
+    Diverged {
+        /// Epoch the final divergence occurred in.
+        epoch: usize,
+        /// Rollbacks performed before giving up.
+        retries: usize,
+        /// The final divergence.
+        reason: DivergenceReason,
+    },
+    /// The search was killed mid-epoch (fault injection or external
+    /// stop). State up to the last checkpoint is on disk; rerun with
+    /// `resume` to continue.
+    Interrupted {
+        /// Epoch the interruption occurred in.
+        epoch: usize,
+        /// Global step at interruption.
+        step: u64,
+    },
+    /// Persisting or restoring run state failed (I/O, corruption, or a
+    /// checkpoint that does not match this run's config/data).
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::InvalidConfig(m) => write!(f, "invalid search config: {m}"),
+            SearchError::EmptySplit { train, val } => write!(
+                f,
+                "not enough training windows for the bi-level split \
+                 (pseudo-train {train}, pseudo-val {val})"
+            ),
+            SearchError::Diverged { epoch, retries, reason } => write!(
+                f,
+                "search diverged at epoch {epoch} after {retries} rollback(s): {reason}"
+            ),
+            SearchError::Interrupted { epoch, step } => {
+                write!(f, "search interrupted at epoch {epoch}, step {step}")
+            }
+            SearchError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+impl From<CheckpointError> for SearchError {
+    fn from(e: CheckpointError) -> Self {
+        SearchError::Checkpoint(e)
+    }
+}

@@ -8,7 +8,7 @@ use cts_data::{
     batches_from_windows, horizon_slice, Batches, DatasetSpec, EvalMetrics, SplitWindows,
 };
 use cts_graph::SensorGraph;
-use cts_nn::{train_full, Forecaster, LossKind, TrainConfig};
+use cts_nn::{train_full, Forecaster, LossKind, TrainConfig, TrainError};
 use cts_tensor::{ops, Tensor};
 use rand::{rngs::SmallRng, SeedableRng};
 
@@ -81,13 +81,17 @@ pub fn inference_ms_per_window(model: &dyn Forecaster, batches: &Batches) -> f64
 
 /// Train any forecaster on train(+val) windows and evaluate on test —
 /// the protocol every baseline and AutoCTS itself follows.
+///
+/// # Errors
+/// Propagates [`TrainError`] from the training loop: watchdog budget
+/// exhaustion, interruption, or checkpoint I/O failures.
 pub fn train_and_evaluate(
     model: &dyn Forecaster,
     spec: &DatasetSpec,
     windows: &SplitWindows,
     train_cfg: &TrainConfig,
     batch_size: usize,
-) -> EvalReport {
+) -> Result<EvalReport, TrainError> {
     let train_batches = batches_from_windows(&windows.train, batch_size);
     let val_batches = batches_from_windows(&windows.val, batch_size);
     let test_batches = batches_from_windows(&windows.test, batch_size);
@@ -96,19 +100,24 @@ pub fn train_and_evaluate(
         &train_batches,
         (!val_batches.is_empty()).then_some(&val_batches[..]),
         train_cfg,
-    );
+    )?;
     let (overall, horizons) = evaluate_model(model, &test_batches, spec.null_value);
-    EvalReport {
+    Ok(EvalReport {
         overall,
         horizons,
         train_secs_per_epoch: report.secs_per_epoch,
         inference_ms_per_window: inference_ms_per_window(model, &test_batches),
         parameters: cts_nn::count_parameters(&model.parameters()),
-    }
+    })
 }
 
 /// Architecture evaluation (§3.4): instantiate the genotype with fresh
 /// weights, retrain on the training+validation windows, report on test.
+///
+/// The retraining loop inherits the search config's divergence watchdog.
+///
+/// # Errors
+/// Propagates [`TrainError`] from the training loop.
 pub fn evaluate_genotype(
     cfg: &SearchConfig,
     genotype: &Genotype,
@@ -116,7 +125,7 @@ pub fn evaluate_genotype(
     graph: &SensorGraph,
     windows: &SplitWindows,
     epochs: usize,
-) -> EvalReport {
+) -> Result<EvalReport, TrainError> {
     let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(0x9e37));
     let model = DerivedModel::new(&mut rng, cfg, genotype, spec, graph, &windows.scaler);
     let train_cfg = TrainConfig {
@@ -128,20 +137,22 @@ pub fn evaluate_genotype(
             null_value: spec.null_value,
         },
         patience: 0,
+        checkpoint: None,
+        watchdog: cfg.watchdog.clone(),
     };
     // §3.4: retrain on the original training AND validation data.
     let merged = windows.train_and_val();
     let train_batches = batches_from_windows(&merged, cfg.batch_size);
     let test_batches = batches_from_windows(&windows.test, cfg.batch_size);
-    let report = train_full(&model, &train_batches, None, &train_cfg);
+    let report = train_full(&model, &train_batches, None, &train_cfg)?;
     let (overall, horizons) = evaluate_model(&model, &test_batches, spec.null_value);
-    EvalReport {
+    Ok(EvalReport {
         overall,
         horizons,
         train_secs_per_epoch: report.secs_per_epoch,
         inference_ms_per_window: inference_ms_per_window(&model, &test_batches),
         parameters: cts_nn::count_parameters(&model.parameters()),
-    }
+    })
 }
 
 #[cfg(test)]

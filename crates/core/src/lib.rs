@@ -25,6 +25,7 @@ mod api;
 mod cost_tests;
 mod config;
 mod derive;
+mod error;
 mod genotype;
 mod macro_space;
 mod micro;
@@ -37,6 +38,7 @@ pub mod eval;
 pub use api::{AutoCts, SearchOutcome};
 pub use config::SearchConfig;
 pub use derive::derive_genotype;
+pub use error::SearchError;
 pub use genotype::{BlockGenotype, Genotype};
 pub use macro_space::MacroTopology;
 pub use micro::MicroCell;

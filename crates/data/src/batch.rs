@@ -30,12 +30,22 @@ pub fn batches_from_windows(windows: &[Window], batch_size: usize) -> Batches {
     out
 }
 
+/// Fisher–Yates shuffle of any slice.
+///
+/// This is the single source of shuffle RNG consumption: an index
+/// permutation shuffled with the same RNG stream stays bit-identical
+/// with a shuffled window list, which checkpoint resume relies on to
+/// replay epoch orderings deterministically.
+pub fn shuffle_in_place<T>(rng: &mut impl Rng, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
 /// Fisher–Yates shuffle of a window list (fresh order per epoch).
 pub fn shuffle_windows(rng: &mut impl Rng, windows: &mut [Window]) {
-    for i in (1..windows.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        windows.swap(i, j);
-    }
+    shuffle_in_place(rng, windows);
 }
 
 #[cfg(test)]

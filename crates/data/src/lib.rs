@@ -20,7 +20,7 @@ mod spec;
 mod synth;
 mod window;
 
-pub use batch::{batches_from_windows, shuffle_windows, Batches};
+pub use batch::{batches_from_windows, shuffle_in_place, shuffle_windows, Batches};
 pub use metrics::{
     corr_metric, horizon_slice, masked_mae, masked_mape, masked_rmse, rrse_metric, EvalMetrics,
 };

@@ -1,0 +1,100 @@
+//! Fault-injection hooks for testing the fault-tolerant runtime.
+//!
+//! Production code never arms a plan, so the default is fully inert —
+//! each check is one thread-local read. Tests arm a [`FaultPlan`] on
+//! their own thread, run a training/search loop, and observe the
+//! recovery path: a simulated crash ([`FaultPlan::abort_at_step`]), or a
+//! NaN blast into the gradients ([`FaultPlan::nan_grad_at_step`]).
+//!
+//! Triggers are one-shot: once fired they clear themselves, so a
+//! watchdog rollback that replays the same global step does not re-fire
+//! the fault (mirroring a transient hardware/numerical event).
+
+use cts_autograd::Parameter;
+use std::cell::RefCell;
+
+/// Scheduled faults for the current thread's next training run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Simulate a crash (kill -9) when the loop reaches this global
+    /// step: the loop returns `Interrupted` without stepping further.
+    pub abort_at_step: Option<u64>,
+    /// Overwrite gradients with NaN right after backward at this global
+    /// step, before the watchdog's health check.
+    pub nan_grad_at_step: Option<u64>,
+}
+
+thread_local! {
+    static PLAN: RefCell<FaultPlan> = RefCell::new(FaultPlan::default());
+}
+
+/// Arm a fault plan for this thread. Replaces any previous plan.
+pub fn arm(plan: FaultPlan) {
+    PLAN.with(|p| *p.borrow_mut() = plan);
+}
+
+/// Clear all pending faults on this thread.
+pub fn disarm() {
+    arm(FaultPlan::default());
+}
+
+/// One-shot check: should the loop simulate a crash at `step`?
+pub fn take_abort(step: u64) -> bool {
+    PLAN.with(|p| {
+        let mut plan = p.borrow_mut();
+        if plan.abort_at_step == Some(step) {
+            plan.abort_at_step = None;
+            true
+        } else {
+            false
+        }
+    })
+}
+
+/// One-shot check: should gradients be poisoned at `step`?
+pub fn take_nan_grad(step: u64) -> bool {
+    PLAN.with(|p| {
+        let mut plan = p.borrow_mut();
+        if plan.nan_grad_at_step == Some(step) {
+            plan.nan_grad_at_step = None;
+            true
+        } else {
+            false
+        }
+    })
+}
+
+/// Overwrite the first gradient buffer's leading element with NaN —
+/// exactly the kind of single poisoned value a watchdog must catch
+/// before it reaches the optimizer.
+pub fn poison_gradients(params: &[Parameter]) {
+    if let Some(p) = params.first() {
+        if let Some(g0) = p.grad_mut().data_mut().first_mut() {
+            *g0 = f32::NAN;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_tensor::Tensor;
+
+    #[test]
+    fn triggers_are_one_shot() {
+        arm(FaultPlan { abort_at_step: Some(3), nan_grad_at_step: Some(5) });
+        assert!(!take_abort(2));
+        assert!(take_abort(3));
+        assert!(!take_abort(3), "abort re-fired");
+        assert!(take_nan_grad(5));
+        assert!(!take_nan_grad(5), "nan re-fired");
+        disarm();
+    }
+
+    #[test]
+    fn poison_writes_nan() {
+        let p = Parameter::new("w", Tensor::zeros([3]));
+        poison_gradients(std::slice::from_ref(&p));
+        assert!(p.grad().data()[0].is_nan());
+    }
+}

@@ -10,6 +10,7 @@
 
 mod attention;
 pub mod checkpoint;
+pub mod fault;
 mod mha;
 mod conv;
 mod linear;
@@ -18,6 +19,7 @@ mod module;
 mod norm;
 mod optim;
 mod rnn;
+mod runstate;
 mod schedule;
 mod trainer;
 
@@ -30,5 +32,6 @@ pub use module::{count_parameters, Forecaster, ParamBundle};
 pub use norm::{BatchNorm, LayerNorm};
 pub use optim::{clip_grad_norm, global_grad_norm, Adam, Optimizer, Sgd};
 pub use rnn::{Gru, Lstm};
+pub use runstate::{CheckpointConfig, DivergenceReason, TrainError, WatchdogConfig};
 pub use schedule::TemperatureSchedule;
-pub use trainer::{train_full, train_one_epoch, TrainConfig, TrainReport};
+pub use trainer::{evaluate_loss, train_full, train_one_epoch, TrainConfig, TrainReport};

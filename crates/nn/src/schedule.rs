@@ -36,6 +36,22 @@ impl TemperatureSchedule {
         self.tau
     }
 
+    /// Per-epoch annealing factor.
+    pub fn factor(&self) -> f32 {
+        self.factor
+    }
+
+    /// Temperature floor.
+    pub fn min_tau(&self) -> f32 {
+        self.min
+    }
+
+    /// Restore the schedule position from a checkpoint.
+    pub fn restore(&mut self, tau: f32) {
+        assert!(tau > 0.0, "temperature must stay positive");
+        self.tau = tau;
+    }
+
     /// Advance one epoch.
     pub fn step(&mut self) {
         self.tau = (self.tau * self.factor).max(self.min);

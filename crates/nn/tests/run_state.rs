@@ -1,0 +1,149 @@
+//! Property tests of the `CTSCKPT2` run-state format: random run states
+//! round-trip bit-exactly, v1 checkpoints load as params-only run states,
+//! and every strict prefix of a valid file is rejected as corrupt.
+
+use cts_nn::checkpoint::{
+    read_run_state, write_checkpoint, write_run_state, OptimizerState, RunCounters, RunState,
+    ScheduleState,
+};
+use cts_autograd::Parameter;
+use cts_tensor::Tensor;
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::io::Cursor;
+
+fn arb_tensor(rng: &mut SmallRng) -> Tensor {
+    let rank = rng.gen_range(0usize..=3);
+    let shape: Vec<usize> = (0..rank).map(|_| rng.gen_range(1usize..=4)).collect();
+    let numel = shape.iter().product::<usize>().max(1);
+    let data: Vec<f32> = (0..numel).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+fn arb_optimizer(rng: &mut SmallRng, name: &str) -> OptimizerState {
+    let buffers = rng.gen_range(0usize..=3);
+    OptimizerState {
+        name: name.to_string(),
+        t: rng.gen_range(0u64..1_000_000),
+        lr: rng.gen_range(1e-6f32..1.0),
+        m: (0..buffers).map(|_| arb_tensor(rng)).collect(),
+        v: (0..buffers).map(|_| arb_tensor(rng)).collect(),
+    }
+}
+
+/// A random but fully-valid run state, deterministic in `seed`.
+fn arb_run_state(seed: u64) -> RunState {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_params = rng.gen_range(0usize..=4);
+    let params: Vec<(String, Tensor)> = (0..n_params)
+        .map(|i| (format!("layer{i}.weight"), arb_tensor(&mut rng)))
+        .collect();
+    let n_opts = rng.gen_range(0usize..=2);
+    let optimizers = (0..n_opts)
+        .map(|i| arb_optimizer(&mut rng, if i == 0 { "arch" } else { "weight" }))
+        .collect();
+    let schedule = if rng.gen_range(0u32..2) == 1 {
+        Some(ScheduleState {
+            tau: rng.gen_range(1e-3f32..10.0),
+            factor: rng.gen_range(0.1f32..1.0),
+            min: rng.gen_range(1e-4f32..1e-2),
+        })
+    } else {
+        None
+    };
+    let rng_state = if rng.gen_range(0u32..2) == 1 {
+        let word = |rng: &mut SmallRng| rng.gen_range(0u64..u64::MAX);
+        Some([word(&mut rng), word(&mut rng), word(&mut rng), 1u64]) // never all-zero
+    } else {
+        None
+    };
+    let n_trace = rng.gen_range(0usize..=3);
+    let trace = (0..n_trace)
+        .map(|_| {
+            [
+                rng.gen_range(0.0f32..5.0),
+                rng.gen_range(0.0f32..5.0),
+                rng.gen_range(0.0f32..5.0),
+            ]
+        })
+        .collect();
+    let losses = |rng: &mut SmallRng| {
+        let n = rng.gen_range(0usize..=4);
+        (0..n).map(|_| rng.gen_range(0.0f32..100.0)).collect::<Vec<f32>>()
+    };
+    RunState {
+        params,
+        optimizers,
+        schedule,
+        counters: RunCounters {
+            epoch: rng.gen_range(0u64..100),
+            step: rng.gen_range(0u64..10_000),
+            best_epoch: rng.gen_range(0u64..100),
+            stall: rng.gen_range(0u64..10),
+            memory_scalars: rng.gen_range(0u64..1_000_000),
+            best_val: rng.gen_range(0.0f32..100.0),
+            last_val: rng.gen_range(0.0f32..100.0),
+            secs: rng.gen_range(0.0f64..1e6),
+        },
+        rng: rng_state,
+        trace,
+        train_losses: losses(&mut rng),
+        val_losses: losses(&mut rng),
+    }
+}
+
+fn encode(rs: &RunState) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_run_state(&mut buf, rs).unwrap();
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    fn v2_round_trips_bit_exactly(seed in 0u64..1_000_000) {
+        let rs = arb_run_state(seed);
+        let bytes = encode(&rs);
+        let back = read_run_state(Cursor::new(&bytes)).unwrap();
+        prop_assert_eq!(back, rs);
+    }
+
+    fn v1_checkpoints_load_as_params_only_run_state(seed in 0u64..1_000_000) {
+        let rs = arb_run_state(seed);
+        let params: Vec<Parameter> = rs
+            .params
+            .iter()
+            .map(|(name, t)| Parameter::new(name, t.clone()))
+            .collect();
+        let mut v1 = Vec::new();
+        write_checkpoint(&mut v1, &params).unwrap();
+        let back = read_run_state(Cursor::new(&v1)).unwrap();
+        prop_assert_eq!(&back.params, &rs.params);
+        prop_assert!(back.optimizers.is_empty());
+        prop_assert!(back.schedule.is_none());
+        prop_assert!(back.rng.is_none());
+        prop_assert_eq!(back.counters, RunCounters::default());
+    }
+
+    fn every_truncation_is_rejected(seed in 0u64..1_000_000) {
+        let rs = arb_run_state(seed);
+        let bytes = encode(&rs);
+        // Every strict prefix must fail typed — never load, never panic,
+        // never allocate absurdly. Chunk boundaries are included since
+        // every byte offset is.
+        for len in 0..bytes.len() {
+            prop_assert!(
+                read_run_state(Cursor::new(&bytes[..len])).is_err(),
+                "prefix of {len}/{} bytes was accepted",
+                bytes.len()
+            );
+        }
+    }
+
+    fn trailing_garbage_is_rejected(seed in 0u64..1_000_000, extra in 1usize..16) {
+        let rs = arb_run_state(seed);
+        let mut bytes = encode(&rs);
+        bytes.extend(std::iter::repeat_n(0xABu8, extra));
+        prop_assert!(read_run_state(Cursor::new(&bytes)).is_err());
+    }
+}

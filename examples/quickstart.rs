@@ -7,6 +7,7 @@
 
 use autocts::{AutoCts, SearchConfig};
 use cts_data::{build_windows, generate, DatasetSpec};
+use cts_nn::CheckpointConfig;
 
 fn main() {
     // 1. A METR-LA-like dataset at laptop scale: 16 sensors, ~1200 steps
@@ -23,10 +24,17 @@ fn main() {
     );
 
     // 2. Joint micro + macro architecture search (Algorithm 1).
-    let config = SearchConfig {
+    //    Set CTS_CHECKPOINT=/path/to/file to make the search crash-safe:
+    //    state is persisted every epoch and a killed run resumes
+    //    bit-identically from the file on the next invocation.
+    let mut config = SearchConfig {
         epochs: 3,
         ..SearchConfig::default()
     };
+    if let Ok(path) = std::env::var("CTS_CHECKPOINT") {
+        println!("checkpointing to {path} (delete the file to restart fresh)");
+        config = config.with_checkpoint(CheckpointConfig::new(path));
+    }
     println!(
         "searching {} candidate ST-block architectures per block ...",
         config.micro_space_size()

@@ -31,7 +31,7 @@ fn main() {
         loss: LossKind::Mse,
         ..TrainConfig::default()
     };
-    let report = train_and_evaluate(&lstnet, &spec, &windows, &cfg, 4);
+    let report = train_and_evaluate(&lstnet, &spec, &windows, &cfg, 4).expect("LSTNet training failed");
     println!(
         "LSTNet : RRSE {:.4}  CORR {:.4}",
         report.overall.rrse, report.overall.corr

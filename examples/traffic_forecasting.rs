@@ -40,7 +40,8 @@ fn main() {
             Box::new(Mtgnn::new(&bcfg, &spec, &data.graph, &windows.scaler)),
         ),
     ] {
-        let report = train_and_evaluate(model.as_ref(), &spec, &windows, &train_cfg, 8);
+        let report = train_and_evaluate(model.as_ref(), &spec, &windows, &train_cfg, 8)
+            .unwrap_or_else(|e| panic!("{name} training failed: {e}"));
         println!(
             "{:<16} {:>8.3} {:>8.3} {:>8.2}",
             name,

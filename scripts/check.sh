@@ -1,16 +1,29 @@
 #!/usr/bin/env bash
-# Full local gate: release build, tests, and lint — everything offline.
+# Full local gate: release build, tests, fault-injection, and lint —
+# everything offline.
 #
 # The workspace has no registry access; all third-party deps resolve to the
 # API-compatible shims in compat/, so --offline must always succeed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> no ignored recovery tests"
+# The fault-tolerance suites must always run: an #[ignore] on any of them
+# would let a broken resume/watchdog path slip through the gate.
+if grep -n '#\[ignore' tests/fault_injection.rs crates/nn/tests/run_state.rs 2>/dev/null; then
+  echo "error: recovery tests must not be #[ignore]d" >&2
+  exit 1
+fi
+
 echo "==> cargo build --release"
 cargo build --release --offline
 
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace --offline
+
+echo "==> fault-injection suite (explicit)"
+cargo test --offline --test fault_injection -- --nocapture
+cargo test --offline -p cts-nn --test run_state
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings

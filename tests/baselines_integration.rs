@@ -23,8 +23,9 @@ fn train_improves(model: &dyn Forecaster, spec: &DatasetSpec, windows: &cts_data
         clip: 5.0,
         loss: LossKind::MaskedMae { null_value: spec.null_value },
         patience: 0,
+        ..TrainConfig::default()
     };
-    let report = train_and_evaluate(model, spec, windows, &cfg, 4);
+    let report = train_and_evaluate(model, spec, windows, &cfg, 4).unwrap();
     assert!(
         report.overall.mae < before.mae,
         "{}: MAE did not improve ({} -> {})",
@@ -85,7 +86,7 @@ fn lstnet_and_tpa_train_on_single_step() {
             as Box<dyn Forecaster>,
         Box::new(TpaLstm::new(&BaselineConfig::default(), &spec, &data.graph, &windows.scaler)),
     ] {
-        let report = train_and_evaluate(model.as_ref(), &spec, &windows, &cfg, 4);
+        let report = train_and_evaluate(model.as_ref(), &spec, &windows, &cfg, 4).unwrap();
         assert!(report.overall.rrse.is_finite(), "{} RRSE", model.name());
         assert!(report.overall.rrse > 0.0);
     }

@@ -1,0 +1,152 @@
+//! Fault-injection tests of the crash-safe search runtime: kill the
+//! bi-level search mid-epoch and resume it bit-identically, survive NaN
+//! gradient blasts through the divergence watchdog, and reject corrupt
+//! or truncated checkpoints with a typed error instead of loading them.
+
+use autocts::{joint_search, SearchConfig, SearchError};
+use cts_data::{build_windows, generate, DatasetSpec, SplitWindows};
+use cts_nn::checkpoint::CheckpointError;
+use cts_nn::{fault, CheckpointConfig};
+use std::path::PathBuf;
+
+fn fixture() -> (DatasetSpec, cts_data::CtsData, SplitWindows) {
+    let spec = DatasetSpec::metr_la().scaled(0.04, 0.015);
+    let data = generate(&spec, 9);
+    let windows = build_windows(&data, 6, 24);
+    (spec, data, windows)
+}
+
+fn small_cfg() -> SearchConfig {
+    SearchConfig {
+        m: 3,
+        b: 2,
+        d_model: 8,
+        epochs: 3,
+        batch_size: 4,
+        ..Default::default()
+    }
+}
+
+fn temp_ckpt(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("cts_fault_injection_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+#[test]
+fn killed_search_resumes_bit_identically() {
+    let (spec, data, windows) = fixture();
+    let ckpt = temp_ckpt("resume.ckpt");
+
+    // Reference: one uninterrupted run, no checkpointing.
+    let (g_ref, _, stats_ref) =
+        joint_search(&small_cfg(), &spec, &data.graph, &windows).unwrap();
+    assert_eq!(stats_ref.epochs.len(), 3);
+    let steps_per_epoch = stats_ref.steps / 3;
+    assert!(steps_per_epoch > 1, "fixture too small to kill mid-epoch");
+
+    // Kill the search inside epoch 1 (after the epoch-0 checkpoint).
+    let cfg = small_cfg().with_checkpoint(CheckpointConfig::new(&ckpt));
+    fault::arm(fault::FaultPlan {
+        abort_at_step: Some((steps_per_epoch + 1) as u64),
+        nan_grad_at_step: None,
+    });
+    let err = match joint_search(&cfg, &spec, &data.graph, &windows) {
+        Err(e) => e,
+        Ok(_) => panic!("armed abort did not interrupt the search"),
+    };
+    fault::disarm();
+    assert!(matches!(err, SearchError::Interrupted { .. }), "{err}");
+    assert!(ckpt.exists(), "no checkpoint was written before the kill");
+
+    // Resume: must complete and match the reference bit-for-bit.
+    let (g_resumed, _, stats_resumed) =
+        joint_search(&cfg, &spec, &data.graph, &windows).unwrap();
+    assert_eq!(g_resumed, g_ref, "resumed genotype differs");
+    assert_eq!(stats_resumed.steps, stats_ref.steps);
+    assert_eq!(stats_resumed.epochs.len(), stats_ref.epochs.len());
+    for (a, b) in stats_resumed.epochs.iter().zip(&stats_ref.epochs) {
+        assert_eq!(a.tau.to_bits(), b.tau.to_bits(), "τ trace diverges");
+        assert_eq!(
+            a.val_loss.to_bits(),
+            b.val_loss.to_bits(),
+            "loss trace diverges"
+        );
+        assert_eq!(
+            a.alpha_entropy.to_bits(),
+            b.alpha_entropy.to_bits(),
+            "entropy trace diverges"
+        );
+    }
+    std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn search_watchdog_recovers_from_nan_gradients() {
+    let (spec, data, windows) = fixture();
+    fault::arm(fault::FaultPlan {
+        abort_at_step: None,
+        nan_grad_at_step: Some(3),
+    });
+    let (genotype, _, stats) =
+        joint_search(&small_cfg(), &spec, &data.graph, &windows).unwrap();
+    fault::disarm();
+    genotype.validate().unwrap();
+    assert_eq!(stats.rollbacks, 1, "watchdog never rolled back");
+    assert_eq!(stats.epochs.len(), 3, "a poisoned epoch was kept");
+    assert!(
+        stats.epochs.iter().all(|e| e.val_loss.is_finite()),
+        "NaN leaked into the epoch trace"
+    );
+}
+
+#[test]
+fn corrupt_checkpoint_is_rejected_not_loaded() {
+    let (spec, data, windows) = fixture();
+    let ckpt = temp_ckpt("corrupt.ckpt");
+    let cfg = small_cfg().with_checkpoint(CheckpointConfig::new(&ckpt));
+    joint_search(&cfg, &spec, &data.graph, &windows).unwrap();
+
+    // Flip one byte in the middle: the CRC must catch it.
+    let mut bytes = std::fs::read(&ckpt).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&ckpt, &bytes).unwrap();
+    match joint_search(&cfg, &spec, &data.graph, &windows) {
+        Err(SearchError::Checkpoint(CheckpointError::Corrupt(_))) => {}
+        Err(other) => panic!("expected Corrupt, got {other:?}"),
+        Ok(_) => panic!("bit-flipped checkpoint was loaded"),
+    }
+
+    // Truncate it: also a typed rejection, never a crash or a load.
+    bytes[mid] ^= 0x40; // restore the flipped byte
+    std::fs::write(&ckpt, &bytes[..mid]).unwrap();
+    match joint_search(&cfg, &spec, &data.graph, &windows) {
+        Err(SearchError::Checkpoint(CheckpointError::Corrupt(_))) => {}
+        Err(other) => panic!("expected Corrupt, got {other:?}"),
+        Ok(_) => panic!("truncated checkpoint was loaded"),
+    }
+    std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn checkpoint_from_different_seed_is_rejected() {
+    let (spec, data, windows) = fixture();
+    let ckpt = temp_ckpt("wrong_seed.ckpt");
+    let cfg = small_cfg().with_checkpoint(CheckpointConfig::new(&ckpt));
+    joint_search(&cfg, &spec, &data.graph, &windows).unwrap();
+
+    // Same checkpoint, different seed: the RNG replay cannot land on the
+    // recorded state, so resume must refuse rather than continue wrongly.
+    let other_seed = SearchConfig { seed: 2, ..cfg };
+    match joint_search(&other_seed, &spec, &data.graph, &windows) {
+        Err(SearchError::Checkpoint(CheckpointError::Incompatible(msg))) => {
+            assert!(msg.contains("RNG"), "{msg}");
+        }
+        Err(other) => panic!("expected Incompatible, got {other:?}"),
+        Ok(_) => panic!("checkpoint from another seed was accepted"),
+    }
+    std::fs::remove_file(&ckpt).ok();
+}

@@ -37,7 +37,8 @@ fn genotype_plus_checkpoint_reconstructs_model_exactly() {
             loss: LossKind::MaskedMae { null_value: Some(0.0) },
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
 
     // persist: architecture as text, weights as checkpoint
     let dir = std::env::temp_dir().join("autocts_persist_test");

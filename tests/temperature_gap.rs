@@ -25,7 +25,7 @@ fn annealing_drives_alpha_entropy_down() {
         arch_lr: 5e-2,   // let alpha actually differentiate within 5 epochs
         ..Default::default()
     };
-    let (_, _, stats) = joint_search(&cfg, &spec, &data.graph, &windows);
+    let (_, _, stats) = joint_search(&cfg, &spec, &data.graph, &windows).unwrap();
     assert_eq!(stats.epochs.len(), 5);
     let first = stats.epochs.first().unwrap();
     let last = stats.epochs.last().unwrap();
@@ -53,8 +53,8 @@ fn without_temperature_entropy_stays_high() {
         arch_lr: 5e-2,
         ..Default::default()
     };
-    let (_, _, annealed) = joint_search(&base, &spec, &data.graph, &windows);
-    let (_, _, flat) = joint_search(&base.clone().without_temperature(), &spec, &data.graph, &windows);
+    let (_, _, annealed) = joint_search(&base, &spec, &data.graph, &windows).unwrap();
+    let (_, _, flat) = joint_search(&base.clone().without_temperature(), &spec, &data.graph, &windows).unwrap();
     let gap_annealed = annealed.epochs.last().unwrap().alpha_entropy;
     let gap_flat = flat.epochs.last().unwrap().alpha_entropy;
     assert!(
@@ -74,7 +74,7 @@ fn epoch_trace_records_losses() {
         batch_size: 4,
         ..Default::default()
     };
-    let (_, _, stats) = joint_search(&cfg, &spec, &data.graph, &windows);
+    let (_, _, stats) = joint_search(&cfg, &spec, &data.graph, &windows).unwrap();
     for e in &stats.epochs {
         assert!(e.val_loss.is_finite() && e.val_loss > 0.0);
         assert!(e.alpha_entropy >= 0.0);
