@@ -11,6 +11,7 @@
 //! which runs `harness = false` bench targets directly), every benchmark
 //! body executes exactly once as a smoke test, so `cargo test` stays fast.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::time::{Duration, Instant};

@@ -6,6 +6,7 @@
 //! that keeps crossbeam's calling convention (`scope(|s| { s.spawn(|_| …) })`
 //! returning a `Result`) while delegating to [`std::thread::scope`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Scoped threads (`crossbeam::thread`).

@@ -10,6 +10,7 @@
 //! reproduce exactly. There is no shrinking: the failing case's inputs are
 //! reported via the panic message of the inner assertion instead.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::rngs::SmallRng;

@@ -9,6 +9,7 @@
 //! Determinism is the only contract the workspace relies on: the same seed
 //! always yields the same stream on every platform.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Low-level source of random `u32`/`u64` values.

@@ -98,6 +98,52 @@ impl Tape {
         self.push_node(value, op, inputs.to_vec(), None, requires_grad)
     }
 
+    /// Audit hook for static gradient-reachability analysis: the set of
+    /// [`Parameter`]s a backward sweep from `root` would actually deliver a
+    /// (structurally) non-zero gradient to.
+    ///
+    /// Mirrors [`Tape::backward`]'s traversal — same ancestor walk, same
+    /// `requires_grad` pruning — but additionally prunes edges through
+    /// `Op::Scale(0.0)` nodes, whose backward is *exactly* zero (the `zero`
+    /// operator of the search space is implemented as `scale(0.0)`).
+    /// `cts-verify` cross-checks its static liveness pass against this.
+    /// Parameters are deduplicated by identity, in first-visit order.
+    pub fn reachable_params(&self, root: &Var) -> Vec<Parameter> {
+        assert!(
+            Rc::ptr_eq(&self.inner, &root.tape.inner),
+            "reachability root from another tape"
+        );
+        let inner = self.inner.borrow();
+        let n = root.id + 1;
+        let mut live = vec![false; n];
+        live[root.id] = true;
+        let mut params: Vec<Parameter> = Vec::new();
+        for id in (0..n).rev() {
+            if !live[id] {
+                continue;
+            }
+            let node = &inner.nodes[id];
+            if !node.requires_grad {
+                continue;
+            }
+            if let Some(p) = &node.param {
+                if !params.iter().any(|q| q.ptr_eq(p)) {
+                    params.push(p.clone());
+                }
+                continue;
+            }
+            // A scale-by-zero node multiplies every upstream gradient by
+            // 0.0 exactly; nothing behind it is reachable through it.
+            if matches!(node.op, Op::Scale(c) if c == 0.0) {
+                continue;
+            }
+            for &input_id in &node.inputs {
+                live[input_id] = true;
+            }
+        }
+        params
+    }
+
     /// Reverse-mode sweep from `root`, accumulating into every reachable
     /// [`Parameter`]'s grad buffer.
     ///
@@ -211,5 +257,53 @@ mod tests {
         let _unused = x.scale(100.0); // recorded later, not an ancestor of y
         tape.backward(&y);
         assert_eq!(p.grad().item(), 2.0);
+    }
+
+    #[test]
+    fn reachable_params_matches_backward() {
+        let a = Parameter::new("a", Tensor::scalar(1.0));
+        let b = Parameter::new("b", Tensor::scalar(2.0));
+        let c = Parameter::new("c", Tensor::scalar(3.0));
+        let tape = Tape::new();
+        let x = tape.param(&a).mul(&tape.param(&b));
+        let _dangling = tape.param(&c).scale(4.0); // never feeds the loss
+        let loss = x.sum_all();
+        let live = tape.reachable_params(&loss);
+        assert_eq!(live.len(), 2);
+        assert!(live.iter().any(|p| p.ptr_eq(&a)));
+        assert!(live.iter().any(|p| p.ptr_eq(&b)));
+        assert!(!live.iter().any(|p| p.ptr_eq(&c)));
+    }
+
+    #[test]
+    fn reachable_params_prunes_scale_zero_paths() {
+        // The search space's `zero` operator is scale(0.0): its backward is
+        // exactly zero, so parameters behind it are gradient-starved.
+        let dead = Parameter::new("dead", Tensor::scalar(1.0));
+        let live = Parameter::new("live", Tensor::scalar(2.0));
+        let tape = Tape::new();
+        let killed = tape.param(&dead).square().scale(0.0);
+        let loss = killed.add(&tape.param(&live)).sum_all();
+        let reach = tape.reachable_params(&loss);
+        assert_eq!(reach.len(), 1);
+        assert!(reach[0].ptr_eq(&live));
+        // scale by a non-zero constant keeps the path alive
+        let tape2 = Tape::new();
+        let loss2 = tape2.param(&dead).scale(0.5).sum_all();
+        assert_eq!(tape2.reachable_params(&loss2).len(), 1);
+        // and backward agrees: the dead param's grad is exactly zero
+        tape.backward(&loss);
+        assert_eq!(dead.grad().norm(), 0.0);
+        assert!(live.grad().norm() > 0.0);
+    }
+
+    #[test]
+    fn reachable_params_dedupes_shared_leaves() {
+        let p = Parameter::new("p", Tensor::scalar(3.0));
+        let tape = Tape::new();
+        let a = tape.param(&p);
+        let b = tape.param(&p);
+        let loss = a.mul(&b).sum_all();
+        assert_eq!(tape.reachable_params(&loss).len(), 1);
     }
 }

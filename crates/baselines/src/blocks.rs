@@ -54,6 +54,7 @@ impl HumanStBlock for StgcnBlock {
                 None => term,
             });
         }
+        // invariant: the Chebyshev basis loop runs at least once, so `gc` is Some.
         let t2 = self.tcn2.forward(tape, &gc.expect("basis non-empty").relu());
         self.norm.forward(tape, &t2)
     }

@@ -124,6 +124,7 @@ pub fn diffusion_gconv(
             acc = acc.add(&w.forward(tape, &node_mix(&x4, &adp)));
         }
     }
+    // invariant: the accumulator tensor is at least rank 1.
     let d_out = *acc.shape().last().expect("non-empty");
     acc.reshape(&[s[0], s[1], d_out])
 }

@@ -48,6 +48,7 @@ impl Forecaster for GraphWaveNet {
                 None => h.clone(),
             });
         }
+        // invariant: the model has at least one block, so `skip` was set in the loop.
         self.head.forward(tape, &skip.expect("at least one block"))
     }
 

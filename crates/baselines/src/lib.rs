@@ -15,6 +15,7 @@
 //! The [`blocks`] module exposes the models' ST-blocks as standalone units;
 //! the *macro only* ablation searches topologies over them.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod blocks;

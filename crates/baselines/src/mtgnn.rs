@@ -46,6 +46,7 @@ impl Forecaster for Mtgnn {
                 None => h.clone(),
             });
         }
+        // invariant: the model has at least one block, so `skip` was set in the loop.
         self.head.forward(tape, &skip.expect("blocks non-empty"))
     }
 

@@ -21,7 +21,7 @@ fn bench_operators(c: &mut Criterion) {
         if !kind.is_parametric() {
             continue;
         }
-        let op = build_operator(&mut rng, kind, "bench", d);
+        let op = build_operator(&mut rng, kind, "bench", d, 2, false);
         group.bench_function(kind.label(), |b| {
             b.iter(|| {
                 let tape = Tape::new();

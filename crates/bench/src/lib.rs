@@ -6,6 +6,7 @@
 //! Scale knobs come from environment variables (see [`ExpContext`]) so the
 //! same harness runs in seconds (CI) or tens of minutes (full report).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

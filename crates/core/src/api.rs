@@ -16,10 +16,10 @@
 //! ```
 
 use crate::eval::{evaluate_genotype, EvalReport};
-use crate::{joint_search, Genotype, SearchConfig, SearchError, SearchStats};
+use crate::preflight::preflight;
+use crate::{joint_search, EvalError, Genotype, SearchConfig, SearchError, SearchStats};
 use cts_data::{DatasetSpec, SplitWindows};
 use cts_graph::SensorGraph;
-use cts_nn::TrainError;
 
 /// Result of one architecture search.
 #[derive(Clone, Debug)]
@@ -74,6 +74,11 @@ impl AutoCts {
 
     /// Stage 1 (§3.4) with a typed result: architecture search on the
     /// training windows.
+    ///
+    /// The derived genotype is statically verified (`cts-verify`) before
+    /// it is returned; a derivation bug surfaces here as
+    /// [`SearchError::InvalidGenotype`] with named findings instead of a
+    /// wasted retraining run later.
     pub fn try_search(
         &self,
         spec: &DatasetSpec,
@@ -81,6 +86,8 @@ impl AutoCts {
         windows: &SplitWindows,
     ) -> Result<SearchOutcome, SearchError> {
         let (genotype, _model, stats) = joint_search(&self.config, spec, graph, windows)?;
+        preflight(&self.config, &genotype, spec, graph)
+            .map_err(SearchError::InvalidGenotype)?;
         Ok(SearchOutcome { genotype, stats })
     }
 
@@ -104,6 +111,11 @@ impl AutoCts {
     }
 
     /// Stage 2 (§3.4) with a typed result.
+    ///
+    /// The genotype is statically verified first — important for
+    /// hand-written or transferred genotypes that never went through this
+    /// config's derivation — and rejected with [`EvalError::Rejected`]
+    /// before any model is built.
     pub fn try_evaluate(
         &self,
         genotype: &Genotype,
@@ -111,8 +123,9 @@ impl AutoCts {
         graph: &SensorGraph,
         windows: &SplitWindows,
         epochs: usize,
-    ) -> Result<EvalReport, TrainError> {
-        evaluate_genotype(&self.config, genotype, spec, graph, windows, epochs)
+    ) -> Result<EvalReport, EvalError> {
+        preflight(&self.config, genotype, spec, graph).map_err(EvalError::Rejected)?;
+        Ok(evaluate_genotype(&self.config, genotype, spec, graph, windows, epochs)?)
     }
 }
 

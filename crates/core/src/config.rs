@@ -175,6 +175,9 @@ impl SearchConfig {
         if !(self.partial_channels > 0.0 && self.partial_channels <= 1.0) {
             return Err("partial_channels must be in (0, 1]".into());
         }
+        if self.gcn_k < 1 {
+            return Err("gcn_k must be at least 1 (GCN operators need one diffusion step)".into());
+        }
         Ok(())
     }
 
@@ -235,5 +238,13 @@ mod tests {
     fn invalid_m_rejected() {
         let c = SearchConfig { m: 1, ..Default::default() };
         c.validate();
+    }
+
+    #[test]
+    fn zero_gcn_k_rejected() {
+        // Regression: gcn_k = 0 used to pass validation, then build GCN
+        // operators with empty weight stacks (zero diffusion supports).
+        let c = SearchConfig { gcn_k: 0, ..Default::default() };
+        assert!(c.try_validate().unwrap_err().contains("gcn_k"));
     }
 }

@@ -15,7 +15,7 @@ fn expected_cost_is_differentiable_and_positive() {
         d_model: 4,
         ..Default::default()
     };
-    let cell = MicroCell::new(&mut SmallRng::seed_from_u64(0), "c", &cfg);
+    let cell = MicroCell::new(&mut SmallRng::seed_from_u64(0), "c", &cfg, false);
     let tape = Tape::new();
     let cost = cell.expected_cost(&tape, 1.0);
     assert!(cost.value().item() > 0.0);

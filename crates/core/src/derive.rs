@@ -31,6 +31,7 @@ pub fn derive_genotype(supernet: &SupernetModel) -> Genotype {
         }
     };
     let genotype = Genotype { blocks, backbone };
+    // invariant: internal consistency check — derivation must emit valid genotypes.
     genotype.validate().expect("derivation produced invalid genotype");
     genotype
 }
@@ -61,6 +62,7 @@ pub fn derive_block(cell: &MicroCell, edges_per_node: usize) -> BlockGenotype {
         let mut candidates: Vec<(f32, usize, OpKind)> = (0..j.saturating_sub(1))
             .map(|i| {
                 let op = argmax_op(op_set, |o| weight(i, o));
+                // invariant: supernet edges draw their ops from this same op set.
                 let o_idx = op_set.iter().position(|k| *k == op).expect("op in set");
                 (weight(i, o_idx), i, op)
             })
@@ -92,6 +94,7 @@ fn argmax_op(op_set: &[OpKind], weight: impl Fn(usize) -> f32) -> OpKind {
             best = Some((w, *kind));
         }
     }
+    // invariant: the compact op set contains non-zero operators.
     best.expect("op set has non-zero operators").1
 }
 
@@ -103,7 +106,7 @@ mod tests {
 
     fn cell(m: usize) -> MicroCell {
         let cfg = SearchConfig { m, d_model: 4, ..Default::default() };
-        MicroCell::new(&mut SmallRng::seed_from_u64(0), "c", &cfg)
+        MicroCell::new(&mut SmallRng::seed_from_u64(0), "c", &cfg, false)
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Typed errors of the search stage.
+//! Typed errors of the search and evaluation stages.
 
 use cts_nn::checkpoint::CheckpointError;
-use cts_nn::DivergenceReason;
+use cts_nn::{DivergenceReason, TrainError};
+use cts_verify::VerifyError;
 use std::fmt;
 
 /// Typed failure of [`crate::joint_search`] (previously panics or
@@ -38,6 +39,9 @@ pub enum SearchError {
     /// Persisting or restoring run state failed (I/O, corruption, or a
     /// checkpoint that does not match this run's config/data).
     Checkpoint(CheckpointError),
+    /// The derived genotype failed the static pre-flight analysis
+    /// (`cts-verify`): shape, wiring, or gradient-reachability errors.
+    InvalidGenotype(VerifyError),
 }
 
 impl fmt::Display for SearchError {
@@ -57,6 +61,9 @@ impl fmt::Display for SearchError {
                 write!(f, "search interrupted at epoch {epoch}, step {step}")
             }
             SearchError::Checkpoint(e) => write!(f, "{e}"),
+            SearchError::InvalidGenotype(e) => {
+                write!(f, "derived genotype failed static verification: {e}")
+            }
         }
     }
 }
@@ -66,5 +73,34 @@ impl std::error::Error for SearchError {}
 impl From<CheckpointError> for SearchError {
     fn from(e: CheckpointError) -> Self {
         SearchError::Checkpoint(e)
+    }
+}
+
+/// Typed failure of [`crate::AutoCts::try_evaluate`] (architecture
+/// evaluation, §3.4).
+#[derive(Debug)]
+pub enum EvalError {
+    /// The genotype failed the static pre-flight analysis before any
+    /// model was built (malformed wiring, shape errors, starved
+    /// parameters — common with hand-written or transferred genotypes).
+    Rejected(VerifyError),
+    /// Retraining failed (divergence, interruption, checkpoint I/O).
+    Train(TrainError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Rejected(e) => write!(f, "genotype rejected before retraining: {e}"),
+            EvalError::Train(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<TrainError> for EvalError {
+    fn from(e: TrainError) -> Self {
+        EvalError::Train(e)
     }
 }

@@ -114,7 +114,10 @@ pub fn train_and_evaluate(
 /// Architecture evaluation (§3.4): instantiate the genotype with fresh
 /// weights, retrain on the training+validation windows, report on test.
 ///
-/// The retraining loop inherits the search config's divergence watchdog.
+/// The retraining loop inherits the search config's divergence watchdog,
+/// and — when the config checkpoints — persists its own run state to the
+/// `retrain` stage file (see `CheckpointConfig::stage`), so a killed
+/// retraining resumes from its last epoch boundary instead of restarting.
 ///
 /// # Errors
 /// Propagates [`TrainError`] from the training loop.
@@ -137,7 +140,7 @@ pub fn evaluate_genotype(
             null_value: spec.null_value,
         },
         patience: 0,
-        checkpoint: None,
+        checkpoint: cfg.checkpoint.as_ref().map(|ck| ck.stage("retrain")),
         watchdog: cfg.watchdog.clone(),
     };
     // §3.4: retrain on the original training AND validation data.

@@ -41,6 +41,12 @@ impl BlockGenotype {
     /// Structural validity: edges are forward, nodes in range, and every
     /// non-input node is reachable.
     pub fn validate(&self) -> Result<(), String> {
+        if self.m < 2 {
+            return Err(format!(
+                "block needs at least input + output nodes, got m={}",
+                self.m
+            ));
+        }
         for &(from, to, _) in &self.edges {
             if from >= to {
                 return Err(format!("edge {from}->{to} is not forward"));
@@ -244,6 +250,18 @@ mod tests {
             edges: vec![(0, 1, OpKind::Gdcc), (1, 3, OpKind::Dgcn)],
         };
         assert!(bad.validate().unwrap_err().contains("node 2"));
+    }
+
+    #[test]
+    fn validation_catches_degenerate_m() {
+        // Regression: a block with m < 2 used to pass validation (both
+        // range loops are empty), then blow up during model construction.
+        for m in [0, 1] {
+            let bad = BlockGenotype { m, edges: vec![] };
+            assert!(bad.validate().unwrap_err().contains("input + output"));
+        }
+        // ...and through from_text, which validates on parse.
+        assert!(Genotype::from_text("m=1 @ 0").is_err());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //!
 //! The high-level entry point is [`AutoCts`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod api;
@@ -34,11 +35,12 @@ mod search;
 mod stats;
 
 pub mod eval;
+pub mod preflight;
 
 pub use api::{AutoCts, SearchOutcome};
 pub use config::SearchConfig;
 pub use derive::derive_genotype;
-pub use error::SearchError;
+pub use error::{EvalError, SearchError};
 pub use genotype::{BlockGenotype, Genotype};
 pub use macro_space::MacroTopology;
 pub use micro::MicroCell;

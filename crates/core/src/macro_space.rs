@@ -50,6 +50,7 @@ impl MacroTopology {
                 None => term,
             });
         }
+        // invariant: j >= 1, so the sum has at least one term.
         acc.expect("j >= 1")
     }
 

@@ -38,8 +38,11 @@ pub struct MicroCell {
 }
 
 impl MicroCell {
-    /// Build a supernet cell for the given config.
-    pub fn new(rng: &mut impl Rng, name: &str, cfg: &SearchConfig) -> Self {
+    /// Build a supernet cell for the given config. `adaptive` states
+    /// whether the model's [`GraphContext`] carries an adaptive support
+    /// (forwarded to [`build_operator`] so DGCN only allocates adaptive
+    /// weights that can actually receive gradients).
+    pub fn new(rng: &mut impl Rng, name: &str, cfg: &SearchConfig, adaptive: bool) -> Self {
         let m = cfg.m;
         let d_op = cfg.op_channels();
         let pairs = cfg.num_pairs();
@@ -50,7 +53,14 @@ impl MicroCell {
                     .op_set
                     .iter()
                     .map(|&kind| {
-                        build_operator(rng, kind, &format!("{name}.p{i}_{j}.{}", kind.label()), d_op)
+                        build_operator(
+                            rng,
+                            kind,
+                            &format!("{name}.p{i}_{j}.{}", kind.label()),
+                            d_op,
+                            cfg.gcn_k,
+                            adaptive,
+                        )
                     })
                     .collect();
                 ops.push(pair_ops);
@@ -86,6 +96,7 @@ impl MicroCell {
 
     /// Forward through the relaxed DAG; returns `h_{M-1}`.
     pub fn forward(&self, tape: &Tape, x: &Var, ctx: &GraphContext, tau: f32) -> Var {
+        // invariant: supernet inputs are rank-4 [B, N, T, D].
         debug_assert_eq!(*x.shape().last().unwrap(), self.d_model);
         let alpha = tape.param(&self.alpha);
         let mut nodes: Vec<Var> = vec![x.clone()];
@@ -101,8 +112,10 @@ impl MicroCell {
                     None => term,
                 });
             }
+            // invariant: every latent node has at least one predecessor edge.
             nodes.push(acc.expect("every node has predecessors"));
         }
+        // invariant: m >= 2, so the node list is non-empty.
         nodes.pop().expect("m >= 2")
     }
 
@@ -143,6 +156,7 @@ impl MicroCell {
                 None => term,
             });
         }
+        // invariant: the mixed-op set contains non-zero operators.
         let mixed = mix.expect("op set contains non-zero operators");
         match x_bypass {
             // rotate channels: bypass first, then the operator mixture
@@ -225,7 +239,7 @@ mod tests {
             partial_channels: pc,
             ..Default::default()
         };
-        let cell = MicroCell::new(&mut rng, "cell", &cfg);
+        let cell = MicroCell::new(&mut rng, "cell", &cfg, false);
         let g = random_geometric_graph(&mut rng, &GraphGenConfig { n: 4, ..Default::default() });
         (cell, GraphContext::from_graph(&g, 2))
     }

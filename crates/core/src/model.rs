@@ -110,10 +110,11 @@ impl SupernetModel {
     ) -> Self {
         cfg.validate();
         let scaffold = Scaffold::new(rng, cfg, spec, graph, scaler);
+        let adaptive = scaffold.ctx.has_adaptive();
         // w/o macro search: one shared cell, fixed chain topology (§4.2.3).
         let num_cells = if cfg.macro_search { cfg.b } else { 1 };
         let cells = (0..num_cells)
-            .map(|i| MicroCell::new(rng, &format!("cell{i}"), cfg))
+            .map(|i| MicroCell::new(rng, &format!("cell{i}"), cfg, adaptive))
             .collect();
         let topology = cfg
             .macro_search
@@ -191,6 +192,7 @@ impl SupernetModel {
                 None => c,
             });
         }
+        // invariant: b >= 1, so at least one cell contributed to the sum.
         acc.expect("at least one cell")
     }
 
@@ -216,6 +218,7 @@ impl Forecaster for SupernetModel {
         for j in 1..=self.cfg.b {
             let input = match &self.topology {
                 Some(t) => t.mix_input(tape, &sources, j),
+                // invariant: `sources` always starts with the embedding output.
                 None => sources.last().expect("embedding present").clone(),
             };
             // shared cell when macro search is disabled
@@ -255,7 +258,14 @@ struct DerivedBlock {
 }
 
 impl DerivedBlock {
-    fn new(rng: &mut impl Rng, name: &str, genotype: &BlockGenotype, d: usize) -> Self {
+    fn new(
+        rng: &mut impl Rng,
+        name: &str,
+        genotype: &BlockGenotype,
+        d: usize,
+        gcn_k: usize,
+        adaptive: bool,
+    ) -> Self {
         let edges = genotype
             .edges
             .iter()
@@ -264,7 +274,14 @@ impl DerivedBlock {
                 (
                     *from,
                     *to,
-                    build_operator(rng, *kind, &format!("{name}.e{idx}.{}", kind.label()), d),
+                    build_operator(
+                        rng,
+                        *kind,
+                        &format!("{name}.e{idx}.{}", kind.label()),
+                        d,
+                        gcn_k,
+                        adaptive,
+                    ),
                 )
             })
             .collect();
@@ -285,6 +302,7 @@ impl DerivedBlock {
                 }
                 let h_from = nodes[*from]
                     .as_ref()
+                    // invariant: validation guarantees from < to, so the source is already built.
                     .expect("genotype validated: forward edges only")
                     .clone();
                 let y = op.forward(tape, &h_from, ctx);
@@ -293,8 +311,10 @@ impl DerivedBlock {
                     None => y,
                 });
             }
+            // invariant: validation guarantees every node 1..m has an incoming edge.
             nodes[j] = Some(acc.expect("genotype validated: node has inputs"));
         }
+        // invariant: validated genotypes have m >= 2, so the output node exists.
         nodes[self.m - 1].take().expect("m >= 2")
     }
 
@@ -326,13 +346,17 @@ impl DerivedModel {
         graph: &SensorGraph,
         scaler: &Scaler,
     ) -> Self {
+        // invariant: documented panic — the constructor requires a validated genotype.
         genotype.validate().expect("invalid genotype");
         let scaffold = Scaffold::new(rng, cfg, spec, graph, scaler);
+        let adaptive = scaffold.ctx.has_adaptive();
         let blocks = genotype
             .blocks
             .iter()
             .enumerate()
-            .map(|(i, b)| DerivedBlock::new(rng, &format!("block{i}"), b, cfg.d_model))
+            .map(|(i, b)| {
+                DerivedBlock::new(rng, &format!("block{i}"), b, cfg.d_model, cfg.gcn_k, adaptive)
+            })
             .collect();
         Self {
             scaffold,

@@ -1,0 +1,104 @@
+//! Pre-flight static verification: bridge from `autocts` types to the
+//! `cts-verify` analyzer.
+//!
+//! Both [`AutoCts::try_search`](crate::AutoCts::try_search) (on the freshly
+//! derived genotype) and [`AutoCts::try_evaluate`](crate::AutoCts::try_evaluate)
+//! (on whatever genotype the caller hands in, e.g. a transferred one) run
+//! the analyzer before any tensor is allocated, so a malformed or
+//! degenerate architecture is rejected with named findings instead of a
+//! panic deep inside model construction — or worse, a silently wasted
+//! retraining run.
+
+use crate::{Genotype, SearchConfig};
+use cts_data::DatasetSpec;
+use cts_graph::SensorGraph;
+use cts_verify::{ArchSpec, BlockSpec, ModelDims, VerifyError, VerifyReport};
+
+/// Describe a candidate architecture to the analyzer: genotype topology
+/// plus the concrete dims the model would be instantiated with.
+pub fn arch_spec(
+    cfg: &SearchConfig,
+    genotype: &Genotype,
+    spec: &DatasetSpec,
+    graph: &SensorGraph,
+) -> ArchSpec {
+    ArchSpec {
+        dims: ModelDims {
+            features: spec.features,
+            input_len: spec.input_len,
+            horizon: spec.output_len,
+            d_model: cfg.d_model,
+            num_nodes: Some(graph.n()),
+        },
+        blocks: genotype
+            .blocks
+            .iter()
+            .map(|b| BlockSpec { m: b.m, edges: b.edges.clone() })
+            .collect(),
+        backbone: genotype.backbone.clone(),
+    }
+}
+
+/// Statically verify a genotype against the config/dataset it would be
+/// instantiated with. `Ok` carries the full report (inferred merged shape,
+/// edge liveness, warnings); `Err` means at least one error-severity
+/// finding.
+pub fn preflight(
+    cfg: &SearchConfig,
+    genotype: &Genotype,
+    spec: &DatasetSpec,
+    graph: &SensorGraph,
+) -> Result<VerifyReport, VerifyError> {
+    cts_verify::check_genotype(&arch_spec(cfg, genotype, spec, graph))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlockGenotype;
+    use cts_data::generate;
+    use cts_ops::OpKind;
+    use cts_tensor::sym::format_shape;
+
+    fn fixture() -> (SearchConfig, DatasetSpec, SensorGraph) {
+        let spec = DatasetSpec::metr_la().scaled(0.05, 0.02);
+        let data = generate(&spec, 7);
+        let cfg = SearchConfig { m: 3, b: 2, d_model: 8, ..Default::default() };
+        (cfg, spec, data.graph)
+    }
+
+    fn genotype() -> Genotype {
+        let block = BlockGenotype {
+            m: 3,
+            edges: vec![
+                (0, 1, OpKind::Gdcc),
+                (0, 2, OpKind::InformerT),
+                (1, 2, OpKind::Identity),
+            ],
+        };
+        Genotype { blocks: vec![block.clone(), block], backbone: vec![0, 1] }
+    }
+
+    #[test]
+    fn healthy_genotype_preflights_clean() {
+        let (cfg, spec, graph) = fixture();
+        let report = preflight(&cfg, &genotype(), &spec, &graph).expect("clean genotype");
+        let merged = report.merged_shape.expect("shape pass ran to completion");
+        assert_eq!(
+            format_shape(&merged),
+            format!("[B, {}, {}, {}]", graph.n(), spec.input_len, cfg.d_model)
+        );
+    }
+
+    #[test]
+    fn starved_genotype_is_rejected_with_named_edge() {
+        let (cfg, spec, graph) = fixture();
+        let mut g = genotype();
+        // Cut node 1's only path to the output: the gdcc on e0 is starved.
+        g.blocks[0].edges[2] = (1, 2, OpKind::Zero);
+        let err = preflight(&cfg, &g, &spec, &graph).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("block0.e0"), "{msg}");
+        assert!(msg.contains("gdcc"), "{msg}");
+    }
+}

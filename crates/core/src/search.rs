@@ -219,9 +219,11 @@ impl Snapshot {
         }
         arch_opt
             .import_state(&self.arch)
+            // invariant: the snapshot was exported from this same optimizer.
             .expect("snapshot taken from this optimizer");
         weight_opt
             .import_state(&self.weight)
+            // invariant: the snapshot was exported from this same optimizer.
             .expect("snapshot taken from this optimizer");
         *steps = self.steps;
         *memory_scalars = self.memory_scalars;

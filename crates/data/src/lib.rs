@@ -10,6 +10,7 @@
 //! lengths, and split ratio at a configurable scale factor (see DESIGN.md,
 //! "Substitutions").
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod batch;

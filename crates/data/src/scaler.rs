@@ -67,6 +67,7 @@ impl Scaler {
 
     /// Standardise an `[..., F]` tensor in place.
     pub fn transform(&self, x: &mut Tensor) {
+        // invariant: scaler inputs are at least rank 1.
         let f = *x.shape().last().expect("scaler on rank-0");
         assert_eq!(f, self.mean.len(), "feature mismatch");
         for (i, v) in x.data_mut().iter_mut().enumerate() {

@@ -60,6 +60,7 @@ pub fn build_windows(data: &CtsData, stride: usize, cap_per_split: usize) -> Spl
         Task::MultiStep => ((1..=spec.output_len).collect(), spec.output_len),
         Task::SingleStep { horizon } => (vec![horizon], 1),
     };
+    // invariant: callers pass a non-empty horizon list (asserted in the message).
     let max_offset = *y_offsets.last().expect("empty horizon list");
     let num_windows = t.saturating_sub(p + max_offset) + 1;
     assert!(num_windows > 3, "dataset too short for windows");

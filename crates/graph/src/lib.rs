@@ -6,6 +6,7 @@
 //! Chebyshev polynomial bases (Eq. 14), and the forward/backward diffusion
 //! transition matrices of the diffusion GCN (Eq. 15).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod diffusion;

@@ -27,6 +27,7 @@ pub enum AttentionKind {
 /// (use large negative values to forbid positions); shape `[L, L]`,
 /// broadcast over the batch.
 pub fn scaled_dot_attention(tape: &Tape, q: &Var, k: &Var, v: &Var, mask: Option<&Tensor>) -> Var {
+    // invariant: attention inputs are at least rank 1.
     let d = *q.shape().last().expect("attention on rank-0") as f32;
     let mut scores = q.matmul(&k.permute(&[0, 2, 1])).scale(1.0 / d.sqrt());
     if let Some(m) = mask {

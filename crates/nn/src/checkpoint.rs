@@ -25,6 +25,11 @@
 //! destination, so a crash mid-write leaves the previous checkpoint
 //! intact.
 
+// This file parses attacker-controllable bytes: every length cast must be
+// checked and every slice access bounds-proven, so the pedantic subset is
+// promoted to warnings (check.sh runs clippy with -D warnings).
+#![warn(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use cts_autograd::Parameter;
 use cts_tensor::Tensor;
 use std::collections::HashMap;
@@ -219,11 +224,12 @@ impl RunState {
 // CRC32 (IEEE 802.3, the zlib polynomial)
 // ---------------------------------------------------------------------------
 
+#[allow(clippy::cast_possible_truncation, clippy::indexing_slicing)] // i < 256 throughout
 const fn build_crc_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
-        let mut c = i as u32;
+        let mut c = i as u32; // invariant: i < 256 (loop bound).
         let mut k = 0;
         while k < 8 {
             c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
@@ -238,10 +244,12 @@ const fn build_crc_table() -> [u32; 256] {
 const CRC_TABLE: [u32; 256] = build_crc_table();
 
 /// CRC32 (IEEE) of `bytes`.
+#[allow(clippy::cast_possible_truncation, clippy::indexing_slicing)] // index masked to 8 bits
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in bytes {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        // invariant: the index is masked to 8 bits, in table range.
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
 }
@@ -249,6 +257,21 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 // ---------------------------------------------------------------------------
 // v2 encoding
 // ---------------------------------------------------------------------------
+
+/// Encode a collection length / rank as `u32`.
+fn len_u32(n: usize) -> u32 {
+    // invariant: checkpoint collections (params, moments, trace rows, name
+    // bytes) stay far below u32::MAX entries by construction; a violation
+    // is a programming error, not a data error.
+    u32::try_from(n).expect("collection length exceeds u32")
+}
+
+/// Reassemble an `f32` from a 4-byte `chunks_exact(4)` window.
+fn le_f32(b: &[u8]) -> f32 {
+    let mut w = [0u8; 4];
+    w.copy_from_slice(b);
+    f32::from_le_bytes(w)
+}
 
 struct Enc {
     buf: Vec<u8>,
@@ -271,11 +294,11 @@ impl Enc {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
     fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
+        self.u32(len_u32(s.len()));
         self.buf.extend_from_slice(s.as_bytes());
     }
     fn tensor(&mut self, t: &Tensor) {
-        self.u32(t.rank() as u32);
+        self.u32(len_u32(t.rank()));
         for &d in t.shape() {
             self.u64(d as u64);
         }
@@ -290,7 +313,11 @@ impl Enc {
         let start = self.buf.len();
         body(self);
         let len = (self.buf.len() - start) as u64;
-        self.buf[len_at..len_at + 8].copy_from_slice(&len.to_le_bytes());
+        // invariant: `len_at..len_at + 8` is the placeholder written above.
+        self.buf
+            .get_mut(len_at..len_at + 8)
+            .expect("length placeholder in bounds")
+            .copy_from_slice(&len.to_le_bytes());
     }
 }
 
@@ -299,7 +326,7 @@ pub fn encode_run_state(rs: &RunState) -> Vec<u8> {
     let mut e = Enc::new();
     e.buf.extend_from_slice(MAGIC_V2);
     e.chunk(TAG_PARAMS, |e| {
-        e.u32(rs.params.len() as u32);
+        e.u32(len_u32(rs.params.len()));
         for (name, t) in &rs.params {
             e.str(name);
             e.tensor(t);
@@ -307,12 +334,12 @@ pub fn encode_run_state(rs: &RunState) -> Vec<u8> {
     });
     if !rs.optimizers.is_empty() {
         e.chunk(TAG_OPTIMIZERS, |e| {
-            e.u32(rs.optimizers.len() as u32);
+            e.u32(len_u32(rs.optimizers.len()));
             for o in &rs.optimizers {
                 e.str(&o.name);
                 e.u64(o.t);
                 e.f32(o.lr);
-                e.u32(o.m.len() as u32);
+                e.u32(len_u32(o.m.len()));
                 for t in &o.m {
                     e.tensor(t);
                 }
@@ -349,7 +376,7 @@ pub fn encode_run_state(rs: &RunState) -> Vec<u8> {
     }
     if !rs.trace.is_empty() {
         e.chunk(TAG_TRACE, |e| {
-            e.u32(rs.trace.len() as u32);
+            e.u32(len_u32(rs.trace.len()));
             for row in &rs.trace {
                 for &x in row {
                     e.f32(x);
@@ -358,11 +385,11 @@ pub fn encode_run_state(rs: &RunState) -> Vec<u8> {
         });
     }
     e.chunk(TAG_LOSSES, |e| {
-        e.u32(rs.train_losses.len() as u32);
+        e.u32(len_u32(rs.train_losses.len()));
         for &x in &rs.train_losses {
             e.f32(x);
         }
-        e.u32(rs.val_losses.len() as u32);
+        e.u32(len_u32(rs.val_losses.len()));
         for &x in &rs.val_losses {
             e.f32(x);
         }
@@ -393,24 +420,40 @@ impl<'a> Dec<'a> {
                 self.remaining()
             )));
         }
-        let s = &self.buf[self.pos..self.pos + n];
+        let s = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or_else(|| corrupt("decoder overrun"))?;
         self.pos += n;
         Ok(s)
     }
+    /// Fixed-size read: `bytes(N)` copied into an array, so callers never
+    /// need a slice-to-array `unwrap`.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], CheckpointError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.bytes(N)?);
+        Ok(out)
+    }
     fn u32(&mut self) -> Result<u32, CheckpointError> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
     fn u64(&mut self) -> Result<u64, CheckpointError> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
     fn f32(&mut self) -> Result<f32, CheckpointError> {
-        Ok(f32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        Ok(f32::from_le_bytes(self.array()?))
     }
     fn f64(&mut self) -> Result<f64, CheckpointError> {
-        Ok(f64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.array()?))
+    }
+    /// Decode a `u32` count/length field as `usize`, rejecting values the
+    /// platform cannot index.
+    fn count(&mut self) -> Result<usize, CheckpointError> {
+        let v = self.u32()?;
+        usize::try_from(v).map_err(|_| corrupt(format!("count {v} overflows usize")))
     }
     fn str(&mut self) -> Result<String, CheckpointError> {
-        let len = self.u32()? as usize;
+        let len = self.count()?;
         if len > MAX_NAME_LEN {
             return Err(corrupt(format!("name length {len} exceeds cap {MAX_NAME_LEN}")));
         }
@@ -418,7 +461,7 @@ impl<'a> Dec<'a> {
             .map_err(|e| corrupt(format!("non-UTF-8 name: {e}")))
     }
     fn tensor(&mut self) -> Result<Tensor, CheckpointError> {
-        let rank = self.u32()? as usize;
+        let rank = self.count()?;
         if rank > MAX_RANK {
             return Err(corrupt(format!("tensor rank {rank} exceeds cap {MAX_RANK}")));
         }
@@ -440,7 +483,7 @@ impl<'a> Dec<'a> {
         let raw = self.bytes(nbytes)?;
         let mut data = Vec::with_capacity(numel);
         for b in raw.chunks_exact(4) {
-            data.push(f32::from_le_bytes(b.try_into().unwrap()));
+            data.push(le_f32(b));
         }
         Ok(Tensor::from_vec(shape, data))
     }
@@ -457,24 +500,28 @@ fn parse_v2(bytes: &[u8]) -> Result<RunState, CheckpointError> {
         return Err(corrupt("shorter than magic + CRC footer"));
     }
     let (body, footer) = bytes.split_at(bytes.len() - 4);
-    let expect = u32::from_le_bytes(footer.try_into().unwrap());
+    let mut fb = [0u8; 4];
+    fb.copy_from_slice(footer);
+    let expect = u32::from_le_bytes(fb);
     let got = crc32(body);
     if expect != got {
         return Err(corrupt(format!("CRC mismatch: footer {expect:#010x}, computed {got:#010x}")));
     }
-    if &body[..8] != MAGIC_V2 {
+    if body.get(..MAGIC_V2.len()) != Some(MAGIC_V2.as_slice()) {
         return Err(corrupt("bad v2 magic"));
     }
     let mut rs = RunState::default();
-    let mut d = Dec { buf: body, pos: 8 };
+    let mut d = Dec { buf: body, pos: MAGIC_V2.len() };
     while d.remaining() > 0 {
-        let tag: [u8; 4] = d.bytes(4)?.try_into().unwrap();
-        let len = d.u64()? as usize;
+        let tag: [u8; 4] = d.array()?;
+        let len = d.u64()?;
+        let len = usize::try_from(len)
+            .map_err(|_| corrupt(format!("chunk length {len} overflows usize")))?;
         let payload = d.bytes(len)?;
         let mut c = Dec { buf: payload, pos: 0 };
         match &tag {
             t if t == TAG_PARAMS => {
-                let count = c.u32()? as usize;
+                let count = c.count()?;
                 let mut params = Vec::with_capacity(c.bounded_count(count, 12));
                 for _ in 0..count {
                     let name = c.str()?;
@@ -484,13 +531,13 @@ fn parse_v2(bytes: &[u8]) -> Result<RunState, CheckpointError> {
                 rs.params = params;
             }
             t if t == TAG_OPTIMIZERS => {
-                let count = c.u32()? as usize;
+                let count = c.count()?;
                 let mut opts = Vec::with_capacity(c.bounded_count(count, 20));
                 for _ in 0..count {
                     let name = c.str()?;
                     let t = c.u64()?;
                     let lr = c.f32()?;
-                    let n = c.u32()? as usize;
+                    let n = c.count()?;
                     let mut m = Vec::with_capacity(c.bounded_count(n, 4));
                     for _ in 0..n {
                         m.push(c.tensor()?);
@@ -530,7 +577,7 @@ fn parse_v2(bytes: &[u8]) -> Result<RunState, CheckpointError> {
                 rs.rng = Some(s);
             }
             t if t == TAG_TRACE => {
-                let rows = c.u32()? as usize;
+                let rows = c.count()?;
                 let mut trace = Vec::with_capacity(c.bounded_count(rows, 12));
                 for _ in 0..rows {
                     trace.push([c.f32()?, c.f32()?, c.f32()?]);
@@ -538,12 +585,12 @@ fn parse_v2(bytes: &[u8]) -> Result<RunState, CheckpointError> {
                 rs.trace = trace;
             }
             t if t == TAG_LOSSES => {
-                let nt = c.u32()? as usize;
+                let nt = c.count()?;
                 let mut tl = Vec::with_capacity(c.bounded_count(nt, 4));
                 for _ in 0..nt {
                     tl.push(c.f32()?);
                 }
-                let nv = c.u32()? as usize;
+                let nv = c.count()?;
                 let mut vl = Vec::with_capacity(c.bounded_count(nv, 4));
                 for _ in 0..nv {
                     vl.push(c.f32()?);
@@ -566,13 +613,13 @@ fn parse_v2(bytes: &[u8]) -> Result<RunState, CheckpointError> {
 /// [`save_run_state`]).
 pub fn write_checkpoint(mut w: impl Write, params: &[Parameter]) -> io::Result<()> {
     w.write_all(MAGIC_V1)?;
-    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    w.write_all(&len_u32(params.len()).to_le_bytes())?;
     for p in params {
         let name = p.name();
         let value = p.value();
-        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(&len_u32(name.len()).to_le_bytes())?;
         w.write_all(name.as_bytes())?;
-        w.write_all(&(value.rank() as u32).to_le_bytes())?;
+        w.write_all(&len_u32(value.rank()).to_le_bytes())?;
         for &d in value.shape() {
             w.write_all(&(d as u64).to_le_bytes())?;
         }
@@ -593,9 +640,10 @@ fn read_f32s(r: &mut impl Read, numel: usize) -> io::Result<Vec<f32>> {
     let mut left = numel;
     while left > 0 {
         let take = left.min(chunk.len() / 4);
-        r.read_exact(&mut chunk[..take * 4])?;
-        for b in chunk[..take * 4].chunks_exact(4) {
-            data.push(f32::from_le_bytes(b.try_into().unwrap()));
+        let (head, _) = chunk.split_at_mut(take * 4);
+        r.read_exact(head)?;
+        for b in head.chunks_exact(4) {
+            data.push(le_f32(b));
         }
         left -= take;
     }
@@ -603,10 +651,10 @@ fn read_f32s(r: &mut impl Read, numel: usize) -> io::Result<Vec<f32>> {
 }
 
 fn read_v1_entries(mut r: impl Read) -> io::Result<Vec<(String, Tensor)>> {
-    let count = read_u32(&mut r)? as usize;
+    let count = read_len(&mut r)?;
     let mut out = Vec::with_capacity(count.min(4096));
     for _ in 0..count {
-        let name_len = read_u32(&mut r)? as usize;
+        let name_len = read_len(&mut r)?;
         if name_len > MAX_NAME_LEN {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -617,7 +665,7 @@ fn read_v1_entries(mut r: impl Read) -> io::Result<Vec<(String, Tensor)>> {
         r.read_exact(&mut name_bytes)?;
         let name = String::from_utf8(name_bytes)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let rank = read_u32(&mut r)? as usize;
+        let rank = read_len(&mut r)?;
         if rank > MAX_RANK {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -648,6 +696,12 @@ fn read_u32(r: &mut impl Read) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
+}
+
+/// Read a `u32` count/length field as `usize`, rejecting values the
+/// platform cannot index.
+fn read_len(r: &mut impl Read) -> io::Result<usize> {
+    usize::try_from(read_u32(r)?).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 // ---------------------------------------------------------------------------
@@ -790,6 +844,7 @@ pub fn load_parameters(path: impl AsRef<Path>, params: &[Parameter]) -> io::Resu
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)] // tests index fixture buffers deliberately
 mod tests {
     use super::*;
     use cts_tensor::init;

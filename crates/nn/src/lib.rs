@@ -6,6 +6,7 @@
 //! decay, plus SGD), the temperature/learning-rate schedules, masked losses,
 //! and a small generic training engine shared by baselines and AutoCTS.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod attention;

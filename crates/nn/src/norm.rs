@@ -81,6 +81,7 @@ impl BatchNorm {
     /// Normalise `[..., d]` over all leading axes.
     pub fn forward(&self, tape: &Tape, x: &Var) -> Var {
         let shape = x.shape();
+        // invariant: batchnorm inputs are at least rank 1.
         let d = *shape.last().expect("batchnorm on rank-0");
         let rows: usize = shape[..shape.len() - 1].iter().product();
         let flat = x.reshape(&[rows, d]);

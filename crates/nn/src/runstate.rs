@@ -48,6 +48,23 @@ impl CheckpointConfig {
     pub fn due(&self, completed: usize) -> bool {
         completed.is_multiple_of(self.every_epochs.max(1))
     }
+
+    /// Derive a stage-scoped config writing to the sibling file
+    /// `<stem>.<name>[.<ext>]`, keeping cadence and resume policy. Lets
+    /// one run config checkpoint its search and retraining stages
+    /// independently without the two stages clobbering each other's file.
+    pub fn stage(&self, name: &str) -> Self {
+        let mut path = self.path.clone();
+        let file = match (path.file_stem(), path.extension()) {
+            (Some(stem), Some(ext)) => {
+                format!("{}.{name}.{}", stem.to_string_lossy(), ext.to_string_lossy())
+            }
+            (Some(stem), None) => format!("{}.{name}", stem.to_string_lossy()),
+            (None, _) => name.to_string(),
+        };
+        path.set_file_name(file);
+        Self { path, ..self.clone() }
+    }
 }
 
 /// Numerical-health monitoring of a training loop.
@@ -105,7 +122,7 @@ impl WatchdogConfig {
         if sorted.is_empty() {
             return None;
         }
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f32::total_cmp);
         Some(sorted[sorted.len() / 2])
     }
 
@@ -216,6 +233,21 @@ mod tests {
         assert!(ck.due(3));
         assert!(ck.due(6));
         assert!(CheckpointConfig::new("/tmp/x.ckpt").due(1));
+    }
+
+    #[test]
+    fn stage_derives_sibling_path_and_keeps_policy() {
+        let ck = CheckpointConfig::new("/tmp/run.ckpt").every(3).fresh();
+        let retrain = ck.stage("retrain");
+        assert_eq!(retrain.path, std::path::PathBuf::from("/tmp/run.retrain.ckpt"));
+        assert_eq!(retrain.every_epochs, 3);
+        assert!(!retrain.resume);
+        // extension-less paths get the stage suffix appended
+        let bare = CheckpointConfig::new("/tmp/run").stage("retrain");
+        assert_eq!(bare.path, std::path::PathBuf::from("/tmp/run.retrain"));
+        // stages must not collide with each other or the base file
+        assert_ne!(ck.stage("search").path, retrain.path);
+        assert_ne!(ck.stage("search").path, ck.path);
     }
 
     #[test]

@@ -178,6 +178,7 @@ impl GoodState {
             p.set_value(t.clone());
         }
         opt.zero_grad();
+        // invariant: the snapshot was exported from this same optimizer.
         opt.import_state(&self.opt).expect("snapshot taken from this optimizer");
         self.step
     }
@@ -266,6 +267,7 @@ pub fn train_full(
             opt.set_lr(opt.lr() * cfg.watchdog.lr_cut);
             continue; // retry the same epoch at the reduced LR
         }
+        // invariant: the epoch loop pushed a loss just above.
         let tl = *train_losses.last().expect("pushed above");
 
         let mut stop = false;

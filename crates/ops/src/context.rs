@@ -89,6 +89,12 @@ impl GraphContext {
         }
     }
 
+    /// True when an adaptive adjacency is learned (operators that own
+    /// adaptive-direction weights should only allocate them in this case).
+    pub fn has_adaptive(&self) -> bool {
+        self.adaptive.is_some()
+    }
+
     /// True when the context carries usable spatial structure (either a
     /// non-empty predefined graph or adaptive embeddings).
     pub fn has_spatial_signal(&self) -> bool {

@@ -13,10 +13,12 @@ pub struct ChebGcnOp {
 }
 
 impl ChebGcnOp {
-    /// One linear map per Chebyshev order (K is fixed by the context; we
-    /// allocate for the workspace default of 3 basis matrices).
-    pub fn new(rng: &mut impl Rng, name: &str, d: usize) -> Self {
-        let weights = (0..3)
+    /// One linear map per Chebyshev order. `k` must match the diffusion
+    /// order of the [`GraphContext`] the op will run against (the basis has
+    /// `k + 1` matrices): fewer weights silently truncate the expansion,
+    /// more weights are never reached by a gradient.
+    pub fn new(rng: &mut impl Rng, name: &str, d: usize, k: usize) -> Self {
+        let weights = (0..=k)
             .map(|k| Linear::new(rng, &format!("{name}.w{k}"), d, d, k == 0))
             .collect();
         Self { weights }
@@ -35,6 +37,7 @@ impl StOperator for ChebGcnOp {
                 None => term,
             });
         }
+        // invariant: gcn_k >= 1 (validated config), so the basis is non-empty.
         acc.expect("chebyshev basis is never empty")
     }
 
@@ -59,15 +62,19 @@ pub struct DgcnOp {
 }
 
 impl DgcnOp {
-    /// DGCN with `d` channels (two diffusion steps per direction).
-    pub fn new(rng: &mut impl Rng, name: &str, d: usize) -> Self {
+    /// DGCN with `d` channels and `k` diffusion steps per direction
+    /// (matching the [`GraphContext`]'s support count — a mismatch leaves
+    /// weights gradient-starved or truncates the diffusion). Adaptive
+    /// weights are only allocated when `adaptive` is set: a context without
+    /// an adaptive support would never route a gradient into them.
+    pub fn new(rng: &mut impl Rng, name: &str, d: usize, k: usize, adaptive: bool) -> Self {
         let mk = |tag: &str, rng: &mut dyn FnMut(&str) -> Linear| -> Vec<Linear> {
-            (0..2).map(|k| rng(&format!("{name}.{tag}{k}"))).collect()
+            (0..k).map(|i| rng(&format!("{name}.{tag}{i}"))).collect()
         };
         let mut build = |n: &str| Linear::new(rng, n, d, d, false);
         let fwd_weights = mk("fwd", &mut build);
         let bwd_weights = mk("bwd", &mut build);
-        let adp_weights = mk("adp", &mut build);
+        let adp_weights = if adaptive { mk("adp", &mut build) } else { Vec::new() };
         Self {
             fwd_weights,
             bwd_weights,
@@ -128,7 +135,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(0);
         let g = random_geometric_graph(&mut rng, &GraphGenConfig { n: 5, sigma: 0.8, threshold: 0.1 });
         let ctx = GraphContext::from_graph(&g, 2);
-        let op = DgcnOp::new(&mut rng, "dgcn", 3);
+        let op = DgcnOp::new(&mut rng, "dgcn", 3, 2, false);
         let tape = cts_autograd::Tape::new();
         let mut x = init::uniform(&mut rng, [1, 5, 2, 3], -1.0, 1.0);
         let y0 = op.forward(&tape, &tape.constant(x.clone()), &ctx).value();
@@ -156,7 +163,7 @@ mod tests {
     fn dgcn_on_disconnected_graph_degenerates_to_self_term() {
         let mut rng = SmallRng::seed_from_u64(1);
         let ctx = GraphContext::from_graph(&SensorGraph::disconnected(4), 2);
-        let op = DgcnOp::new(&mut rng, "dgcn", 3);
+        let op = DgcnOp::new(&mut rng, "dgcn", 3, 2, false);
         let tape = cts_autograd::Tape::new();
         let mut x = init::uniform(&mut rng, [1, 4, 2, 3], -1.0, 1.0);
         let y0 = op.forward(&tape, &tape.constant(x.clone()), &ctx).value();
@@ -180,7 +187,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let ctx = GraphContext::from_graph(&SensorGraph::disconnected(4), 2)
             .with_adaptive(&mut rng, 3);
-        let op = DgcnOp::new(&mut rng, "dgcn", 3);
+        let op = DgcnOp::new(&mut rng, "dgcn", 3, 2, true);
         let tape = cts_autograd::Tape::new();
         let x = tape.constant(init::uniform(&mut rng, [1, 4, 2, 3], -1.0, 1.0));
         let loss = op.forward(&tape, &x, &ctx).square().sum_all();
@@ -195,7 +202,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let g = random_geometric_graph(&mut rng, &GraphGenConfig { n: 4, ..Default::default() });
         let ctx = GraphContext::from_graph(&g, 2);
-        let op = ChebGcnOp::new(&mut rng, "cheb", 3);
+        let op = ChebGcnOp::new(&mut rng, "cheb", 3, 2);
         let tape = cts_autograd::Tape::new();
         let x = tape.constant(init::uniform(&mut rng, [2, 4, 3, 3], -1.0, 1.0));
         let y = op.forward(&tape, &x, &ctx);

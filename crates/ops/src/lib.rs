@@ -10,12 +10,14 @@
 //! unpruned Table 1 set used by the *w/o design principles* ablation.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod attention_ops;
 mod basic;
 mod context;
 mod gcn_ops;
 mod kinds;
+mod meta;
 mod registry;
 mod rnn_ops;
 mod taxonomy;
@@ -25,6 +27,7 @@ pub use basic::{Conv1dOp, GdccOp, IdentityOp, ZeroOp};
 pub use context::{node_mix, GraphContext};
 pub use gcn_ops::{ChebGcnOp, DgcnOp};
 pub use kinds::{OpFamily, OpKind};
+pub use meta::{ShapeCtx, ShapeIssue};
 pub use registry::{build_operator, compact_set, full_set, StOperator};
 pub use rnn_ops::{GruOp, LstmOp};
 pub use taxonomy::{operator_table, st_block_taxonomy, OperatorRow, TaxonomyCell};

@@ -65,9 +65,22 @@ impl StOperator for ReluNormed {
 
 /// Instantiate an operator of `kind` with channel width `d`.
 ///
+/// `gcn_k` sizes the GCN-family weight stacks and must match the diffusion
+/// order the [`GraphContext`] was built with; `adaptive` states whether
+/// that context carries an adaptive support (it gates DGCN's adaptive
+/// weights — allocating them against a context that never offers the
+/// support would leave them permanently gradient-starved).
+///
 /// Parametric operators are wrapped in ReLU-op-norm; zero/identity are
 /// returned bare.
-pub fn build_operator(rng: &mut impl Rng, kind: OpKind, name: &str, d: usize) -> Box<dyn StOperator> {
+pub fn build_operator(
+    rng: &mut impl Rng,
+    kind: OpKind,
+    name: &str,
+    d: usize,
+    gcn_k: usize,
+    adaptive: bool,
+) -> Box<dyn StOperator> {
     let inner: Box<dyn StOperator> = match kind {
         OpKind::Zero => return Box::new(ZeroOp),
         OpKind::Identity => return Box::new(IdentityOp),
@@ -77,8 +90,8 @@ pub fn build_operator(rng: &mut impl Rng, kind: OpKind, name: &str, d: usize) ->
         OpKind::Gru => Box::new(GruOp::new(rng, name, d)),
         OpKind::TransformerT => Box::new(TransformerTOp::new(rng, name, d)),
         OpKind::InformerT => Box::new(InformerTOp::new(rng, name, d)),
-        OpKind::ChebGcn => Box::new(ChebGcnOp::new(rng, name, d)),
-        OpKind::Dgcn => Box::new(DgcnOp::new(rng, name, d)),
+        OpKind::ChebGcn => Box::new(ChebGcnOp::new(rng, name, d, gcn_k)),
+        OpKind::Dgcn => Box::new(DgcnOp::new(rng, name, d, gcn_k, adaptive)),
         OpKind::TransformerS => Box::new(TransformerSOp::new(rng, name, d)),
         OpKind::InformerS => Box::new(InformerSOp::new(rng, name, d)),
     };
@@ -123,7 +136,7 @@ mod tests {
         let ctx = GraphContext::from_graph(&g, 2);
         let d = 6;
         for kind in full_set() {
-            let op = build_operator(&mut rng, kind, "op", d);
+            let op = build_operator(&mut rng, kind, "op", d, 2, false);
             assert_eq!(op.kind(), kind);
             let tape = Tape::new();
             let x = tape.constant(init::uniform(&mut rng, [2, 5, 8, d], -1.0, 1.0));
@@ -137,6 +150,34 @@ mod tests {
                 assert!(!op.parameters().is_empty());
             } else {
                 assert!(op.parameters().is_empty());
+            }
+        }
+    }
+
+    /// Regression for the hard-coded `k = 2` weight stacks: at any other
+    /// diffusion order the GCN ops used to leave weights permanently
+    /// gradient-starved (ChebGcn) or truncate the expansion (Dgcn). Every
+    /// parameter must now see a gradient at non-default `k`.
+    #[test]
+    fn gcn_ops_train_every_weight_at_non_default_k() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = random_geometric_graph(&mut rng, &GraphGenConfig { n: 5, sigma: 0.8, threshold: 0.1 });
+        for k in [1usize, 3] {
+            let ctx = GraphContext::from_graph(&g, k).with_adaptive(&mut rng, 4);
+            let d = 4;
+            for kind in [OpKind::ChebGcn, OpKind::Dgcn] {
+                let op = build_operator(&mut rng, kind, "op", d, k, true);
+                let tape = Tape::new();
+                let x = tape.constant(init::uniform(&mut rng, [2, 5, 3, d], -1.0, 1.0));
+                let loss = op.forward(&tape, &x, &ctx).square().sum_all();
+                tape.backward(&loss);
+                for p in op.parameters() {
+                    assert!(
+                        p.grad().norm() > 0.0,
+                        "{kind} (k={k}): parameter {} got no gradient",
+                        p.name()
+                    );
+                }
             }
         }
     }

@@ -9,6 +9,7 @@
 //! `[B, N, T, D]` — batch, node (time series), time step, channel.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod shape;
 mod tensor;
@@ -16,6 +17,7 @@ mod tensor;
 pub mod init;
 pub mod ops;
 pub mod parallel;
+pub mod sym;
 
 pub use shape::{broadcast_shapes, strides_for, Shape};
 pub use tensor::Tensor;

@@ -37,7 +37,7 @@ pub fn temporal_conv(x: &Tensor, w: &Tensor, dilation: usize) -> Tensor {
     let series = b * n;
     let unit = t * dout;
     let work = 2 * series * t * k * din * dout;
-    parallel::for_units(&mut out, unit.max(1), work, |u0, chunk| {
+    parallel::for_units(&parallel::kernels::TEMPORAL_CONV, &mut out, unit.max(1), work, |u0, chunk| {
         if unit == 0 {
             return;
         }
@@ -77,7 +77,7 @@ pub fn temporal_conv_grad_x(grad: &Tensor, w: &Tensor, x_shape: &[usize], dilati
     let series = b * n;
     let unit = t * din;
     let work = 2 * series * t * k * din * dout;
-    parallel::for_units(&mut gx, unit.max(1), work, |u0, chunk| {
+    parallel::for_units(&parallel::kernels::TEMPORAL_CONV_GRAD_X, &mut gx, unit.max(1), work, |u0, chunk| {
         if unit == 0 {
             return;
         }
@@ -117,7 +117,7 @@ pub fn temporal_conv_grad_w(grad: &Tensor, x: &Tensor, w_shape: &[usize], dilati
     let xd = x.data();
     let series = b * n;
     let work = 2 * series * t * k * din * dout;
-    let gw = parallel::partial_sums(series, k * din * dout, work, |s, acc| {
+    let gw = parallel::partial_sums(&parallel::kernels::TEMPORAL_CONV_GRAD_W, series, k * din * dout, work, |s, acc| {
         let x_off = s * t * din;
         let g_off = s * t * dout;
         for ti in 0..t {

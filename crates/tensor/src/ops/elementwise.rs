@@ -29,7 +29,7 @@ fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> 
         // Fast path: identical shapes, one flat parallel zip.
         let (ad, bd) = (a.data(), b.data());
         let mut data = vec![0.0f32; ad.len()];
-        parallel::for_units(&mut data, 1, ad.len(), |start, chunk| {
+        parallel::for_units(&parallel::kernels::EW_ZIP, &mut data, 1, ad.len(), |start, chunk| {
             for (i, o) in chunk.iter_mut().enumerate() {
                 *o = f(ad[start + i], bd[start + i]);
             }
@@ -43,7 +43,7 @@ fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> 
     let b_str = broadcast_strides(b.shape(), &out_shape);
     let (ad, bd) = (a.data(), b.data());
     let mut data = vec![0.0f32; n];
-    parallel::for_units(&mut data, 1, n, |start, chunk| {
+    parallel::for_units(&parallel::kernels::EW_ZIP_BROADCAST, &mut data, 1, n, |start, chunk| {
         // Odometer walk: carry coordinates and both source offsets along.
         let mut coords = unravel(start, &out_shape);
         let mut ia: usize = coords.iter().zip(a_str.iter()).map(|(c, s)| c * s).sum();
@@ -74,7 +74,7 @@ fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> 
 fn unary(a: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
     let ad = a.data();
     let mut data = vec![0.0f32; ad.len()];
-    parallel::for_units(&mut data, 1, ad.len(), |start, chunk| {
+    parallel::for_units(&parallel::kernels::EW_UNARY, &mut data, 1, ad.len(), |start, chunk| {
         for (o, &x) in chunk.iter_mut().zip(ad[start..].iter()) {
             *o = f(x);
         }
@@ -87,7 +87,7 @@ fn zip_exact(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tens
     debug_assert_eq!(a.len(), b.len(), "zip_exact length mismatch");
     let (ad, bd) = (a.data(), b.data());
     let mut data = vec![0.0f32; ad.len()];
-    parallel::for_units(&mut data, 1, ad.len(), |start, chunk| {
+    parallel::for_units(&parallel::kernels::EW_ZIP_EXACT, &mut data, 1, ad.len(), |start, chunk| {
         for (i, o) in chunk.iter_mut().enumerate() {
             *o = f(ad[start + i], bd[start + i]);
         }

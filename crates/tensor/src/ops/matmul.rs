@@ -50,7 +50,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let work = 2usize.saturating_mul(batch).saturating_mul(m).saturating_mul(n).saturating_mul(k);
     // One unit = one output row; contiguous runs of rows go to each worker,
     // grouped by batch below so B panels are packed once per row block.
-    parallel::for_units(&mut out, n.max(1), work, |row0, chunk| {
+    parallel::for_units(&parallel::kernels::MATMUL, &mut out, n.max(1), work, |row0, chunk| {
         if n == 0 || m == 0 {
             return;
         }
@@ -143,7 +143,7 @@ pub fn transpose_last2(a: &Tensor) -> Tensor {
     if mat == 0 {
         return Tensor::from_vec(out_shape, out);
     }
-    parallel::for_units(&mut out, mat, a.len(), |b0, chunk| {
+    parallel::for_units(&parallel::kernels::TRANSPOSE, &mut out, mat, a.len(), |b0, chunk| {
         for (bb, dst) in chunk.chunks_mut(mat).enumerate() {
             let src = &data[(b0 + bb) * mat..(b0 + bb + 1) * mat];
             transpose_tile(src, dst, m, n);

@@ -36,7 +36,7 @@ pub fn sum_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
     let (outer, len, inner) = split_at_axis(a.shape(), axis);
     let mut out = vec![0.0f32; outer * inner];
     let data = a.data();
-    parallel::for_units(&mut out, inner.max(1), outer * len * inner, |o0, chunk| {
+    parallel::for_units(&parallel::kernels::REDUCE_SUM_AXIS, &mut out, inner.max(1), outer * len * inner, |o0, chunk| {
         if inner == 0 {
             return;
         }
@@ -67,7 +67,7 @@ pub fn sum_axis_grad(grad: &Tensor, a_shape: &[usize], axis: usize) -> Tensor {
     let mut out = vec![0.0f32; outer * len * inner];
     let g = grad.data();
     debug_assert_eq!(g.len(), outer * inner);
-    parallel::for_units(&mut out, (len * inner).max(1), outer * len * inner, |u0, chunk| {
+    parallel::for_units(&parallel::kernels::REDUCE_SUM_AXIS_GRAD, &mut out, (len * inner).max(1), outer * len * inner, |u0, chunk| {
         if inner == 0 || len == 0 {
             return;
         }
@@ -116,7 +116,7 @@ pub fn max_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
     let (outer, len, inner) = split_at_axis(a.shape(), axis);
     let mut out = vec![f32::NEG_INFINITY; outer * inner];
     let data = a.data();
-    parallel::for_units(&mut out, inner.max(1), outer * len * inner, |o0, chunk| {
+    parallel::for_units(&parallel::kernels::REDUCE_MAX_AXIS, &mut out, inner.max(1), outer * len * inner, |o0, chunk| {
         if inner == 0 {
             return;
         }
@@ -143,7 +143,7 @@ pub fn broadcast_to(a: &Tensor, target: &[usize]) -> Tensor {
     let mut out = vec![0.0f32; n];
     let data = a.data();
     let shape = a.shape();
-    parallel::for_units(&mut out, 1, n, |start, chunk| {
+    parallel::for_units(&parallel::kernels::BROADCAST_TO, &mut out, 1, n, |start, chunk| {
         for (i, o) in chunk.iter_mut().enumerate() {
             let coords = unravel(start + i, target);
             *o = data[ravel_broadcast(&coords, shape)];

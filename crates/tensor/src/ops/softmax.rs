@@ -15,7 +15,7 @@ pub fn softmax_last(a: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; a.len()];
     let data = a.data();
     // ~4 flops per element (max scan, exp, sum, scale).
-    parallel::for_units(&mut out, n.max(1), 4 * a.len(), |start, chunk| {
+    parallel::for_units(&parallel::kernels::SOFTMAX, &mut out, n.max(1), 4 * a.len(), |start, chunk| {
         if n == 0 {
             return;
         }
@@ -45,7 +45,7 @@ pub fn softmax_last_grad(grad: &Tensor, y: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; y.len()];
     let g = grad.data();
     let yv = y.data();
-    parallel::for_units(&mut out, n.max(1), 4 * y.len(), |start, chunk| {
+    parallel::for_units(&parallel::kernels::SOFTMAX_GRAD, &mut out, n.max(1), 4 * y.len(), |start, chunk| {
         if n == 0 {
             return;
         }
@@ -67,7 +67,7 @@ pub fn logsumexp_last(a: &Tensor) -> Tensor {
     let rows = a.len() / n.max(1);
     let mut out = vec![0.0f32; rows];
     let data = a.data();
-    parallel::for_units(&mut out, 1, 3 * a.len(), |start, chunk| {
+    parallel::for_units(&parallel::kernels::LOGSUMEXP, &mut out, 1, 3 * a.len(), |start, chunk| {
         for (ri, o) in chunk.iter_mut().enumerate() {
             let base = (start + ri) * n;
             let s = &data[base..base + n];

@@ -23,9 +23,165 @@
 //! Callers pass an estimated scalar-op count for the whole kernel; work
 //! smaller than [`PAR_THRESHOLD`] never crosses a thread boundary, so tiny
 //! tensors (the common case inside cell-search inner loops) pay nothing.
+//!
+//! # Determinism registry
+//!
+//! Bit-identical results at any thread count (the guarantee the
+//! checkpoint/resume layer depends on) only hold if every kernel splits
+//! and recombines its work in a *fixed* order. That contract is machine
+//! checked, not conventional: each call into [`for_units`] /
+//! [`partial_sums`] must present a [`KernelSpec`] registered in
+//! [`kernels::ALL`], and the [`Partition`] / [`Reduction`] enums only
+//! have order-deterministic variants. A new kernel that skips
+//! registration panics on first use; one that invents a non-deterministic
+//! strategy cannot even name it. `cts-verify` audits the registry as part
+//! of its static report.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+/// How a kernel's output is split across workers.
+///
+/// Every variant is deterministic by construction: the assignment of work
+/// to a worker index depends only on the unit count and thread count,
+/// never on scheduling order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Partition {
+    /// Contiguous runs of fixed-size units, dealt out in worker order
+    /// (worker `w` gets units `[start_w, start_w + n_w)`; see [`share`]).
+    ContiguousUnits,
+}
+
+/// How per-worker results are combined into the kernel's output.
+///
+/// Every variant has a fixed combination order, so floating-point
+/// summation is reproducible at a given thread count (and exactly serial
+/// at one thread).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reduction {
+    /// Workers write disjoint output ranges; nothing is combined.
+    DisjointWrites,
+    /// Each worker fills a private accumulator; the accumulators are
+    /// summed in ascending worker order.
+    OrderedPartialSums,
+}
+
+/// Static description of one parallel kernel: its name and the
+/// partition/reduction strategy it is allowed to use.
+///
+/// Specs are `'static` and identity-checked against [`kernels::ALL`], so
+/// the set of kernels that can touch the thread pool is a closed, auditable
+/// list.
+#[derive(Debug)]
+pub struct KernelSpec {
+    /// Stable kernel name (module-qualified, e.g. `"conv.temporal_grad_w"`).
+    pub name: &'static str,
+    /// Work-splitting strategy.
+    pub partition: Partition,
+    /// Result-combination strategy.
+    pub reduction: Reduction,
+}
+
+/// The closed registry of kernels allowed on the parallel layer.
+pub mod kernels {
+    use super::{KernelSpec, Partition, Reduction};
+
+    const fn disjoint(name: &'static str) -> KernelSpec {
+        KernelSpec {
+            name,
+            partition: Partition::ContiguousUnits,
+            reduction: Reduction::DisjointWrites,
+        }
+    }
+
+    const fn summed(name: &'static str) -> KernelSpec {
+        KernelSpec {
+            name,
+            partition: Partition::ContiguousUnits,
+            reduction: Reduction::OrderedPartialSums,
+        }
+    }
+
+    /// Cache-blocked packed-B matrix product (one unit = one output row).
+    pub static MATMUL: KernelSpec = disjoint("matmul");
+    /// Tiled last-two-dims transpose (one unit = one matrix).
+    pub static TRANSPOSE: KernelSpec = disjoint("matmul.transpose_last2");
+    /// Same-shape elementwise zip (one unit = one scalar).
+    pub static EW_ZIP: KernelSpec = disjoint("elementwise.zip");
+    /// Broadcasting elementwise zip (odometer walk).
+    pub static EW_ZIP_BROADCAST: KernelSpec = disjoint("elementwise.zip_broadcast");
+    /// Elementwise unary map.
+    pub static EW_UNARY: KernelSpec = disjoint("elementwise.unary");
+    /// Exact-length zip used by saved-value gradient kernels.
+    pub static EW_ZIP_EXACT: KernelSpec = disjoint("elementwise.zip_exact");
+    /// Axis sum (one unit = one inner slice).
+    pub static REDUCE_SUM_AXIS: KernelSpec = disjoint("reduce.sum_axis");
+    /// Axis-sum gradient broadcast-back.
+    pub static REDUCE_SUM_AXIS_GRAD: KernelSpec = disjoint("reduce.sum_axis_grad");
+    /// Axis max.
+    pub static REDUCE_MAX_AXIS: KernelSpec = disjoint("reduce.max_axis");
+    /// Broadcast materialisation.
+    pub static BROADCAST_TO: KernelSpec = disjoint("reduce.broadcast_to");
+    /// Softmax forward (one unit = one row).
+    pub static SOFTMAX: KernelSpec = disjoint("softmax.forward");
+    /// Softmax backward.
+    pub static SOFTMAX_GRAD: KernelSpec = disjoint("softmax.grad");
+    /// Log-sum-exp rows.
+    pub static LOGSUMEXP: KernelSpec = disjoint("softmax.logsumexp");
+    /// Dilated causal temporal convolution (one unit = one series).
+    pub static TEMPORAL_CONV: KernelSpec = disjoint("conv.temporal");
+    /// Temporal convolution input gradient.
+    pub static TEMPORAL_CONV_GRAD_X: KernelSpec = disjoint("conv.temporal_grad_x");
+    /// Temporal convolution weight gradient: per-series partial sums,
+    /// combined in worker order.
+    pub static TEMPORAL_CONV_GRAD_W: KernelSpec = summed("conv.temporal_grad_w");
+
+    /// Every kernel allowed to use [`super::for_units`] /
+    /// [`super::partial_sums`]. Keep in sync with the statics above; the
+    /// registration assert fires on first use of an unlisted spec.
+    pub static ALL: &[&KernelSpec] = &[
+        &MATMUL,
+        &TRANSPOSE,
+        &EW_ZIP,
+        &EW_ZIP_BROADCAST,
+        &EW_UNARY,
+        &EW_ZIP_EXACT,
+        &REDUCE_SUM_AXIS,
+        &REDUCE_SUM_AXIS_GRAD,
+        &REDUCE_MAX_AXIS,
+        &BROADCAST_TO,
+        &SOFTMAX,
+        &SOFTMAX_GRAD,
+        &LOGSUMEXP,
+        &TEMPORAL_CONV,
+        &TEMPORAL_CONV_GRAD_X,
+        &TEMPORAL_CONV_GRAD_W,
+    ];
+
+    /// True when `spec` is one of the registered kernel descriptors
+    /// (checked by identity: the registry is a closed set of statics, not
+    /// a structural pattern).
+    pub fn is_registered(spec: &KernelSpec) -> bool {
+        ALL.iter().any(|k| std::ptr::eq::<KernelSpec>(*k, spec))
+    }
+}
+
+/// Panic unless `spec` is registered and uses `expected` reduction.
+fn check_spec(spec: &'static KernelSpec, expected: Reduction) {
+    assert!(
+        kernels::is_registered(spec),
+        "kernel spec {:?} is not in parallel::kernels::ALL — register it \
+         so the determinism audit can see it",
+        spec.name
+    );
+    assert!(
+        spec.reduction == expected,
+        "kernel {:?} declares {:?} but was routed through a {:?} entry point",
+        spec.name,
+        spec.reduction,
+        expected
+    );
+}
 
 /// Estimated scalar-op count below which kernels stay on the serial path.
 ///
@@ -81,12 +237,16 @@ fn share(units: usize, threads: usize, w: usize) -> usize {
 /// `f(first_unit, units_slice)` over disjoint runs of units, in parallel
 /// when `work` (estimated scalar ops) is large enough.
 ///
+/// `spec` must be a kernel registered in [`kernels::ALL`] declaring
+/// [`Reduction::DisjointWrites`]; unregistered specs panic.
+///
 /// `out.len()` must be a multiple of `unit_len`. The serial path is a single
 /// `f(0, out)` call, so `f` must handle any number of units.
-pub fn for_units<F>(out: &mut [f32], unit_len: usize, work: usize, f: F)
+pub fn for_units<F>(spec: &'static KernelSpec, out: &mut [f32], unit_len: usize, work: usize, f: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
+    check_spec(spec, Reduction::DisjointWrites);
     debug_assert!(unit_len > 0 && out.len().is_multiple_of(unit_len));
     let units = out.len() / unit_len;
     let threads = num_threads().min(units);
@@ -112,6 +272,8 @@ where
             first += n_units;
         }
     })
+    // invariant: scope() only errs when a worker panicked; re-raising the
+    // panic (rather than swallowing it) is the intended behaviour.
     .expect("parallel kernel worker panicked");
 }
 
@@ -119,14 +281,18 @@ where
 /// `f(unit, acc)` for its run of units, and the per-worker buffers are summed
 /// (in worker order) into the returned vector.
 ///
+/// `spec` must be a kernel registered in [`kernels::ALL`] declaring
+/// [`Reduction::OrderedPartialSums`]; unregistered specs panic.
+///
 /// Used by kernels whose output is shared across units (e.g. a weight
 /// gradient accumulated over a batch). Summation order of partial buffers is
 /// deterministic for a fixed thread count; with 1 thread it is exactly the
 /// serial accumulation order.
-pub fn partial_sums<F>(units: usize, acc_len: usize, work: usize, f: F) -> Vec<f32>
+pub fn partial_sums<F>(spec: &'static KernelSpec, units: usize, acc_len: usize, work: usize, f: F) -> Vec<f32>
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
+    check_spec(spec, Reduction::OrderedPartialSums);
     let threads = num_threads().min(units.max(1));
     if threads <= 1 || work < PAR_THRESHOLD {
         let mut acc = vec![0.0f32; acc_len];
@@ -156,9 +322,12 @@ where
             first += n_units;
         }
         for h in handles {
+            // invariant: join() only errs when the worker panicked;
+            // propagate the panic.
             partials.push(h.join().expect("parallel accumulation worker panicked"));
         }
     })
+    // invariant: scope() only errs when a worker panicked; re-raise it.
     .expect("parallel accumulation scope failed");
     let mut acc = partials.remove(0);
     for p in &partials {
@@ -193,7 +362,7 @@ mod tests {
             set_num_threads(threads);
             let mut out = vec![0.0f32; 7 * 3];
             // work above threshold to force the parallel path
-            for_units(&mut out, 3, PAR_THRESHOLD * 2, |first, chunk| {
+            for_units(&kernels::EW_UNARY, &mut out, 3, PAR_THRESHOLD * 2, |first, chunk| {
                 for (u, slot) in chunk.chunks_mut(3).enumerate() {
                     for s in slot.iter_mut() {
                         *s += (first + u) as f32;
@@ -212,7 +381,7 @@ mod tests {
         set_num_threads(8);
         let mut out = vec![0.0f32; 4];
         let mut calls = std::sync::atomic::AtomicUsize::new(0);
-        for_units(&mut out, 1, 8, |_, chunk| {
+        for_units(&kernels::EW_UNARY, &mut out, 1, 8, |_, chunk| {
             calls.fetch_add(1, Ordering::SeqCst);
             for s in chunk.iter_mut() {
                 *s = 1.0;
@@ -228,7 +397,7 @@ mod tests {
         let _g = LOCK.lock().unwrap();
         let run = |threads| {
             set_num_threads(threads);
-            partial_sums(10, 4, PAR_THRESHOLD * 2, |u, acc| {
+            partial_sums(&kernels::TEMPORAL_CONV_GRAD_W, 10, 4, PAR_THRESHOLD * 2, |u, acc| {
                 for (i, a) in acc.iter_mut().enumerate() {
                     *a += (u * 4 + i) as f32;
                 }
@@ -240,5 +409,44 @@ mod tests {
         assert_eq!(serial, parallel);
         // sum over u of (u*4 + 0) for i = 0: 0+4+..+36 = 180
         assert_eq!(serial[0], 180.0);
+    }
+
+    #[test]
+    fn unregistered_spec_rejected() {
+        static ROGUE: KernelSpec = KernelSpec {
+            name: "rogue",
+            partition: Partition::ContiguousUnits,
+            reduction: Reduction::DisjointWrites,
+        };
+        assert!(!kernels::is_registered(&ROGUE));
+        let panicked = std::panic::catch_unwind(|| {
+            let mut out = vec![0.0f32; 4];
+            for_units(&ROGUE, &mut out, 1, 8, |_, _| {});
+        })
+        .is_err();
+        assert!(panicked, "unregistered kernel spec must be rejected");
+    }
+
+    #[test]
+    fn wrong_reduction_entry_point_rejected() {
+        // A disjoint-writes kernel must not reach the partial-sum combiner.
+        let panicked = std::panic::catch_unwind(|| {
+            partial_sums(&kernels::MATMUL, 4, 2, 8, |_, _| {});
+        })
+        .is_err();
+        assert!(panicked, "reduction kind is part of the registered contract");
+    }
+
+    #[test]
+    fn registry_names_unique_and_nonempty() {
+        assert!(!kernels::ALL.is_empty());
+        let mut names: Vec<&str> = kernels::ALL.iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate kernel names in registry");
+        for k in kernels::ALL {
+            assert!(kernels::is_registered(k));
+        }
     }
 }

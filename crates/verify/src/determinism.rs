@@ -1,0 +1,106 @@
+//! Determinism audit over the tensor kernel registry.
+//!
+//! Every parallel kernel in `cts-tensor` must route through a registered
+//! [`KernelSpec`](cts_tensor::parallel::KernelSpec) whose partition and
+//! reduction strategies are order-fixed; the runtime entry points panic on
+//! unregistered specs. This pass machine-checks the registry invariants the
+//! runtime check relies on, so `cts-verify` can vouch that a build only
+//! ships deterministic kernels.
+
+use crate::finding::{Finding, FindingKind, Severity};
+use cts_tensor::parallel::{kernels, Partition, Reduction};
+use std::collections::HashSet;
+
+/// One registry entry, as seen by the audit.
+#[derive(Clone, Debug)]
+pub struct KernelEntry {
+    /// Registry name (unique).
+    pub name: &'static str,
+    /// How the iteration space is split across threads.
+    pub partition: Partition,
+    /// How per-thread results are combined.
+    pub reduction: Reduction,
+}
+
+/// The audit's verdict: the registry contents plus any violations.
+#[derive(Clone, Debug)]
+pub struct DeterminismReport {
+    /// Every registered kernel.
+    pub kernels: Vec<KernelEntry>,
+    /// Invariant violations (empty on a healthy build).
+    pub findings: Vec<Finding>,
+}
+
+impl DeterminismReport {
+    /// True when the registry upholds every invariant.
+    pub fn is_ok(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Audit the kernel registry: non-empty, unique names, and every
+/// partition/reduction drawn from the order-fixed set.
+pub fn audit_determinism() -> DeterminismReport {
+    let mut findings = Vec::new();
+    let mut entries = Vec::with_capacity(kernels::ALL.len());
+    if kernels::ALL.is_empty() {
+        findings.push(finding(
+            "registry",
+            "the kernel registry is empty: no parallel kernel can prove its schedule",
+        ));
+    }
+    let mut seen = HashSet::new();
+    for spec in kernels::ALL {
+        if spec.name.is_empty() {
+            findings.push(finding("registry", "a kernel spec has an empty name"));
+        }
+        if !seen.insert(spec.name) {
+            findings.push(finding(
+                spec.name,
+                format!("duplicate kernel name `{}`: audit cannot distinguish the entries", spec.name),
+            ));
+        }
+        // Exhaustive matches: adding a new (potentially order-sensitive)
+        // strategy variant forces this audit to be revisited at compile time.
+        match spec.partition {
+            Partition::ContiguousUnits => {}
+        }
+        match spec.reduction {
+            Reduction::DisjointWrites | Reduction::OrderedPartialSums => {}
+        }
+        entries.push(KernelEntry {
+            name: spec.name,
+            partition: spec.partition,
+            reduction: spec.reduction,
+        });
+    }
+    DeterminismReport { kernels: entries, findings }
+}
+
+fn finding(site: impl Into<String>, message: impl Into<String>) -> Finding {
+    Finding {
+        kind: FindingKind::NonDeterministicKernel,
+        severity: Severity::Error,
+        site: site.into(),
+        message: message.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_audit_is_clean() {
+        let report = audit_determinism();
+        assert!(report.is_ok(), "{:?}", report.findings);
+        assert!(!report.kernels.is_empty());
+    }
+
+    #[test]
+    fn audit_lists_every_registered_kernel() {
+        let report = audit_determinism();
+        assert_eq!(report.kernels.len(), kernels::ALL.len());
+        assert!(report.kernels.iter().any(|k| k.name == "matmul"));
+    }
+}

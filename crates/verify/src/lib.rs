@@ -1,0 +1,56 @@
+//! `cts-verify` — static analyzer for AutoCTS candidate architectures.
+//!
+//! The joint micro+macro search space of AutoCTS is discrete and fully
+//! describable without running a model: an [`ArchSpec`] names the block
+//! DAGs, the operator on every edge, and the backbone wiring. This crate
+//! performs abstract interpretation over that description — no tensors are
+//! allocated, no model is built — and reports, per architecture:
+//!
+//! 1. **Symbolic shape inference** ([`validate_genotype`]): every operator
+//!    exposes a `shape_fn` ([`OpKind::infer_shape`]) mapping a symbolic
+//!    input shape to its output shape. The analyzer walks the embedding,
+//!    every block DAG, the residual/skip sums, and the output head,
+//!    inferring each intermediate shape and flagging rank errors, channel
+//!    mismatches, broadcast-incompatible sums, and dims that fail to
+//!    round-trip `[B, N, T, D]` through the ST-backbone.
+//! 2. **Gradient reachability**: a static liveness pass over the op DAG
+//!    proving every trainable parameter is reachable from the loss through
+//!    at least one non-`zero` path, and flagging dead nodes and starved
+//!    parameters. Its edge-liveness verdict is designed to agree *exactly*
+//!    with the runtime tape audit (`Tape::reachable_params` in
+//!    `cts-autograd`), which the sweep binary cross-checks.
+//! 3. **Determinism audit** ([`audit_determinism`]): every parallel tensor
+//!    kernel must be registered with an order-fixed partition/reduction
+//!    strategy; the audit machine-checks the registry invariants.
+//!
+//! Errors mean "reject this architecture before spending a training run on
+//! it"; warnings mean "trainable, but part of the compute is wasted".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze;
+mod determinism;
+mod finding;
+mod spec;
+
+pub use analyze::{validate_block, validate_genotype};
+pub use determinism::{audit_determinism, DeterminismReport, KernelEntry};
+pub use finding::{Finding, FindingKind, Severity, VerifyError, VerifyReport};
+pub use spec::{ArchSpec, BlockSpec, ModelDims};
+
+// Re-exported so downstream callers can name the shape-fn types without
+// depending on cts-ops directly.
+pub use cts_ops::{OpKind, ShapeCtx, ShapeIssue};
+
+/// Validate and convert to a `Result`: `Ok(report)` when no error-severity
+/// finding was recorded, `Err(VerifyError)` otherwise (warnings ride along
+/// inside the report either way).
+pub fn check_genotype(spec: &ArchSpec) -> Result<VerifyReport, VerifyError> {
+    let report = validate_genotype(spec);
+    if report.is_ok() {
+        Ok(report)
+    } else {
+        Err(VerifyError { report })
+    }
+}

@@ -7,6 +7,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> source lint (unwrap/expect, unsafe, checkpoint casts)"
+bash scripts/lint_forbidden.sh
+
 echo "==> no ignored recovery tests"
 # The fault-tolerance suites must always run: an #[ignore] on any of them
 # would let a broken resume/watchdog path slip through the gate.
@@ -17,6 +20,12 @@ fi
 
 echo "==> cargo build --release"
 cargo build --release --offline
+
+echo "==> static analyzer sweep over the discrete space"
+# verify-space cross-checks every cts-verify verdict against the runtime
+# (smoke training, tape reachability, gradient norms); any false
+# positive/negative exits non-zero.
+./target/release/verify_space
 
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace --offline

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Source lint gate (runs offline, no cargo needed).
+#
+# Rules, applied to library sources (`crates/*/src`, `compat/*/src`, `src`)
+# outside test code (per file, scanning stops at the first `#[cfg(test)]`;
+# `*_tests.rs` files are skipped entirely):
+#
+#   1. `.unwrap()` / `.expect(` must carry a `// invariant:` comment on the
+#      same line or within the 3 preceding lines explaining why the value
+#      cannot be absent.
+#   2. `unsafe` must carry a `// SAFETY:` comment in the same window (the
+#      workspace currently forbids unsafe everywhere; this guards future
+#      exceptions).
+#   3. In the checkpoint reader (`crates/nn/src/checkpoint.rs`), narrowing
+#      `as u16|u32|usize` casts must carry a `// invariant:` comment; length
+#      fields there must use checked conversions instead.
+#
+# Exits non-zero with a `file:line` listing on any finding.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+findings=$(mktemp)
+trap 'rm -f "$findings"' EXIT
+
+while IFS= read -r f; do
+    awk -v look=3 '
+        /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
+        {
+            hist[NR] = $0
+            ok_inv = 0; ok_safety = 0
+            for (i = NR; i >= NR - look && i >= 1; i--) {
+                if (hist[i] ~ /\/\/ invariant:/) ok_inv = 1
+                if (hist[i] ~ /\/\/ SAFETY:/) ok_safety = 1
+            }
+            line = $0
+            sub(/\/\/.*/, "", line)  # comment text never triggers a rule
+            if (line ~ /\.unwrap\(\)|\.expect\(/ && !ok_inv)
+                printf "%s:%d: unannotated unwrap/expect (add // invariant:)\n", FILENAME, NR
+            if (line ~ /(^|[^a-zA-Z_])unsafe([^a-zA-Z_]|$)/ && !ok_safety)
+                printf "%s:%d: unsafe without // SAFETY: comment\n", FILENAME, NR
+            if (FILENAME ~ /crates\/nn\/src\/checkpoint\.rs$/ \
+                && line ~ / as (u16|u32|usize)([^0-9_a-zA-Z]|$)/ && !ok_inv)
+                printf "%s:%d: unchecked narrowing cast in checkpoint reader\n", FILENAME, NR
+        }
+    ' "$f" >>"$findings"
+done < <(find crates/*/src compat/*/src src -name '*.rs' ! -name '*_tests.rs' | sort)
+
+if [[ -s "$findings" ]]; then
+    echo "lint_forbidden: $(wc -l <"$findings") finding(s):" >&2
+    cat "$findings" >&2
+    exit 1
+fi
+echo "lint_forbidden: clean"

@@ -1,0 +1,239 @@
+//! `verify-space`: sweep the discrete AutoCTS search space through the
+//! static analyzer and cross-check its verdicts against the runtime.
+//!
+//! For every assignment of the compact operator set to the canonical
+//! derived micro topology (M = 3: edges (0,1), (1,2), (0,2)) crossed with
+//! every macro backbone at B = 2, the sweep:
+//!
+//! 1. runs `cts-verify` pre-flight (shape inference + gradient
+//!    reachability + structure) — no tensors allocated;
+//! 2. smoke-trains every *accepted* candidate for one step and
+//!    cross-checks the static edge-liveness verdict against the autograd
+//!    tape (`Tape::reachable_params`) and the actual gradients;
+//! 3. for candidates rejected as gradient-starved or identically zero,
+//!    builds the model anyway and proves the rejection correct: the
+//!    starved parameters really receive an exactly-zero gradient.
+//!
+//! Any disagreement between the analyzer and the runtime — an accepted
+//! candidate that panics, a liveness verdict the tape contradicts — is a
+//! false positive/negative and exits non-zero. `scripts/check.sh` runs
+//! this binary as part of the gate.
+
+use autocts::preflight::arch_spec;
+use autocts::{BlockGenotype, DerivedModel, Genotype, SearchConfig};
+use cts_autograd::Tape;
+use cts_data::{batches_from_windows, build_windows, generate, DatasetSpec, Scaler};
+use cts_nn::{Forecaster, LossKind};
+use cts_ops::compact_set;
+use cts_verify::{audit_determinism, FindingKind, VerifyReport};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+
+/// Edge slots of the canonical M = 3 derived block: the mandatory
+/// predecessor edges (0,1), (1,2) plus the extra edge (0,2).
+const SLOTS: [(usize, usize); 3] = [(0, 1), (1, 2), (0, 2)];
+const B: usize = 2;
+
+fn main() -> ExitCode {
+    let ops = compact_set();
+    let spec = DatasetSpec::metr_la().scaled(0.04, 0.015);
+    let data = generate(&spec, 11);
+    let windows = build_windows(&data, 6, 24);
+    let cfg = SearchConfig {
+        m: 3,
+        b: B,
+        d_model: 8,
+        batch_size: 2,
+        ..Default::default()
+    };
+    let train_batches = batches_from_windows(&windows.train, cfg.batch_size);
+    let backbones: Vec<Vec<usize>> = vec![vec![0, 0], vec![0, 1]];
+
+    let mut candidates = 0usize;
+    let mut accepted = 0usize;
+    let mut smoked = 0usize;
+    let mut rejected_proven = 0usize;
+    let mut rejections: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut inconsistencies: Vec<String> = Vec::new();
+
+    for ai in 0..ops.len() {
+        for bi in 0..ops.len() {
+            for ci in 0..ops.len() {
+                let combo = [ops[ai], ops[bi], ops[ci]];
+                let block = BlockGenotype {
+                    m: 3,
+                    edges: SLOTS
+                        .iter()
+                        .zip(combo)
+                        .map(|(&(f, t), op)| (f, t, op))
+                        .collect(),
+                };
+                // Both backbones share the block pair, so the runtime
+                // cross-check runs once per operator combo (on the chain
+                // backbone) while the static pass covers every backbone.
+                let mut reports = Vec::new();
+                for backbone in &backbones {
+                    candidates += 1;
+                    let genotype = Genotype {
+                        blocks: vec![block.clone(); B],
+                        backbone: backbone.clone(),
+                    };
+                    let report = cts_verify::validate_genotype(&arch_spec(
+                        &cfg, &genotype, &spec, &data.graph,
+                    ));
+                    if report.is_ok() {
+                        accepted += 1;
+                    } else {
+                        for f in report.errors() {
+                            *rejections.entry(kind_name(f.kind)).or_insert(0) += 1;
+                        }
+                    }
+                    reports.push((genotype, report));
+                }
+                let (genotype, report) = &reports[1]; // chain backbone
+                let seed = (ai * 36 + bi * 6 + ci) as u64;
+                if report.is_ok() {
+                    smoked += 1;
+                    if let Err(msg) = smoke_candidate(
+                        &cfg, genotype, &spec, &data, &train_batches, &windows.scaler, report, seed,
+                    ) {
+                        inconsistencies.push(format!("{}: {msg}", genotype.to_text()));
+                    }
+                } else if report.errors().all(|f| {
+                    matches!(f.kind, FindingKind::StarvedParam | FindingKind::AllZeroInput)
+                }) {
+                    // The model is still buildable: prove the rejection.
+                    rejected_proven += 1;
+                    if let Err(msg) = smoke_candidate(
+                        &cfg, genotype, &spec, &data, &train_batches, &windows.scaler, report, seed,
+                    ) {
+                        inconsistencies.push(format!("{}: {msg}", genotype.to_text()));
+                    }
+                }
+            }
+        }
+    }
+
+    println!("verify-space: M=3 micro slots x {} compact ops x {} backbones at B={B}", ops.len(), backbones.len());
+    println!("  candidates analyzed : {candidates}");
+    println!("  accepted            : {accepted}");
+    println!("  rejected            : {}", candidates - accepted);
+    for (kind, count) in &rejections {
+        println!("    {kind}: {count} finding(s)");
+    }
+    println!(
+        "  smoke-trained       : {smoked} accepted combos + {rejected_proven} rejected combos \
+         (backbone variants share blocks, so each operator combo trains once)"
+    );
+
+    let det = audit_determinism();
+    println!(
+        "  determinism audit   : {} registered kernels, {}",
+        det.kernels.len(),
+        if det.is_ok() { "all order-fixed" } else { "VIOLATIONS" }
+    );
+    for f in &det.findings {
+        inconsistencies.push(f.to_string());
+    }
+
+    if inconsistencies.is_empty() {
+        println!("OK: static verdicts agree with the runtime on every candidate.");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{} inconsistencies:", inconsistencies.len());
+        for m in &inconsistencies {
+            eprintln!("  {m}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Build the model, run one forward/backward step, and cross-check the
+/// analyzer's edge-liveness verdict against the tape and the gradients.
+#[allow(clippy::too_many_arguments)]
+fn smoke_candidate(
+    cfg: &SearchConfig,
+    genotype: &Genotype,
+    spec: &DatasetSpec,
+    data: &cts_data::CtsData,
+    train_batches: &[(cts_tensor::Tensor, cts_tensor::Tensor)],
+    scaler: &Scaler,
+    report: &VerifyReport,
+    seed: u64,
+) -> Result<(), String> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let model = DerivedModel::new(&mut rng, cfg, genotype, spec, &data.graph, scaler);
+        let (x, y) = &train_batches[0];
+        let tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let pred = model.forward(&tape, &xv);
+        let loss = LossKind::MaskedMae { null_value: spec.null_value }.compute(&tape, &pred, y);
+        let reachable = tape.reachable_params(&loss);
+        tape.backward(&loss);
+
+        let params = model.parameters();
+        let mut problems = Vec::new();
+        for (i, block) in genotype.blocks.iter().enumerate() {
+            for (k, (_, _, op)) in block.edges.iter().enumerate() {
+                if !op.is_parametric() {
+                    continue;
+                }
+                let prefix = format!("block{i}.e{k}.");
+                let edge_params: Vec<_> = params
+                    .iter()
+                    .filter(|p| p.name().starts_with(&prefix))
+                    .collect();
+                if edge_params.is_empty() {
+                    problems.push(format!("no parameters found under {prefix}"));
+                    continue;
+                }
+                let static_live = report.edge_liveness[i][k];
+                let tape_live = edge_params
+                    .iter()
+                    .any(|p| reachable.iter().any(|q| q.ptr_eq(p)));
+                if static_live != tape_live {
+                    problems.push(format!(
+                        "{prefix} static liveness {static_live} but tape reachability {tape_live}"
+                    ));
+                }
+                if !static_live {
+                    for p in &edge_params {
+                        let g = p.grad().norm();
+                        if g != 0.0 {
+                            problems.push(format!(
+                                "{} declared starved but has gradient norm {g}",
+                                p.name()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        problems
+    }));
+    match result {
+        Ok(problems) if problems.is_empty() => Ok(()),
+        Ok(problems) => Err(problems.join("; ")),
+        Err(_) => Err("panicked during smoke training".into()),
+    }
+}
+
+fn kind_name(kind: FindingKind) -> &'static str {
+    match kind {
+        FindingKind::MalformedBlock => "malformed block",
+        FindingKind::DanglingNode => "dangling node",
+        FindingKind::BadBackbone => "bad backbone",
+        FindingKind::RankError => "rank error",
+        FindingKind::ChannelMismatch => "channel mismatch",
+        FindingKind::NodeCountMismatch => "node-count mismatch",
+        FindingKind::BroadcastMismatch => "broadcast mismatch",
+        FindingKind::RoundTrip => "round-trip",
+        FindingKind::AllZeroInput => "all-zero input",
+        FindingKind::StarvedParam => "starved parameter",
+        FindingKind::DeadNode => "dead node",
+        FindingKind::NonDeterministicKernel => "non-deterministic kernel",
+    }
+}

@@ -2,6 +2,8 @@
 //! (`examples/`) and cross-crate integration tests (`tests/`).
 //!
 //! The re-exports below give examples a single import surface.
+#![forbid(unsafe_code)]
+
 
 pub use autocts;
 pub use cts_baselines as baselines;
@@ -10,3 +12,4 @@ pub use cts_graph as graph;
 pub use cts_nn as nn;
 pub use cts_ops as st_ops;
 pub use cts_tensor as tensor;
+pub use cts_verify as verify;

@@ -3,10 +3,11 @@
 //! gradient blasts through the divergence watchdog, and reject corrupt
 //! or truncated checkpoints with a typed error instead of loading them.
 
-use autocts::{joint_search, SearchConfig, SearchError};
-use cts_data::{build_windows, generate, DatasetSpec, SplitWindows};
+use autocts::{joint_search, AutoCts, BlockGenotype, EvalError, Genotype, SearchConfig, SearchError};
+use cts_data::{batches_from_windows, build_windows, generate, DatasetSpec, SplitWindows};
 use cts_nn::checkpoint::CheckpointError;
-use cts_nn::{fault, CheckpointConfig};
+use cts_nn::{fault, CheckpointConfig, TrainError};
+use cts_ops::OpKind;
 use std::path::PathBuf;
 
 fn fixture() -> (DatasetSpec, cts_data::CtsData, SplitWindows) {
@@ -81,6 +82,99 @@ fn killed_search_resumes_bit_identically() {
         );
     }
     std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn killed_retraining_resumes_bit_identically() {
+    let (spec, data, windows) = fixture();
+    let base_ckpt = temp_ckpt("retrain_base.ckpt");
+    let stage_ckpt = temp_ckpt("retrain_base.retrain.ckpt");
+    let genotype = Genotype {
+        blocks: vec![
+            BlockGenotype {
+                m: 3,
+                edges: vec![
+                    (0, 1, OpKind::Gdcc),
+                    (0, 2, OpKind::InformerT),
+                    (1, 2, OpKind::Identity),
+                ],
+            };
+            2
+        ],
+        backbone: vec![0, 1],
+    };
+    let epochs = 3;
+
+    // Reference: one uninterrupted retraining, no checkpointing.
+    let auto = AutoCts::new(small_cfg());
+    let report_ref = auto
+        .try_evaluate(&genotype, &spec, &data.graph, &windows, epochs)
+        .unwrap();
+
+    // Kill the retraining inside epoch 1 (after the epoch-0 checkpoint).
+    // The retrain stage writes to the `.retrain` sibling of the config's
+    // checkpoint path, so a combined search+evaluate run never clobbers
+    // its search checkpoint.
+    let steps_per_epoch = batches_from_windows(&windows.train_and_val(), 4).len() as u64;
+    assert!(steps_per_epoch > 1, "fixture too small to kill mid-epoch");
+    let auto_ck = AutoCts::new(small_cfg().with_checkpoint(CheckpointConfig::new(&base_ckpt)));
+    fault::arm(fault::FaultPlan {
+        abort_at_step: Some(steps_per_epoch + 1),
+        nan_grad_at_step: None,
+    });
+    let err = match auto_ck.try_evaluate(&genotype, &spec, &data.graph, &windows, epochs) {
+        Err(e) => e,
+        Ok(_) => panic!("armed abort did not interrupt the retraining"),
+    };
+    fault::disarm();
+    assert!(
+        matches!(err, EvalError::Train(TrainError::Interrupted { .. })),
+        "{err}"
+    );
+    assert!(stage_ckpt.exists(), "no retrain-stage checkpoint was written");
+    assert!(!base_ckpt.exists(), "retraining must not write the search checkpoint path");
+
+    // Resume: must finish and reproduce the reference metrics exactly.
+    let report_resumed = auto_ck
+        .try_evaluate(&genotype, &spec, &data.graph, &windows, epochs)
+        .unwrap();
+    assert_eq!(
+        report_resumed.overall.mae.to_bits(),
+        report_ref.overall.mae.to_bits(),
+        "resumed MAE differs: {} vs {}",
+        report_resumed.overall.mae,
+        report_ref.overall.mae
+    );
+    assert_eq!(report_resumed.overall.rmse.to_bits(), report_ref.overall.rmse.to_bits());
+    std::fs::remove_file(&stage_ckpt).ok();
+}
+
+#[test]
+fn invalid_genotype_is_rejected_before_retraining() {
+    let (spec, data, windows) = fixture();
+    // Node 1 feeds the output only through `zero`: the gdcc on edge 0 can
+    // never train. Static pre-flight must reject this before any model
+    // (or checkpoint) is built.
+    let genotype = Genotype {
+        blocks: vec![BlockGenotype {
+            m: 3,
+            edges: vec![
+                (0, 1, OpKind::Gdcc),
+                (1, 2, OpKind::Zero),
+                (0, 2, OpKind::InformerT),
+            ],
+        }],
+        backbone: vec![0],
+    };
+    let auto = AutoCts::new(SearchConfig { b: 1, ..small_cfg() });
+    match auto.try_evaluate(&genotype, &spec, &data.graph, &windows, 1) {
+        Err(EvalError::Rejected(e)) => {
+            let msg = e.to_string();
+            assert!(msg.contains("block0.e0"), "{msg}");
+        }
+        Err(other) => panic!("expected Rejected, got {other:?}"),
+        Ok(_) => panic!("starved genotype was accepted"),
+    }
 }
 
 #[test]
