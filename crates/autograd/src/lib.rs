@@ -33,7 +33,7 @@ mod var;
 
 pub mod gradcheck;
 
-pub use op::Op;
+pub use op::{Grads, GradsIter, Op};
 pub use parameter::Parameter;
 pub use tape::Tape;
 pub use var::Var;

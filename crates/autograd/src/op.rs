@@ -1,6 +1,73 @@
 //! The primitive operation set and its backward dispatch.
 
-use cts_tensor::{ops, Tensor};
+use cts_tensor::{arena, ops, Shape, Tensor};
+
+/// Gradients of one node's inputs, held inline for the 0/1/2-input ops
+/// that make up essentially the whole tape; only variadic ops (concat)
+/// spill to a heap Vec. Backward runs once per node per step, so this
+/// container is on the allocation-count hot path.
+pub enum Grads {
+    /// Leaf: nothing to differentiate.
+    None,
+    /// Unary op.
+    One(Tensor),
+    /// Binary op.
+    Two(Tensor, Tensor),
+    /// Variadic op (concat).
+    Many(Vec<Tensor>),
+}
+
+impl Grads {
+    /// Number of input gradients.
+    pub fn len(&self) -> usize {
+        match self {
+            Grads::None => 0,
+            Grads::One(_) => 1,
+            Grads::Two(_, _) => 2,
+            Grads::Many(v) => v.len(),
+        }
+    }
+
+    /// True when there are no gradients.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Draining iterator over [`Grads`] in input order.
+pub struct GradsIter {
+    inline: [Option<Tensor>; 2],
+    idx: usize,
+    spill: std::vec::IntoIter<Tensor>,
+}
+
+impl Iterator for GradsIter {
+    type Item = Tensor;
+    fn next(&mut self) -> Option<Tensor> {
+        while self.idx < 2 {
+            let slot = self.inline[self.idx].take();
+            self.idx += 1;
+            if slot.is_some() {
+                return slot;
+            }
+        }
+        self.spill.next()
+    }
+}
+
+impl IntoIterator for Grads {
+    type Item = Tensor;
+    type IntoIter = GradsIter;
+    fn into_iter(self) -> GradsIter {
+        let (inline, spill) = match self {
+            Grads::None => ([None, None], Vec::new()),
+            Grads::One(a) => ([Some(a), None], Vec::new()),
+            Grads::Two(a, b) => ([Some(a), Some(b)], Vec::new()),
+            Grads::Many(v) => ([None, None], v),
+        };
+        GradsIter { inline, idx: 0, spill: spill.into_iter() }
+    }
+}
 
 /// Every differentiable primitive the tape can record.
 ///
@@ -50,7 +117,7 @@ pub enum Op {
     /// Batched matrix multiplication over the trailing two dims.
     MatMul,
     /// Dimension permutation.
-    Permute(Vec<usize>),
+    Permute(Shape),
     /// Reshape to a new shape of the same element count.
     Reshape,
     /// Concatenation along `axis` (any number of inputs).
@@ -114,53 +181,54 @@ impl Op {
     /// * `inputs` — the saved forward values of the node's inputs
     ///
     /// Returns one gradient per input, shaped exactly like that input.
-    pub fn backward(&self, grad: &Tensor, output: &Tensor, inputs: &[&Tensor]) -> Vec<Tensor> {
+    pub fn backward(&self, grad: &Tensor, output: &Tensor, inputs: &[&Tensor]) -> Grads {
         match self {
-            Op::Leaf => vec![],
-            Op::Add => vec![
+            Op::Leaf => Grads::None,
+            Op::Add => Grads::Two(
                 ops::binary_grad_passthrough(grad, inputs[0].shape()),
                 ops::binary_grad_passthrough(grad, inputs[1].shape()),
-            ],
-            Op::Sub => vec![
+            ),
+            Op::Sub => Grads::Two(
                 ops::binary_grad_passthrough(grad, inputs[0].shape()),
                 ops::reduce_to_shape(&ops::neg(grad), inputs[1].shape()),
-            ],
-            Op::Mul => vec![
+            ),
+            Op::Mul => Grads::Two(
                 ops::mul_grad(grad, inputs[1], inputs[0].shape()),
                 ops::mul_grad(grad, inputs[0], inputs[1].shape()),
-            ],
-            Op::Div => vec![
+            ),
+            Op::Div => Grads::Two(
                 ops::div_grad_a(grad, inputs[1], inputs[0].shape()),
                 ops::div_grad_b(grad, inputs[0], inputs[1]),
-            ],
-            Op::Neg => vec![ops::neg(grad)],
-            Op::Scale(c) => vec![ops::scale(grad, *c)],
-            Op::AddScalar(_) => vec![grad.clone()],
-            Op::Relu => vec![ops::relu_grad(grad, inputs[0])],
-            Op::Sigmoid => vec![ops::sigmoid_grad(grad, output)],
-            Op::Tanh => vec![ops::tanh_grad(grad, output)],
-            Op::Exp => vec![ops::mul(grad, output)],
-            Op::Ln => vec![ops::ln_grad(grad, inputs[0])],
-            Op::Sqrt => vec![ops::sqrt_grad(grad, output)],
-            Op::Abs => vec![ops::abs_grad(grad, inputs[0])],
-            Op::Square => vec![ops::square_grad(grad, inputs[0])],
-            Op::Gelu => vec![ops::gelu_grad(grad, inputs[0])],
+            ),
+            Op::Neg => Grads::One(ops::neg(grad)),
+            Op::Scale(c) => Grads::One(ops::scale(grad, *c)),
+            Op::AddScalar(_) => Grads::One(grad.clone()),
+            Op::Relu => Grads::One(ops::relu_grad(grad, inputs[0])),
+            Op::Sigmoid => Grads::One(ops::sigmoid_grad(grad, output)),
+            Op::Tanh => Grads::One(ops::tanh_grad(grad, output)),
+            Op::Exp => Grads::One(ops::mul(grad, output)),
+            Op::Ln => Grads::One(ops::ln_grad(grad, inputs[0])),
+            Op::Sqrt => Grads::One(ops::sqrt_grad(grad, output)),
+            Op::Abs => Grads::One(ops::abs_grad(grad, inputs[0])),
+            Op::Square => Grads::One(ops::square_grad(grad, inputs[0])),
+            Op::Gelu => Grads::One(ops::gelu_grad(grad, inputs[0])),
             Op::Clamp(lo, hi) => {
-                let data = grad
-                    .data()
-                    .iter()
-                    .zip(inputs[0].data().iter())
-                    .map(|(&g, &x)| if x > *lo && x < *hi { g } else { 0.0 })
-                    .collect();
-                vec![Tensor::from_vec(inputs[0].shape().to_vec(), data)]
+                let data = arena::take_from_iter(
+                    grad.len(),
+                    grad.data()
+                        .iter()
+                        .zip(inputs[0].data().iter())
+                        .map(|(&g, &x)| if x > *lo && x < *hi { g } else { 0.0 }),
+                );
+                Grads::One(Tensor::from_vec(inputs[0].shape(), data))
             }
-            Op::SoftmaxLast => vec![ops::softmax_last_grad(grad, output)],
-            Op::MatMul => vec![
+            Op::SoftmaxLast => Grads::One(ops::softmax_last_grad(grad, output)),
+            Op::MatMul => Grads::Two(
                 ops::matmul_grad_a(grad, inputs[1], inputs[0].shape()),
                 ops::matmul_grad_b(grad, inputs[0], inputs[1].shape()),
-            ],
-            Op::Permute(perm) => vec![ops::permute_grad(grad, perm)],
-            Op::Reshape => vec![grad.clone().reshaped(inputs[0].shape().to_vec())],
+            ),
+            Op::Permute(perm) => Grads::One(ops::permute_grad(grad, perm)),
+            Op::Reshape => Grads::One(grad.clone().reshaped(inputs[0].shape())),
             Op::Concat { axis } => {
                 let mut grads = Vec::with_capacity(inputs.len());
                 let mut offset = 0;
@@ -169,33 +237,33 @@ impl Op {
                     grads.push(ops::slice(grad, *axis, offset, offset + len));
                     offset += len;
                 }
-                grads
+                Grads::Many(grads)
             }
             Op::Slice { axis, start } => {
-                vec![ops::slice_grad(grad, inputs[0].shape(), *axis, *start)]
+                Grads::One(ops::slice_grad(grad, inputs[0].shape(), *axis, *start))
             }
             Op::IndexSelect { axis, indices } => {
-                vec![ops::index_select_grad(grad, inputs[0].shape(), *axis, indices)]
+                Grads::One(ops::index_select_grad(grad, inputs[0].shape(), *axis, indices))
             }
             Op::PadAxis { axis, before, .. } => {
-                vec![ops::pad_axis_grad(grad, *axis, *before, inputs[0].shape()[*axis])]
+                Grads::One(ops::pad_axis_grad(grad, *axis, *before, inputs[0].shape()[*axis]))
             }
-            Op::SumAxis { axis, .. } => vec![ops::sum_axis_grad(
+            Op::SumAxis { axis, .. } => Grads::One(ops::sum_axis_grad(
                 &squeeze_keepdim(grad, inputs[0].shape(), *axis),
                 inputs[0].shape(),
                 *axis,
-            )],
-            Op::MeanAxis { axis, .. } => vec![ops::mean_axis_grad(
+            )),
+            Op::MeanAxis { axis, .. } => Grads::One(ops::mean_axis_grad(
                 &squeeze_keepdim(grad, inputs[0].shape(), *axis),
                 inputs[0].shape(),
                 *axis,
-            )],
-            Op::SumAll => vec![ops::sum_all_grad(grad, inputs[0].shape())],
-            Op::MeanAll => vec![ops::mean_all_grad(grad, inputs[0].shape())],
-            Op::TemporalConv { dilation } => vec![
+            )),
+            Op::SumAll => Grads::One(ops::sum_all_grad(grad, inputs[0].shape())),
+            Op::MeanAll => Grads::One(ops::mean_all_grad(grad, inputs[0].shape())),
+            Op::TemporalConv { dilation } => Grads::Two(
                 ops::temporal_conv_grad_x(grad, inputs[1], inputs[0].shape(), *dilation),
                 ops::temporal_conv_grad_w(grad, inputs[0], inputs[1].shape(), *dilation),
-            ],
+            ),
         }
     }
 }
@@ -204,8 +272,12 @@ impl Op {
 /// axis of length 1 if present. The buffer is identical either way.
 fn squeeze_keepdim(grad: &Tensor, input_shape: &[usize], axis: usize) -> Tensor {
     if grad.rank() == input_shape.len() {
-        let mut s = grad.shape().to_vec();
-        s.remove(axis);
+        let mut s: Shape = grad
+            .shape()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| (i != axis).then_some(d))
+            .collect();
         if s.is_empty() {
             s.push(1);
         }

@@ -25,7 +25,7 @@ pub struct Parameter {
 impl Parameter {
     /// Create a parameter with an initial value; gradient starts at zero.
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
-        let grad = Tensor::zeros(value.shape().to_vec());
+        let grad = Tensor::zeros(value.shape());
         Self {
             inner: Rc::new(RefCell::new(ParamInner {
                 name: name.into(),

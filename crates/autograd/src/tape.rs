@@ -1,14 +1,17 @@
 //! The gradient tape: a per-forward-pass arena of operation nodes.
 
 use crate::{Op, Parameter, Var};
-use cts_tensor::Tensor;
+use cts_tensor::{Shape, Tensor};
 use std::cell::RefCell;
 use std::rc::Rc;
 
 pub(crate) struct Node {
     pub value: Tensor,
     pub op: Op,
-    pub inputs: Vec<usize>,
+    // Input node ids. `Shape` is cts-tensor's inline usize vector; node
+    // fan-in is almost always <= 2, so ids live inline with the node
+    // instead of in a per-node heap Vec.
+    pub inputs: Shape,
     pub param: Option<Parameter>,
     pub requires_grad: bool,
 }
@@ -16,6 +19,33 @@ pub(crate) struct Node {
 #[derive(Default)]
 pub(crate) struct TapeInner {
     pub nodes: Vec<Node>,
+}
+
+// Node storage recycled across tapes on this thread: a training loop
+// records one tape per step with an essentially identical node population,
+// so reusing the backing vectors removes the per-step grow-by-doubling
+// reallocations of `nodes` (and `grads` in [`Tape::backward`]).
+const TAPE_STORE_CAP: usize = 4;
+
+thread_local! {
+    static TAPE_STORE: RefCell<Vec<Vec<Node>>> = const { RefCell::new(Vec::new()) };
+    static GRADS_STORE: RefCell<Vec<Option<Tensor>>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Drop for TapeInner {
+    fn drop(&mut self) {
+        let mut nodes = std::mem::take(&mut self.nodes);
+        // Drop the recorded values *now* so their buffers go back to the
+        // arena, then cache the empty vector for the next tape.
+        nodes.clear();
+        // try_with: never panic if the thread is already tearing down TLS.
+        let _ = TAPE_STORE.try_with(|s| {
+            let mut s = s.borrow_mut();
+            if s.len() < TAPE_STORE_CAP {
+                s.push(nodes);
+            }
+        });
+    }
 }
 
 /// A define-by-run gradient tape.
@@ -29,9 +59,14 @@ pub struct Tape {
 }
 
 impl Tape {
-    /// Fresh, empty tape.
+    /// Fresh, empty tape (reusing node storage recycled on this thread).
     pub fn new() -> Self {
-        Self::default()
+        let nodes = TAPE_STORE
+            .with(|s| s.borrow_mut().pop())
+            .unwrap_or_default();
+        Self {
+            inner: Rc::new(RefCell::new(TapeInner { nodes })),
+        }
     }
 
     /// Number of recorded nodes (diagnostics / memory accounting).
@@ -46,14 +81,14 @@ impl Tape {
 
     /// Record a non-trainable input (data, masks, adjacency matrices).
     pub fn constant(&self, value: Tensor) -> Var {
-        self.push_node(value, Op::Leaf, vec![], None, false)
+        self.push_node(value, Op::Leaf, Shape::default(), None, false)
     }
 
     /// Record a trainable leaf bound to `param`; gradients flow into the
     /// parameter's grad buffer on [`Tape::backward`].
     pub fn param(&self, param: &Parameter) -> Var {
         let value = param.value().clone();
-        self.push_node(value, Op::Leaf, vec![], Some(param.clone()), true)
+        self.push_node(value, Op::Leaf, Shape::default(), Some(param.clone()), true)
     }
 
     /// Total number of activation scalars held by the tape (memory proxy).
@@ -65,7 +100,7 @@ impl Tape {
         &self,
         value: Tensor,
         op: Op,
-        inputs: Vec<usize>,
+        inputs: Shape,
         param: Option<Parameter>,
         requires_grad: bool,
     ) -> Var {
@@ -95,7 +130,7 @@ impl Tape {
             let inner = self.inner.borrow();
             inputs.iter().any(|&i| inner.nodes[i].requires_grad)
         };
-        self.push_node(value, op, inputs.to_vec(), None, requires_grad)
+        self.push_node(value, op, inputs.into(), None, requires_grad)
     }
 
     /// Audit hook for static gradient-reachability analysis: the set of
@@ -156,9 +191,13 @@ impl Tape {
         );
         let inner = self.inner.borrow();
         let n = root.id + 1;
-        let mut grads: Vec<Option<Tensor>> = vec![None; n];
-        grads[root.id] = Some(Tensor::ones(inner.nodes[root.id].value.shape().to_vec()));
+        let mut grads = GRADS_STORE.with(|s| std::mem::take(&mut *s.borrow_mut()));
+        grads.clear();
+        grads.resize_with(n, || None);
+        grads[root.id] = Some(Tensor::ones(inner.nodes[root.id].value.shape()));
 
+        // Scratch for per-node input views, reused across the whole sweep.
+        let mut input_values: Vec<&Tensor> = Vec::new();
         for id in (0..n).rev() {
             let Some(grad) = grads[id].take() else {
                 continue;
@@ -174,8 +213,8 @@ impl Tape {
             if node.inputs.is_empty() {
                 continue;
             }
-            let input_values: Vec<&Tensor> =
-                node.inputs.iter().map(|&i| &inner.nodes[i].value).collect();
+            input_values.clear();
+            input_values.extend(node.inputs.iter().map(|&i| &inner.nodes[i].value));
             let input_grads = node.op.backward(&grad, &node.value, &input_values);
             debug_assert_eq!(input_grads.len(), node.inputs.len());
             for (&input_id, g) in node.inputs.iter().zip(input_grads) {
@@ -188,6 +227,8 @@ impl Tape {
                 }
             }
         }
+        grads.clear();
+        let _ = GRADS_STORE.try_with(|s| *s.borrow_mut() = grads);
     }
 }
 

@@ -1,7 +1,7 @@
 //! `Var`: a handle to one node of a [`Tape`], with the full op surface.
 
 use crate::{Op, Tape};
-use cts_tensor::{ops, Tensor};
+use cts_tensor::{ops, Shape, Tensor};
 
 /// A differentiable value on a [`Tape`].
 ///
@@ -20,8 +20,8 @@ impl Var {
     }
 
     /// Shape of the forward value without cloning the buffer.
-    pub fn shape(&self) -> Vec<usize> {
-        self.tape.inner.borrow().nodes[self.id].value.shape().to_vec()
+    pub fn shape(&self) -> Shape {
+        self.tape.inner.borrow().nodes[self.id].value.shape().into()
     }
 
     /// The tape this variable lives on.
@@ -187,12 +187,12 @@ impl Var {
     /// Permute dimensions.
     pub fn permute(&self, perm: &[usize]) -> Var {
         let v = self.with_value(|a| ops::permute(a, perm));
-        self.unary(Op::Permute(perm.to_vec()), v)
+        self.unary(Op::Permute(perm.into()), v)
     }
 
     /// Reshape to `shape` (same element count).
     pub fn reshape(&self, shape: &[usize]) -> Var {
-        let v = self.with_value(|a| a.clone().reshaped(shape.to_vec()));
+        let v = self.with_value(|a| a.clone().reshaped(shape));
         self.unary(Op::Reshape, v)
     }
 

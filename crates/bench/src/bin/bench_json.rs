@@ -1,0 +1,284 @@
+//! Machine-readable benchmark emitter: writes `BENCH_ops.json` and
+//! `BENCH_search_step.json` at the repo root (or `$BENCH_OUT_DIR`).
+//!
+//! Unlike the criterion benches this binary installs a counting global
+//! allocator, so every row carries allocations/step next to ns/iter —
+//! the two axes the worker-pool + arena work optimises. Rows cover the
+//! persistent-pool dispatcher against the legacy spawn-per-kernel
+//! baseline (`Dispatch::Spawn`) at 1/2/4 workers, and the arena on/off.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use cts_autograd::Tape;
+use cts_bench::{prepare, ExpContext};
+use cts_data::{batches_from_windows, DatasetSpec};
+use cts_nn::{Adam, Forecaster, LossKind, Optimizer};
+use cts_tensor::parallel::{set_dispatch, set_num_threads, Dispatch};
+use cts_tensor::{arena, init, ops, Tensor};
+use rand::{rngs::SmallRng, SeedableRng};
+
+/// Pass-through system allocator that counts calls and bytes.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to the system allocator; the atomic counters
+// only observe calls and never change layouts or pointers.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    // SAFETY: verbatim delegation to the system allocator.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn counters() -> (u64, u64) {
+    (ALLOCS.load(Ordering::Relaxed), BYTES.load(Ordering::Relaxed))
+}
+
+struct Measure {
+    ns_per_iter: u64,
+    allocs_per_iter: u64,
+    bytes_per_iter: u64,
+}
+
+/// Time `iters` calls of `f` after `warmup` discarded ones, reading the
+/// allocation counters around the measured window.
+fn measure(warmup: usize, iters: usize, mut f: impl FnMut()) -> Measure {
+    for _ in 0..warmup {
+        f();
+    }
+    let (a0, b0) = counters();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let dt = t0.elapsed();
+    let (a1, b1) = counters();
+    let n = iters.max(1) as u64;
+    Measure {
+        ns_per_iter: (dt.as_nanos() as u64) / n,
+        allocs_per_iter: (a1 - a0) / n,
+        bytes_per_iter: (b1 - b0) / n,
+    }
+}
+
+fn dispatch_name(d: Dispatch) -> &'static str {
+    match d {
+        Dispatch::Pool => "pool",
+        Dispatch::Spawn => "spawn",
+    }
+}
+
+fn row_json(
+    op: &str,
+    shape: &str,
+    threads: usize,
+    dispatch: &str,
+    arena_on: bool,
+    m: &Measure,
+) -> String {
+    format!(
+        "    {{\"op\": \"{op}\", \"shape\": \"{shape}\", \"threads\": {threads}, \
+         \"dispatch\": \"{dispatch}\", \"arena\": {arena_on}, \"ns_per_iter\": {}, \
+         \"allocs_per_iter\": {}, \"bytes_per_iter\": {}}}",
+        m.ns_per_iter, m.allocs_per_iter, m.bytes_per_iter
+    )
+}
+
+/// Per-kernel rows: the projection/attention shapes the supernet is built
+/// from, at every (threads, dispatch) combination.
+fn bench_ops() -> Vec<String> {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let a = init::uniform(&mut rng, [8, 16, 48, 64], -1.0, 1.0);
+    let w = init::uniform(&mut rng, [64, 64], -1.0, 1.0);
+    let b_same = init::uniform(&mut rng, [8, 16, 48, 64], -1.0, 1.0);
+    let scores = init::uniform(&mut rng, [8, 16, 48, 48], -1.0, 1.0);
+
+    type Case<'c> = (&'c str, &'c str, Box<dyn Fn() -> Tensor + 'c>);
+    let cases: Vec<Case> = vec![
+        ("matmul", "[8,16,48,64]x[64,64]", Box::new(|| ops::matmul(&a, &w))),
+        (
+            "matmul.nt",
+            "[8,16,48,64]x[64,64]T",
+            Box::new(|| ops::matmul_nt(&a, &w)),
+        ),
+        (
+            "matmul.tn",
+            "[8,16,48,64]Tx[8,16,48,48]",
+            Box::new(|| ops::matmul_tn(&a, &scores)),
+        ),
+        (
+            "softmax.last",
+            "[8,16,48,48]",
+            Box::new(|| ops::softmax_last(&scores)),
+        ),
+        (
+            "elementwise.add",
+            "[8,16,48,64]+[8,16,48,64]",
+            Box::new(|| ops::add(&a, &b_same)),
+        ),
+        (
+            "elementwise.reduce_to_shape",
+            "[8,16,48,64]->[48,64]",
+            Box::new(|| ops::reduce_to_shape(&a, &[48, 64])),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        for &d in &[Dispatch::Pool, Dispatch::Spawn] {
+            set_num_threads(threads);
+            set_dispatch(Some(d));
+            for (op, shape, f) in &cases {
+                let m = measure(5, 20, || {
+                    std::hint::black_box(f());
+                });
+                rows.push(row_json(op, shape, threads, dispatch_name(d), arena::enabled(), &m));
+            }
+        }
+    }
+    set_dispatch(None);
+    set_num_threads(0);
+    rows
+}
+
+/// One bi-level search step (Θ update + w update) on the default-scale
+/// supernet — the unit cost behind the paper's search times.
+///
+/// Uses [`ExpContext::from_env`] (the documented `NODES`/`BATCH`/`D_MODEL`
+/// knobs), not the smoke context: at smoke scale nearly every kernel sits
+/// below `PAR_THRESHOLD` and runs serial under either dispatcher, so the
+/// step would measure compute, not the dispatch overhead this file tracks.
+fn bench_search_step() -> (Vec<String>, String) {
+    let ctx = ExpContext::from_env();
+    let p = prepare(&ctx, &DatasetSpec::metr_la());
+    let cfg = ctx.search_config();
+    let mut rng = SmallRng::seed_from_u64(0);
+    let model =
+        autocts::SupernetModel::new(&mut rng, &cfg, &p.spec, &p.data.graph, &p.windows.scaler);
+    let batches = batches_from_windows(&p.windows.train, ctx.batch);
+    let (x, y) = batches[0].clone();
+    let mut arch_opt = Adam::for_architecture(model.arch_parameters(), cfg.arch_lr, cfg.arch_wd);
+    let mut weight_opt = Adam::new(model.weight_parameters(), cfg.weight_lr, cfg.weight_wd);
+    let loss_kind = LossKind::MaskedMae { null_value: Some(0.0) };
+
+    let mut step = || {
+        // Θ step
+        let tape = Tape::new();
+        let pred = model.forward(&tape, &tape.constant(x.clone()));
+        let loss = loss_kind.compute(&tape, &pred, &y);
+        tape.backward(&loss);
+        for pm in weight_opt.params() {
+            pm.zero_grad();
+        }
+        arch_opt.step();
+        // w step
+        let tape = Tape::new();
+        let pred = model.forward(&tape, &tape.constant(x.clone()));
+        let loss = loss_kind.compute(&tape, &pred, &y);
+        tape.backward(&loss);
+        for pm in arch_opt.params() {
+            pm.zero_grad();
+        }
+        weight_opt.step();
+    };
+
+    // (threads, dispatch, arena)
+    let configs = [
+        (1usize, Dispatch::Pool, true),
+        (2, Dispatch::Pool, true),
+        (4, Dispatch::Pool, true),
+        (1, Dispatch::Spawn, true),
+        (4, Dispatch::Spawn, true),
+        (4, Dispatch::Pool, false),
+    ];
+    let mut rows = Vec::new();
+    let mut pool_t4 = None;
+    let mut spawn_t4 = None;
+    let mut arena_on_t4 = None;
+    let mut arena_off_t4 = None;
+    for &(threads, d, arena_on) in &configs {
+        set_num_threads(threads);
+        set_dispatch(Some(d));
+        arena::set_enabled(Some(arena_on));
+        if !arena_on {
+            arena::clear(); // free lists must not serve this config
+        }
+        let m = measure(2, 5, &mut step);
+        rows.push(row_json(
+            "search_step.bilevel",
+            "metr-la default-scale supernet",
+            threads,
+            dispatch_name(d),
+            arena_on,
+            &m,
+        ));
+        match (threads, d, arena_on) {
+            (4, Dispatch::Pool, true) => {
+                pool_t4 = Some(m.ns_per_iter);
+                arena_on_t4 = Some((m.allocs_per_iter, m.bytes_per_iter));
+            }
+            (4, Dispatch::Spawn, true) => spawn_t4 = Some(m.ns_per_iter),
+            (4, Dispatch::Pool, false) => {
+                arena_off_t4 = Some((m.allocs_per_iter, m.bytes_per_iter));
+            }
+            _ => {}
+        }
+    }
+    arena::set_enabled(None);
+    set_dispatch(None);
+    set_num_threads(0);
+
+    let ratio = |num: u64, den: u64| num as f64 / den.max(1) as f64;
+    let (pool, spawn) = (pool_t4.unwrap_or(1), spawn_t4.unwrap_or(1));
+    let (on_a, on_b) = arena_on_t4.unwrap_or((1, 1));
+    let (off_a, off_b) = arena_off_t4.unwrap_or((1, 1));
+    let summary = format!(
+        "  \"summary\": {{\"speedup_pool_vs_spawn_threads4\": {:.3}, \
+         \"alloc_count_reduction_arena\": {:.3}, \"alloc_bytes_reduction_arena\": {:.3}}}",
+        ratio(spawn, pool),
+        ratio(off_a, on_a),
+        ratio(off_b, on_b)
+    );
+    (rows, summary)
+}
+
+fn write_json(path: &std::path::Path, rows: &[String], summary: Option<&str>) {
+    let mut body = String::from("{\n  \"rows\": [\n");
+    body.push_str(&rows.join(",\n"));
+    body.push_str("\n  ]");
+    if let Some(s) = summary {
+        body.push_str(",\n");
+        body.push_str(s);
+    }
+    body.push_str("\n}\n");
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("bench_json: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let out_dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".into());
+    let out = std::path::Path::new(&out_dir);
+
+    let ops_rows = bench_ops();
+    write_json(&out.join("BENCH_ops.json"), &ops_rows, None);
+
+    let (step_rows, summary) = bench_search_step();
+    write_json(&out.join("BENCH_search_step.json"), &step_rows, Some(&summary));
+    println!("{summary}");
+}

@@ -490,6 +490,7 @@ pub fn joint_search(
                         .collect(),
                     train_losses: Vec::new(),
                     val_losses: loss_history.clone(),
+                    mid_epoch: None,
                 };
                 save_run_state(&ck.path, &rs)?;
             }

@@ -53,6 +53,7 @@ const TAG_COUNTERS: &[u8; 4] = b"CNTR";
 const TAG_RNG: &[u8; 4] = b"RNGS";
 const TAG_TRACE: &[u8; 4] = b"TRCE";
 const TAG_LOSSES: &[u8; 4] = b"LOSS";
+const TAG_MIDEPOCH: &[u8; 4] = b"MIDE";
 
 // ---------------------------------------------------------------------------
 // Errors
@@ -136,6 +137,23 @@ pub struct ScheduleState {
     pub min: f32,
 }
 
+/// Position inside a partially-completed epoch, written by mid-epoch
+/// checkpoints ([`crate::runstate::CheckpointConfig::every_steps`]).
+///
+/// A resumed run skips the first `batch` batches of the epoch and seeds
+/// its loss accumulator with `loss_sum`, so the epoch's mean loss — and
+/// therefore every downstream decision (watchdog, early stopping) — is
+/// bit-identical to an uninterrupted run. `loss_sum` is `f64` because the
+/// accumulator itself is `f64`; rounding it through `f32` would fork the
+/// resumed trajectory.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MidEpochState {
+    /// Batches of the current epoch already consumed.
+    pub batch: u64,
+    /// Running sum of per-batch training losses within the epoch.
+    pub loss_sum: f64,
+}
+
 /// Scalar bookkeeping of a training / search run.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RunCounters {
@@ -196,6 +214,11 @@ pub struct RunState {
     pub train_losses: Vec<f32>,
     /// Mean validation loss per completed epoch.
     pub val_losses: Vec<f32>,
+    /// Mid-epoch position when the checkpoint was taken between epoch
+    /// boundaries; `None` for epoch-boundary checkpoints. Decoders that
+    /// predate this field skip the chunk (unknown tags are ignored), so
+    /// mid-epoch checkpoints stay readable as epoch checkpoints.
+    pub mid_epoch: Option<MidEpochState>,
 }
 
 impl RunState {
@@ -394,6 +417,12 @@ pub fn encode_run_state(rs: &RunState) -> Vec<u8> {
             e.f32(x);
         }
     });
+    if let Some(me) = &rs.mid_epoch {
+        e.chunk(TAG_MIDEPOCH, |e| {
+            e.u64(me.batch);
+            e.f64(me.loss_sum);
+        });
+    }
     let crc = crc32(&e.buf);
     e.u32(crc);
     e.buf
@@ -597,6 +626,12 @@ fn parse_v2(bytes: &[u8]) -> Result<RunState, CheckpointError> {
                 }
                 rs.train_losses = tl;
                 rs.val_losses = vl;
+            }
+            t if t == TAG_MIDEPOCH => {
+                rs.mid_epoch = Some(MidEpochState {
+                    batch: c.u64()?,
+                    loss_sum: c.f64()?,
+                });
             }
             _ => {} // unknown chunk: skip (forward compatibility)
         }
@@ -988,10 +1023,17 @@ mod tests {
             trace: vec![[5.0, 1.0, 1.5], [4.5, 0.9, 1.2]],
             train_losses: vec![1.0, 0.9],
             val_losses: vec![1.1, 1.0],
+            mid_epoch: Some(MidEpochState { batch: 3, loss_sum: 2.755 }),
         };
         let bytes = encode_run_state(&rs);
         let back = read_run_state(&bytes[..]).unwrap();
         assert_eq!(rs, back);
+        // And the epoch-boundary form (no MIDE chunk) roundtrips to None.
+        let boundary = RunState { mid_epoch: None, ..rs };
+        let bytes2 = encode_run_state(&boundary);
+        let back2 = read_run_state(&bytes2[..]).unwrap();
+        assert_eq!(back2.mid_epoch, None);
+        assert_eq!(boundary, back2);
     }
 
     #[test]

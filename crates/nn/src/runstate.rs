@@ -14,6 +14,12 @@ pub struct CheckpointConfig {
     pub path: PathBuf,
     /// Write a checkpoint every this many completed epochs (≥ 1).
     pub every_epochs: usize,
+    /// Additionally write a checkpoint every this many optimizer steps
+    /// *within* an epoch (0 disables mid-epoch checkpoints, the default).
+    /// Mid-epoch state rides in the same file as epoch checkpoints via a
+    /// dedicated chunk, so a kill between epoch boundaries loses at most
+    /// `steps_per_checkpoint` steps instead of the whole epoch.
+    pub steps_per_checkpoint: usize,
     /// When `true` and `path` holds a valid checkpoint, continue the run
     /// from it instead of starting fresh. A corrupt or truncated file is
     /// a hard error, never silently ignored.
@@ -26,6 +32,7 @@ impl CheckpointConfig {
         Self {
             path: path.into(),
             every_epochs: 1,
+            steps_per_checkpoint: 0,
             resume: true,
         }
     }
@@ -34,6 +41,13 @@ impl CheckpointConfig {
     pub fn every(mut self, epochs: usize) -> Self {
         assert!(epochs >= 1, "checkpoint cadence must be >= 1 epoch");
         self.every_epochs = epochs;
+        self
+    }
+
+    /// Enable mid-epoch checkpoints every `steps` optimizer steps (0
+    /// disables them again).
+    pub fn every_steps(mut self, steps: usize) -> Self {
+        self.steps_per_checkpoint = steps;
         self
     }
 
@@ -47,6 +61,14 @@ impl CheckpointConfig {
     /// falls on the cadence.
     pub fn due(&self, completed: usize) -> bool {
         completed.is_multiple_of(self.every_epochs.max(1))
+    }
+
+    /// True when a mid-epoch checkpoint is due after the `step`-th global
+    /// optimizer step (1-based count of completed steps).
+    pub fn steps_due(&self, step: u64) -> bool {
+        self.steps_per_checkpoint > 0
+            && step > 0
+            && step.is_multiple_of(self.steps_per_checkpoint as u64)
     }
 
     /// Derive a stage-scoped config writing to the sibling file
@@ -233,6 +255,20 @@ mod tests {
         assert!(ck.due(3));
         assert!(ck.due(6));
         assert!(CheckpointConfig::new("/tmp/x.ckpt").due(1));
+    }
+
+    #[test]
+    fn step_cadence() {
+        let off = CheckpointConfig::new("/tmp/x.ckpt");
+        assert!(!off.steps_due(4), "mid-epoch checkpoints default off");
+        let ck = CheckpointConfig::new("/tmp/x.ckpt").every_steps(4);
+        assert!(!ck.steps_due(0));
+        assert!(!ck.steps_due(3));
+        assert!(ck.steps_due(4));
+        assert!(!ck.steps_due(5));
+        assert!(ck.steps_due(8));
+        let disabled_again = ck.every_steps(0);
+        assert!(!disabled_again.steps_due(4));
     }
 
     #[test]

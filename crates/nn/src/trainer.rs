@@ -9,7 +9,8 @@
 //! [`TrainError`].
 
 use crate::checkpoint::{
-    apply_parameters, load_run_state, save_run_state, OptimizerState, RunCounters, RunState,
+    apply_parameters, load_run_state, save_run_state, MidEpochState, OptimizerState, RunCounters,
+    RunState,
 };
 use crate::runstate::{CheckpointConfig, DivergenceReason, TrainError, WatchdogConfig};
 use crate::{clip_grad_norm, fault, global_grad_norm, Adam, Forecaster, LossKind, Optimizer};
@@ -110,11 +111,25 @@ pub fn evaluate_loss(model: &dyn Forecaster, batches: &[(Tensor, Tensor)], loss_
 enum EpochAbort {
     Interrupted,
     Diverged(DivergenceReason),
+    /// A per-step side effect (mid-epoch checkpoint write) failed.
+    Failed(TrainError),
 }
 
 /// One health-checked optimisation pass: consults the fault-injection
 /// plan and the watchdog at every step, refusing to apply a poisoned
 /// update.
+///
+/// `start_batch`/`carry` resume a partially-completed epoch: the first
+/// `start_batch` batches are skipped and the loss accumulator starts at
+/// `carry` (an `f64` so the resumed epoch mean is bit-identical to the
+/// uninterrupted one). `on_step` runs after every applied optimizer step
+/// with `(opt, global_step, batches_done, loss_sum)` — the hook mid-epoch
+/// checkpointing hangs off.
+/// Post-step hook for [`run_epoch_checked`]: receives
+/// `(opt, global_step, batches_done, loss_sum)`; an `Err` aborts the epoch.
+type StepHook<'a> = dyn FnMut(&Adam, u64, u64, f64) -> Result<(), TrainError> + 'a;
+
+#[allow(clippy::too_many_arguments)] // one call site; a params struct would just rename the noise
 fn run_epoch_checked(
     model: &dyn Forecaster,
     opt: &mut Adam,
@@ -123,10 +138,13 @@ fn run_epoch_checked(
     clip: f32,
     watchdog_on: bool,
     step: &mut u64,
+    start_batch: usize,
+    carry: f64,
+    on_step: &mut StepHook<'_>,
 ) -> Result<f32, EpochAbort> {
     model.set_training(true);
-    let mut total = 0.0f64;
-    for (x, y) in batches {
+    let mut total = carry;
+    for (bi, (x, y)) in batches.iter().enumerate().skip(start_batch) {
         if fault::take_abort(*step) {
             return Err(EpochAbort::Interrupted);
         }
@@ -153,23 +171,31 @@ fn run_epoch_checked(
         }
         opt.step();
         *step += 1;
+        on_step(opt, *step, (bi + 1) as u64, total).map_err(EpochAbort::Failed)?;
     }
     Ok((total / batches.len().max(1) as f64) as f32)
 }
 
-/// Last-good in-memory snapshot for watchdog rollback.
+/// Last-good in-memory snapshot for watchdog rollback. Carries the
+/// in-epoch position `(batch, carry)` so a rollback from a run resumed
+/// mid-epoch retries from the resume point, not from an epoch boundary it
+/// never visited.
 struct GoodState {
     values: Vec<Tensor>,
     opt: OptimizerState,
     step: u64,
+    batch: usize,
+    carry: f64,
 }
 
 impl GoodState {
-    fn capture(opt: &Adam, step: u64) -> Self {
+    fn capture(opt: &Adam, step: u64, batch: usize, carry: f64) -> Self {
         Self {
             values: opt.params().iter().map(|p| p.value().clone()).collect(),
             opt: opt.export_state("main"),
             step,
+            batch,
+            carry,
         }
     }
 
@@ -188,7 +214,9 @@ impl GoodState {
 /// epoch-boundary checkpointing/resume, and a divergence watchdog.
 ///
 /// With `cfg.checkpoint` set, a run killed mid-epoch resumes from the
-/// last completed epoch and produces the *bit-identical* loss trace an
+/// last completed epoch — or, with
+/// [`CheckpointConfig::every_steps`] enabled, from the last mid-epoch
+/// step checkpoint — and produces the *bit-identical* loss trace an
 /// uninterrupted run would have produced.
 pub fn train_full(
     model: &dyn Forecaster,
@@ -205,6 +233,11 @@ pub fn train_full(
     let mut step = 0u64;
     let mut epoch = 0usize;
     let mut secs_before = 0.0f64;
+    // In-epoch resume position: batches already applied this epoch and the
+    // f64 loss sum they contributed (non-zero only right after a mid-epoch
+    // resume or a rollback to a mid-epoch snapshot).
+    let mut start_batch = 0usize;
+    let mut carry = 0.0f64;
 
     // Resume from a previous run's checkpoint when configured. A corrupt
     // file is a hard error — it is never loaded, and never silently
@@ -225,14 +258,50 @@ pub fn train_full(
             step = rs.counters.step;
             epoch = rs.counters.epoch as usize;
             secs_before = rs.counters.secs;
+            if let Some(me) = rs.mid_epoch {
+                start_batch = me.batch as usize;
+                carry = me.loss_sum;
+            }
         }
     }
 
     let started = std::time::Instant::now();
-    let mut snapshot = GoodState::capture(&opt, step);
+    let mut snapshot = GoodState::capture(&opt, step, start_batch, carry);
     let mut rollbacks = 0usize;
 
     while epoch < cfg.epochs {
+        // Mid-epoch persistence hook: every `steps_per_checkpoint` applied
+        // steps, write the full run state plus the in-epoch position. The
+        // final batch of an epoch is skipped — the boundary checkpoint
+        // below records that state without the mid-epoch chunk.
+        let mut on_step = |opt: &Adam, step_now: u64, batches_done: u64, loss_sum: f64| {
+            let Some(ck) = &cfg.checkpoint else { return Ok(()) };
+            if !ck.steps_due(step_now) || batches_done as usize >= train_batches.len() {
+                return Ok(());
+            }
+            let rs = RunState {
+                params: RunState::capture_params(opt.params())?,
+                optimizers: vec![opt.export_state("main")],
+                schedule: None,
+                counters: RunCounters {
+                    epoch: epoch as u64,
+                    step: step_now,
+                    best_epoch: best_epoch as u64,
+                    stall: stall as u64,
+                    memory_scalars: 0,
+                    best_val: best,
+                    last_val: val_losses.last().copied().unwrap_or(0.0),
+                    secs: secs_before + started.elapsed().as_secs_f64(),
+                },
+                rng: None,
+                trace: Vec::new(),
+                train_losses: train_losses.clone(),
+                val_losses: val_losses.clone(),
+                mid_epoch: Some(MidEpochState { batch: batches_done, loss_sum }),
+            };
+            save_run_state(&ck.path, &rs)?;
+            Ok(())
+        };
         let outcome = run_epoch_checked(
             model,
             &mut opt,
@@ -241,11 +310,15 @@ pub fn train_full(
             cfg.clip,
             cfg.watchdog.enabled,
             &mut step,
+            start_batch,
+            carry,
+            &mut on_step,
         );
         let diverged = match outcome {
             Err(EpochAbort::Interrupted) => {
                 return Err(TrainError::Interrupted { epoch, step });
             }
+            Err(EpochAbort::Failed(e)) => return Err(e),
             Err(EpochAbort::Diverged(reason)) => Some(reason),
             Ok(tl) if cfg.watchdog.enabled && cfg.watchdog.is_spike(tl, &train_losses) => {
                 Some(DivergenceReason::LossSpike {
@@ -264,9 +337,14 @@ pub fn train_full(
             }
             rollbacks += 1;
             step = snapshot.restore(&mut opt);
+            start_batch = snapshot.batch;
+            carry = snapshot.carry;
             opt.set_lr(opt.lr() * cfg.watchdog.lr_cut);
             continue; // retry the same epoch at the reduced LR
         }
+        // The epoch completed: later epochs start from batch zero.
+        start_batch = 0;
+        carry = 0.0;
         // invariant: the epoch loop pushed a loss just above.
         let tl = *train_losses.last().expect("pushed above");
 
@@ -290,7 +368,7 @@ pub fn train_full(
         }
 
         epoch += 1;
-        snapshot = GoodState::capture(&opt, step);
+        snapshot = GoodState::capture(&opt, step, 0, 0.0);
 
         if let Some(ck) = &cfg.checkpoint {
             if ck.due(epoch) || stop || epoch == cfg.epochs {
@@ -312,6 +390,7 @@ pub fn train_full(
                     trace: Vec::new(),
                     train_losses: train_losses.clone(),
                     val_losses: val_losses.clone(),
+                    mid_epoch: None,
                 };
                 save_run_state(&ck.path, &rs)?;
             }
@@ -466,6 +545,53 @@ mod tests {
         assert!(matches!(err, TrainError::Interrupted { .. }), "{err}");
 
         // Resume into a *fresh* model: must complete and match bit-for-bit.
+        let resumed = train_full(&tiny_model(99), &batches, None, &cfg).unwrap();
+        assert_eq!(resumed.train_losses.len(), reference.train_losses.len());
+        for (a, b) in resumed.train_losses.iter().zip(&reference.train_losses) {
+            assert_eq!(a.to_bits(), b.to_bits(), "loss traces diverge");
+        }
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn mid_epoch_kill_and_resume_matches_uninterrupted_run() {
+        let dir = std::env::temp_dir().join("cts_train_midepoch_resume_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("run.ckpt");
+        std::fs::remove_file(&ckpt).ok();
+
+        let mut rng = SmallRng::seed_from_u64(11);
+        let batches = toy_batches(&mut rng, 6);
+        let cfg = TrainConfig {
+            epochs: 4,
+            lr: 0.05,
+            weight_decay: 0.0,
+            loss: LossKind::Mse,
+            checkpoint: Some(CheckpointConfig::new(&ckpt).every_steps(4)),
+            ..Default::default()
+        };
+
+        // Reference: uninterrupted run.
+        let reference = train_full(&tiny_model(3), &batches, None, &TrainConfig {
+            checkpoint: None,
+            ..cfg.clone()
+        })
+        .unwrap();
+
+        // Kill at step 9: the last mid-epoch checkpoint landed at step 8,
+        // two batches into epoch 1, so the resume loses exactly one step.
+        fault::arm(fault::FaultPlan { abort_at_step: Some(9), nan_grad_at_step: None });
+        let err = train_full(&tiny_model(3), &batches, None, &cfg).unwrap_err();
+        fault::disarm();
+        assert!(matches!(err, TrainError::Interrupted { .. }), "{err}");
+
+        // The on-disk state really is mid-epoch, not an epoch boundary.
+        let rs = load_run_state(&ckpt).unwrap();
+        let me = rs.mid_epoch.expect("mid-epoch chunk present");
+        assert_eq!((rs.counters.epoch, rs.counters.step, me.batch), (1, 8, 2));
+
+        // Resume into a *fresh* model: finishes epoch 1 from batch 2 and
+        // must reproduce the uninterrupted loss trace bit-for-bit.
         let resumed = train_full(&tiny_model(99), &batches, None, &cfg).unwrap();
         assert_eq!(resumed.train_losses.len(), reference.train_losses.len());
         for (a, b) in resumed.train_losses.iter().zip(&reference.train_losses) {

@@ -3,8 +3,8 @@
 //! and every strict prefix of a valid file is rejected as corrupt.
 
 use cts_nn::checkpoint::{
-    read_run_state, write_checkpoint, write_run_state, OptimizerState, RunCounters, RunState,
-    ScheduleState,
+    read_run_state, write_checkpoint, write_run_state, MidEpochState, OptimizerState, RunCounters,
+    RunState, ScheduleState,
 };
 use cts_autograd::Parameter;
 use cts_tensor::Tensor;
@@ -89,6 +89,14 @@ fn arb_run_state(seed: u64) -> RunState {
         trace,
         train_losses: losses(&mut rng),
         val_losses: losses(&mut rng),
+        mid_epoch: if rng.gen_range(0u32..2) == 1 {
+            Some(MidEpochState {
+                batch: rng.gen_range(0u64..1_000),
+                loss_sum: rng.gen_range(0.0f64..1e4),
+            })
+        } else {
+            None
+        },
     }
 }
 

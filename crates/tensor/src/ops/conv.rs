@@ -17,6 +17,7 @@
 //! checks downstream — same bug class as the old matmul kernel. The skip
 //! is gone; see `zero_times_nan_propagates` below.
 
+use crate::arena;
 use crate::parallel;
 use crate::Tensor;
 
@@ -31,7 +32,7 @@ pub fn temporal_conv(x: &Tensor, w: &Tensor, dilation: usize) -> Tensor {
     let (k, wdin, dout) = dims3(w);
     assert_eq!(din, wdin, "temporal_conv channel mismatch");
     assert!(dilation >= 1);
-    let mut out = vec![0.0f32; b * n * t * dout];
+    let mut out = arena::take_zeroed(b * n * t * dout);
     let xd = x.data();
     let wd = w.data();
     let series = b * n;
@@ -71,7 +72,7 @@ pub fn temporal_conv(x: &Tensor, w: &Tensor, dilation: usize) -> Tensor {
 pub fn temporal_conv_grad_x(grad: &Tensor, w: &Tensor, x_shape: &[usize], dilation: usize) -> Tensor {
     let (b, n, t, din) = (x_shape[0], x_shape[1], x_shape[2], x_shape[3]);
     let (k, _, dout) = dims3(w);
-    let mut gx = vec![0.0f32; b * n * t * din];
+    let mut gx = arena::take_zeroed(b * n * t * din);
     let gd = grad.data();
     let wd = w.data();
     let series = b * n;
@@ -106,7 +107,7 @@ pub fn temporal_conv_grad_x(grad: &Tensor, w: &Tensor, x_shape: &[usize], dilati
             }
         }
     });
-    Tensor::from_vec(x_shape.to_vec(), gx)
+    Tensor::from_vec(x_shape, gx)
 }
 
 /// ∂temporal_conv/∂w.
@@ -139,7 +140,7 @@ pub fn temporal_conv_grad_w(grad: &Tensor, x: &Tensor, w_shape: &[usize], dilati
             }
         }
     });
-    Tensor::from_vec(w_shape.to_vec(), gw)
+    Tensor::from_vec(w_shape, gw)
 }
 
 fn dims4(x: &Tensor) -> (usize, usize, usize, usize) {

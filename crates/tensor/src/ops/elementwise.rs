@@ -7,14 +7,15 @@
 //! walk instead of per-element `unravel`/`ravel`, which also speeds up the
 //! serial path.
 
+use crate::arena;
 use crate::parallel;
-use crate::shape::{broadcast_shapes, numel, strides_for, unravel};
+use crate::shape::{broadcast_shapes, numel, strides_for, unravel, Shape};
 use crate::Tensor;
 
 /// Per-axis strides of `shape` viewed in the broadcast space `out_shape`
 /// (right-aligned; broadcast axes get stride 0).
-fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
-    let mut out = vec![0usize; out_shape.len()];
+fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Shape {
+    let mut out = Shape::zeros(out_shape.len());
     let offset = out_shape.len() - shape.len();
     let real = strides_for(shape);
     for (i, (&dim, &stride)) in shape.iter().zip(real.iter()).enumerate() {
@@ -28,13 +29,13 @@ fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> 
     if a.shape() == b.shape() {
         // Fast path: identical shapes, one flat parallel zip.
         let (ad, bd) = (a.data(), b.data());
-        let mut data = vec![0.0f32; ad.len()];
+        let mut data = arena::take_zeroed(ad.len());
         parallel::for_units(&parallel::kernels::EW_ZIP, &mut data, 1, ad.len(), |start, chunk| {
             for (i, o) in chunk.iter_mut().enumerate() {
                 *o = f(ad[start + i], bd[start + i]);
             }
         });
-        return Tensor::from_vec(a.shape().to_vec(), data);
+        return Tensor::from_vec(a.shape(), data);
     }
     let out_shape = broadcast_shapes(a.shape(), b.shape())
         .unwrap_or_else(|| panic!("broadcast mismatch {:?} vs {:?}", a.shape(), b.shape()));
@@ -42,7 +43,7 @@ fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> 
     let a_str = broadcast_strides(a.shape(), &out_shape);
     let b_str = broadcast_strides(b.shape(), &out_shape);
     let (ad, bd) = (a.data(), b.data());
-    let mut data = vec![0.0f32; n];
+    let mut data = arena::take_zeroed(n);
     parallel::for_units(&parallel::kernels::EW_ZIP_BROADCAST, &mut data, 1, n, |start, chunk| {
         // Odometer walk: carry coordinates and both source offsets along.
         let mut coords = unravel(start, &out_shape);
@@ -73,59 +74,103 @@ fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> 
 /// Elementwise unary map, parallel over flat ranges.
 fn unary(a: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
     let ad = a.data();
-    let mut data = vec![0.0f32; ad.len()];
+    let mut data = arena::take_zeroed(ad.len());
     parallel::for_units(&parallel::kernels::EW_UNARY, &mut data, 1, ad.len(), |start, chunk| {
         for (o, &x) in chunk.iter_mut().zip(ad[start..].iter()) {
             *o = f(x);
         }
     });
-    Tensor::from_vec(a.shape().to_vec(), data)
+    Tensor::from_vec(a.shape(), data)
 }
 
 /// Exact-shape zip of two buffers (used by saved-value gradient kernels).
 fn zip_exact(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
     debug_assert_eq!(a.len(), b.len(), "zip_exact length mismatch");
     let (ad, bd) = (a.data(), b.data());
-    let mut data = vec![0.0f32; ad.len()];
+    let mut data = arena::take_zeroed(ad.len());
     parallel::for_units(&parallel::kernels::EW_ZIP_EXACT, &mut data, 1, ad.len(), |start, chunk| {
         for (i, o) in chunk.iter_mut().enumerate() {
             *o = f(ad[start + i], bd[start + i]);
         }
     });
-    Tensor::from_vec(b.shape().to_vec(), data)
+    Tensor::from_vec(b.shape(), data)
 }
 
 /// Reduce `grad` (in broadcast-output shape) back to `target_shape` by
 /// summing over the dimensions that were broadcast.
 ///
-/// Serial: the scatter-add into the (usually much smaller) target would
-/// race across workers, and in practice the target is a parameter-sized
-/// tensor, so this is never the hot side of a backward pass.
+/// Parallel in *gather* form: one unit of work is one target element, which
+/// sums its grad preimage in ascending grad-flat order (row-major odometer
+/// over the reduced axes). That is exactly the per-element addition chain
+/// of the seed's serial scatter-add (`ops::reference::reduce_to_shape`), so
+/// results are bit-identical to it at every thread count — while workers
+/// write disjoint target ranges, so no scatter races.
 pub fn reduce_to_shape(grad: &Tensor, target_shape: &[usize]) -> Tensor {
     if grad.shape() == target_shape {
         return grad.clone();
     }
-    let mut out = Tensor::zeros(target_shape.to_vec());
-    let gshape = grad.shape().to_vec();
-    let t_str = broadcast_strides(target_shape, &gshape);
-    let mut coords = vec![0usize; gshape.len()];
-    let mut idx = 0usize;
-    for flat in 0..grad.len() {
-        out.data_mut()[idx] += grad.data()[flat];
-        if flat + 1 == grad.len() {
-            break;
-        }
-        for d in (0..gshape.len()).rev() {
-            coords[d] += 1;
-            idx += t_str[d];
-            if coords[d] < gshape[d] {
-                break;
-            }
-            coords[d] = 0;
-            idx -= t_str[d] * gshape[d];
+    let gshape = grad.shape();
+    let g_str = strides_for(gshape);
+    let offset = gshape.len() - target_shape.len();
+    // Axes to sum over: grad axes where the (right-aligned) target dim is
+    // absent or 1 while grad's is larger. Stored as (len, grad stride) in
+    // axis order, so the odometer below walks them row-major — i.e. in
+    // ascending grad-flat order for a fixed target element.
+    let mut reduce_dims: Vec<(usize, usize)> = Vec::with_capacity(gshape.len());
+    for (d, (&gdim, &gstride)) in gshape.iter().zip(g_str.iter()).enumerate() {
+        let tdim = if d < offset { 1 } else { target_shape[d - offset] };
+        if tdim != gdim {
+            reduce_dims.push((gdim, gstride));
         }
     }
-    out
+    let total: usize = reduce_dims.iter().map(|&(len, _)| len).product();
+    let n_out = numel(target_shape);
+    let gd = grad.data();
+    let mut out = arena::take_zeroed(n_out);
+    parallel::for_units(&parallel::kernels::REDUCE_TO_SHAPE, &mut out, 1, grad.len(), |start, chunk| {
+        if chunk.is_empty() {
+            return;
+        }
+        // Target-coordinate odometer carries the grad base offset along;
+        // `r` is the reduced-axes odometer, back at all-zeros after each
+        // full `total`-step cycle.
+        let mut tcoords = unravel(start, target_shape);
+        let mut base: usize =
+            tcoords.iter().enumerate().map(|(i, &c)| c * g_str[offset + i]).sum();
+        let mut r = Shape::zeros(reduce_dims.len());
+        let last = chunk.len() - 1;
+        for (i, o) in chunk.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            let mut roff = 0usize;
+            for _ in 0..total {
+                acc += gd[base + roff];
+                for j in (0..reduce_dims.len()).rev() {
+                    let (len, stride) = reduce_dims[j];
+                    r[j] += 1;
+                    roff += stride;
+                    if r[j] < len {
+                        break;
+                    }
+                    r[j] = 0;
+                    roff -= len * stride;
+                }
+            }
+            *o = acc;
+            if i == last {
+                break;
+            }
+            for d in (0..target_shape.len()).rev() {
+                tcoords[d] += 1;
+                base += g_str[offset + d];
+                if tcoords[d] < target_shape[d] {
+                    break;
+                }
+                tcoords[d] = 0;
+                base -= g_str[offset + d] * target_shape[d];
+            }
+        }
+    });
+    Tensor::from_vec(target_shape, out)
 }
 
 /// `a + b` with broadcasting.
@@ -351,6 +396,30 @@ mod tests {
         assert_eq!(r.data(), &[2.0, 2.0, 2.0]);
         let r2 = reduce_to_shape(&g, &[2, 1]);
         assert_eq!(r2.data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn reduce_to_shape_matches_serial_scatter_bit_exact() {
+        // Irregular values so any reassociation of the per-element addition
+        // chain would show up in the low bits.
+        let g = t(
+            &[3, 2, 4],
+            &(0..24).map(|i| ((i * 31) % 17) as f32 * 0.1 - 0.7).collect::<Vec<_>>(),
+        );
+        for target in [
+            vec![4usize],
+            vec![2, 4],
+            vec![1, 4],
+            vec![2, 1],
+            vec![3, 1, 1],
+            vec![3, 2, 4],
+            vec![1],
+        ] {
+            let fast = reduce_to_shape(&g, &target);
+            let slow = super::super::reference::reduce_to_shape(&g, &target);
+            assert_eq!(fast.shape(), slow.shape(), "target {target:?}");
+            assert_eq!(fast.data(), slow.data(), "target {target:?}");
+        }
     }
 
     #[test]

@@ -3,25 +3,50 @@
 //! The inner kernel is cache-blocked with a packed-B panel: `B` tiles of at
 //! most `KC × NC` elements are copied into a dense thread-local panel that
 //! stays resident in L1/L2 while all rows of the block consume it. Batched
-//! work is partitioned across scoped worker threads by output row (see
-//! [`crate::parallel`]); each worker owns a disjoint slice of the output.
+//! work is partitioned across the persistent worker pool by output row (see
+//! [`crate::parallel`]); each worker owns a disjoint slice of the output,
+//! and the packing panel is thread-local scratch that survives across
+//! kernel calls (pool workers persist), so steady-state matmuls allocate
+//! nothing.
 //!
-//! Accumulation is always in ascending-`k` order, for every block size and
-//! thread count, so results are bit-identical to the naive serial triple
-//! loop (`ops::reference::matmul`) regardless of `CTS_NUM_THREADS`.
+//! The innermost loops are a fixed-width microkernel ([`micro_accum`]):
+//! `MR` output columns are held in a register accumulator array while a
+//! block of `k` is streamed through. Crucially the accumulators are loaded
+//! from (and stored back to) the output, never zero-initialised, so each
+//! output element still sees one strictly ascending-`k` addition chain —
+//! results are bit-identical to the naive serial triple loop
+//! (`ops::reference::matmul`) for every block size and thread count.
+//!
+//! The backward products do not materialise transposes: [`matmul_nt`]
+//! (`A·Bᵀ`, for ∂/∂a) reads B's rows as dot-product operands in place, and
+//! [`matmul_tn`] (`Aᵀ·G`, for ∂/∂b) walks A's columns with an axpy loop.
+//! Both reproduce the exact accumulation order of the transpose-then-matmul
+//! composition they replaced, so they are bit-identical to it (asserted in
+//! tests and the parallel-consistency proptests).
 //!
 //! Non-finite values propagate: `0 × NaN = NaN` contributions are *not*
 //! skipped, so a NaN/∞ in either operand always reaches the output (the
 //! seed kernel's `a == 0.0` fast-out silently masked them).
 
+use crate::arena;
 use crate::parallel;
 use crate::shape::{broadcast_shapes, numel, ravel_broadcast, unravel};
 use crate::Tensor;
+use std::cell::RefCell;
 
 /// K-dimension block size of the packed kernel.
 const KC: usize = 128;
 /// N-dimension block size of the packed kernel (panel is `KC × NC` floats).
 const NC: usize = 64;
+/// Microkernel register width: output columns accumulated per pass.
+const MR: usize = 8;
+
+thread_local! {
+    /// Per-thread packed-B panel, reused across gemm calls. Pool workers
+    /// persist between kernels, so this is allocated once per thread for
+    /// the life of the process instead of once per gemm call.
+    static PANEL: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Matrix product over the last two dims: `a: [..., m, k] × b: [..., k, n]`.
 ///
@@ -43,7 +68,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out_shape = batch_shape.clone();
     out_shape.push(m);
     out_shape.push(n);
-    let mut out = vec![0.0f32; batch * m * n];
+    let mut out = arena::take_zeroed(batch * m * n);
 
     let a_data = a.data();
     let b_data = b.data();
@@ -77,6 +102,40 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     Tensor::from_vec(out_shape, out)
 }
 
+/// Fixed-width microkernel: `out_row[j] += Σ_kk a_row[kk] · b[kk·ldb + j]`
+/// for every `j`, accumulating `MR` columns at a time in registers.
+///
+/// Accumulators are *loaded from* `out_row` (never zeroed), so each output
+/// element's addition chain stays strictly ascending in `kk` across calls —
+/// the bit-exactness invariant every caller relies on. The fixed-width
+/// array form gives the autovectorizer independent lanes to vectorise
+/// without reassociating any single element's chain.
+#[inline]
+fn micro_accum(a_row: &[f32], b: &[f32], ldb: usize, out_row: &mut [f32]) {
+    let nc = out_row.len();
+    let mut j = 0;
+    while j + MR <= nc {
+        let mut acc = [0.0f32; MR];
+        acc.copy_from_slice(&out_row[j..j + MR]);
+        for (kk, &av) in a_row.iter().enumerate() {
+            let b_row = &b[kk * ldb + j..kk * ldb + j + MR];
+            for (t, &bv) in b_row.iter().enumerate() {
+                acc[t] += av * bv;
+            }
+        }
+        out_row[j..j + MR].copy_from_slice(&acc);
+        j += MR;
+    }
+    while j < nc {
+        let mut acc = out_row[j];
+        for (kk, &av) in a_row.iter().enumerate() {
+            acc += av * b[kk * ldb + j];
+        }
+        out_row[j] = acc;
+        j += 1;
+    }
+}
+
 /// `out[rows × n] += a[rows × k] · b[k × n]` for one batch element.
 ///
 /// `out` must be zero-initialised by the caller. Small `b` matrices are
@@ -86,44 +145,41 @@ fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
     let rows = out.len() / n;
     if k * n <= KC * NC {
         for i in 0..rows {
-            let a_row = &a[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &av) in a_row.iter().enumerate() {
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += av * bv;
-                }
-            }
+            micro_accum(&a[i * k..(i + 1) * k], b, n, &mut out[i * n..(i + 1) * n]);
         }
         return;
     }
     // Packed path: copy each KC × NC tile of b into a dense panel so the
     // inner loops hit a compact, contiguous working set.
-    let mut panel = vec![0.0f32; KC * NC.min(n)];
-    let mut k0 = 0;
-    while k0 < k {
-        let kc = KC.min(k - k0);
-        let mut j0 = 0;
-        while j0 < n {
-            let nc = NC.min(n - j0);
-            for kk in 0..kc {
-                let src = (k0 + kk) * n + j0;
-                panel[kk * nc..kk * nc + nc].copy_from_slice(&b[src..src + nc]);
-            }
-            for i in 0..rows {
-                let a_row = &a[i * k + k0..i * k + k0 + kc];
-                let out_row = &mut out[i * n + j0..i * n + j0 + nc];
-                for (kk, &av) in a_row.iter().enumerate() {
-                    let b_row = &panel[kk * nc..kk * nc + nc];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += av * bv;
-                    }
-                }
-            }
-            j0 += nc;
+    PANEL.with(|p| {
+        let mut panel = p.borrow_mut();
+        let need = KC * NC.min(n);
+        if panel.len() < need {
+            panel.resize(need, 0.0);
         }
-        k0 += kc;
-    }
+        let mut k0 = 0;
+        while k0 < k {
+            let kc = KC.min(k - k0);
+            let mut j0 = 0;
+            while j0 < n {
+                let nc = NC.min(n - j0);
+                for kk in 0..kc {
+                    let src = (k0 + kk) * n + j0;
+                    panel[kk * nc..kk * nc + nc].copy_from_slice(&b[src..src + nc]);
+                }
+                for i in 0..rows {
+                    micro_accum(
+                        &a[i * k + k0..i * k + k0 + kc],
+                        &panel,
+                        nc,
+                        &mut out[i * n + j0..i * n + j0 + nc],
+                    );
+                }
+                j0 += nc;
+            }
+            k0 += kc;
+        }
+    });
 }
 
 /// Transpose the last two dimensions.
@@ -134,10 +190,10 @@ pub fn transpose_last2(a: &Tensor) -> Tensor {
     assert!(a.rank() >= 2);
     let r = a.rank();
     let (m, n) = (a.shape()[r - 2], a.shape()[r - 1]);
-    let mut out_shape = a.shape().to_vec();
+    let mut out_shape = crate::shape::Shape::from_slice(a.shape());
     out_shape[r - 2] = n;
     out_shape[r - 1] = m;
-    let mut out = vec![0.0f32; a.len()];
+    let mut out = arena::take_zeroed(a.len());
     let data = a.data();
     let mat = m * n;
     if mat == 0 {
@@ -172,15 +228,190 @@ fn transpose_tile(src: &[f32], dst: &mut [f32], m: usize, n: usize) {
     }
 }
 
+/// Fused `A · Bᵀ`: `a: [..., m, k] × b: [..., n, k] → [..., m, n]` with
+/// `out[i, j] = Σ_k a[i, k] · b[j, k]` (batch dims broadcast).
+///
+/// This reads B's *rows* as the right-hand operands of plain dot products —
+/// no transpose is materialised — while accumulating each output element in
+/// ascending `k`, so the result is bit-identical to
+/// `matmul(a, transpose_last2(b))`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert!(a.rank() >= 2 && b.rank() >= 2, "matmul_nt needs rank >= 2");
+    let (m, ka) = (a.shape()[a.rank() - 2], a.shape()[a.rank() - 1]);
+    let (n, kb) = (b.shape()[b.rank() - 2], b.shape()[b.rank() - 1]);
+    assert_eq!(ka, kb, "matmul_nt inner dims: {:?} x {:?}", a.shape(), b.shape());
+    let k = ka;
+
+    let a_batch = &a.shape()[..a.rank() - 2];
+    let b_batch = &b.shape()[..b.rank() - 2];
+    let batch_shape = broadcast_shapes(a_batch, b_batch)
+        .unwrap_or_else(|| panic!("matmul_nt batch broadcast {:?} x {:?}", a.shape(), b.shape()));
+    let batch = numel(&batch_shape);
+
+    let mut out_shape = batch_shape.clone();
+    out_shape.push(m);
+    out_shape.push(n);
+    let mut out = arena::take_zeroed(batch * m * n);
+
+    let a_data = a.data();
+    let b_data = b.data();
+    let work = 2usize.saturating_mul(batch).saturating_mul(m).saturating_mul(n).saturating_mul(k);
+    parallel::for_units(&parallel::kernels::MATMUL_NT, &mut out, n.max(1), work, |row0, chunk| {
+        if n == 0 || m == 0 {
+            return;
+        }
+        let rows = chunk.len() / n;
+        let mut done = 0;
+        while done < rows {
+            let row = row0 + done;
+            let bi = row / m;
+            let i0 = row % m;
+            let take = (m - i0).min(rows - done);
+            let coords = unravel(bi, &batch_shape);
+            let a_off = ravel_broadcast(&coords, a_batch) * m * k;
+            let b_off = ravel_broadcast(&coords, b_batch) * n * k;
+            nt_rows(
+                &a_data[a_off + i0 * k..a_off + (i0 + take) * k],
+                &b_data[b_off..b_off + n * k],
+                &mut chunk[done * n..(done + take) * n],
+                k,
+                n,
+            );
+            done += take;
+        }
+    });
+    Tensor::from_vec(out_shape, out)
+}
+
+/// `out[rows × n] += a[rows × k] · bᵀ` where `b` is `[n × k]` row-major.
+///
+/// Four dot products are interleaved per pass so one streaming read of
+/// `a_row` feeds four independent accumulators; every accumulator is still
+/// one strictly ascending-`k` chain per output element.
+fn nt_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    let rows = out.len() / n;
+    for i in 0..rows {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) =
+                (out_row[j], out_row[j + 1], out_row[j + 2], out_row[j + 3]);
+            for (kk, &av) in a_row.iter().enumerate() {
+                s0 += av * b0[kk];
+                s1 += av * b1[kk];
+                s2 += av * b2[kk];
+                s3 += av * b3[kk];
+            }
+            out_row[j] = s0;
+            out_row[j + 1] = s1;
+            out_row[j + 2] = s2;
+            out_row[j + 3] = s3;
+            j += 4;
+        }
+        while j < n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = out_row[j];
+            for (kk, &av) in a_row.iter().enumerate() {
+                acc += av * b_row[kk];
+            }
+            out_row[j] = acc;
+            j += 1;
+        }
+    }
+}
+
+/// Fused `Aᵀ · G`: `a: [..., m, k] × g: [..., m, n] → [..., k, n]` with
+/// `out[r, j] = Σ_i a[i, r] · g[i, j]` (batch dims broadcast).
+///
+/// A's columns are walked in place (one scalar per `i`) while G's rows are
+/// streamed contiguously with an axpy update — no transpose materialised.
+/// Each output element accumulates in ascending `i`, the exact order of
+/// `matmul(transpose_last2(a), g)`, so the result is bit-identical to it.
+pub fn matmul_tn(a: &Tensor, g: &Tensor) -> Tensor {
+    assert!(a.rank() >= 2 && g.rank() >= 2, "matmul_tn needs rank >= 2");
+    let (ma, kd) = (a.shape()[a.rank() - 2], a.shape()[a.rank() - 1]);
+    let (mg, n) = (g.shape()[g.rank() - 2], g.shape()[g.rank() - 1]);
+    assert_eq!(ma, mg, "matmul_tn outer dims: {:?} x {:?}", a.shape(), g.shape());
+    let m = ma;
+
+    let a_batch = &a.shape()[..a.rank() - 2];
+    let g_batch = &g.shape()[..g.rank() - 2];
+    let batch_shape = broadcast_shapes(a_batch, g_batch)
+        .unwrap_or_else(|| panic!("matmul_tn batch broadcast {:?} x {:?}", a.shape(), g.shape()));
+    let batch = numel(&batch_shape);
+
+    let mut out_shape = batch_shape.clone();
+    out_shape.push(kd);
+    out_shape.push(n);
+    let mut out = arena::take_zeroed(batch * kd * n);
+
+    let a_data = a.data();
+    let g_data = g.data();
+    let work = 2usize.saturating_mul(batch).saturating_mul(m).saturating_mul(kd).saturating_mul(n);
+    parallel::for_units(&parallel::kernels::MATMUL_TN, &mut out, n.max(1), work, |row0, chunk| {
+        if n == 0 || kd == 0 {
+            return;
+        }
+        let rows = chunk.len() / n;
+        let mut done = 0;
+        while done < rows {
+            let row = row0 + done;
+            let bi = row / kd;
+            let r0 = row % kd;
+            let take = (kd - r0).min(rows - done);
+            let coords = unravel(bi, &batch_shape);
+            let a_off = ravel_broadcast(&coords, a_batch) * m * kd;
+            let g_off = ravel_broadcast(&coords, g_batch) * m * n;
+            tn_rows(
+                &a_data[a_off..a_off + m * kd],
+                &g_data[g_off..g_off + m * n],
+                &mut chunk[done * n..(done + take) * n],
+                m,
+                kd,
+                n,
+                r0,
+            );
+            done += take;
+        }
+    });
+    Tensor::from_vec(out_shape, out)
+}
+
+/// `out[take × n] += aᵀ[r0.., :] · g` for one batch element, where `a` is
+/// `[m × kd]` and `g` is `[m × n]`, producing output rows `r0..r0+take`.
+fn tn_rows(a: &[f32], g: &[f32], out: &mut [f32], m: usize, kd: usize, n: usize, r0: usize) {
+    let take = out.len() / n;
+    for rr in 0..take {
+        let r = r0 + rr;
+        let out_row = &mut out[rr * n..(rr + 1) * n];
+        for i in 0..m {
+            let av = a[i * kd + r];
+            let g_row = &g[i * n..(i + 1) * n];
+            for (o, &gv) in out_row.iter_mut().zip(g_row.iter()) {
+                *o += av * gv;
+            }
+        }
+    }
+}
+
 /// ∂(a·b)/∂a = grad · bᵀ, reduced over broadcast batch dims to a's shape.
+/// The transpose is fused into the gemm ([`matmul_nt`]) — bit-identical to
+/// the old `matmul(grad, transpose_last2(b))` composition.
 pub fn matmul_grad_a(grad: &Tensor, b: &Tensor, a_shape: &[usize]) -> Tensor {
-    let ga = matmul(grad, &transpose_last2(b));
+    let ga = matmul_nt(grad, b);
     super::reduce_to_shape(&ga, a_shape)
 }
 
 /// ∂(a·b)/∂b = aᵀ · grad, reduced over broadcast batch dims to b's shape.
+/// The transpose is fused into the gemm ([`matmul_tn`]) — bit-identical to
+/// the old `matmul(transpose_last2(a), grad)` composition.
 pub fn matmul_grad_b(grad: &Tensor, a: &Tensor, b_shape: &[usize]) -> Tensor {
-    let gb = matmul(&transpose_last2(a), grad);
+    let gb = matmul_tn(a, grad);
     super::reduce_to_shape(&gb, b_shape)
 }
 
@@ -281,6 +512,57 @@ mod tests {
                 assert_eq!(at.at(&[j, i]), a.at(&[i, j]));
             }
         }
+    }
+
+    #[test]
+    fn nt_matches_transpose_composition_bit_exact() {
+        // Sizes straddle the MR/unroll widths and the block edges.
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (4, 17, 9), (5, KC + 3, 13)] {
+            let a = t(&[m, k], &(0..m * k).map(|i| ((i * 37) % 19) as f32 - 9.0).collect::<Vec<_>>());
+            let b = t(&[n, k], &(0..n * k).map(|i| ((i * 23) % 17) as f32 - 8.0).collect::<Vec<_>>());
+            let fused = matmul_nt(&a, &b);
+            let composed = matmul(&a, &transpose_last2(&b));
+            assert_eq!(fused.shape(), composed.shape());
+            assert_eq!(fused.data(), composed.data(), "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn tn_matches_transpose_composition_bit_exact() {
+        for (m, kd, n) in [(1, 1, 1), (5, 3, 7), (17, 4, 9), (KC + 3, 5, 13)] {
+            let a = t(&[m, kd], &(0..m * kd).map(|i| ((i * 31) % 19) as f32 - 9.0).collect::<Vec<_>>());
+            let g = t(&[m, n], &(0..m * n).map(|i| ((i * 29) % 17) as f32 - 8.0).collect::<Vec<_>>());
+            let fused = matmul_tn(&a, &g);
+            let composed = matmul(&transpose_last2(&a), &g);
+            assert_eq!(fused.shape(), composed.shape());
+            assert_eq!(fused.data(), composed.data(), "m={m} kd={kd} n={n}");
+        }
+    }
+
+    #[test]
+    fn nt_tn_broadcast_batches_match_composition() {
+        // Batched left operand against shared right operand, and vice versa.
+        let a = t(&[2, 3, 4], &(0..24).map(|i| (i % 11) as f32 - 5.0).collect::<Vec<_>>());
+        let b = t(&[5, 4], &(0..20).map(|i| (i % 7) as f32 - 3.0).collect::<Vec<_>>());
+        let fused = matmul_nt(&a, &b);
+        let composed = matmul(&a, &transpose_last2(&b));
+        assert_eq!(fused.data(), composed.data());
+
+        let g = t(&[2, 3, 5], &(0..30).map(|i| (i % 13) as f32 - 6.0).collect::<Vec<_>>());
+        let a2 = t(&[3, 4], &(0..12).map(|i| (i % 5) as f32 - 2.0).collect::<Vec<_>>());
+        let fused2 = matmul_tn(&a2, &g);
+        let composed2 = matmul(&transpose_last2(&a2), &g);
+        assert_eq!(fused2.data(), composed2.data());
+    }
+
+    #[test]
+    fn nt_propagates_nan() {
+        // 0 · NaN must reach the output through the fused path too.
+        let a = Tensor::zeros([2, 3]);
+        let mut b = Tensor::ones([4, 3]);
+        b.data_mut()[0] = f32::NAN;
+        let y = matmul_nt(&a, &b);
+        assert!(y.data()[0].is_nan(), "NaN masked in matmul_nt: {:?}", y);
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! saved values they need and return the gradient w.r.t. that input, already
 //! shaped like the input (broadcasting is reduced away internally).
 //!
-//! Large kernels execute on the scoped-thread layer in [`crate::parallel`]
-//! (thread count via `CTS_NUM_THREADS`); [`reference`] holds the naive
-//! serial oracles they are tested and benchmarked against.
+//! Large kernels execute on the persistent worker pool behind
+//! [`crate::parallel`] (thread count via `CTS_NUM_THREADS`), with output
+//! buffers drawn from the thread-local [`crate::arena`]; [`reference`]
+//! holds the naive serial oracles they are tested and benchmarked against.
 
 mod conv;
 mod elementwise;

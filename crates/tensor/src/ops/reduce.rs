@@ -6,17 +6,26 @@
 //! accumulator and the per-slot ascending-`l` accumulation order is
 //! identical to the serial kernel (bit-exact at any thread count).
 
+use crate::arena;
 use crate::parallel;
+use crate::shape::Shape;
 use crate::Tensor;
 
 /// Shape with `axis` removed (`keepdim=false`) or set to 1 (`keepdim=true`).
-fn reduced_shape(shape: &[usize], axis: usize, keepdim: bool) -> Vec<usize> {
-    let mut s = shape.to_vec();
-    if keepdim {
-        s[axis] = 1;
+fn reduced_shape(shape: &[usize], axis: usize, keepdim: bool) -> Shape {
+    let mut s: Shape = if keepdim {
+        shape
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| if i == axis { 1 } else { d })
+            .collect()
     } else {
-        s.remove(axis);
-    }
+        shape
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| (i != axis).then_some(d))
+            .collect()
+    };
     if s.is_empty() {
         s.push(1);
     }
@@ -34,7 +43,7 @@ fn split_at_axis(shape: &[usize], axis: usize) -> (usize, usize, usize) {
 /// Sum over one axis.
 pub fn sum_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
     let (outer, len, inner) = split_at_axis(a.shape(), axis);
-    let mut out = vec![0.0f32; outer * inner];
+    let mut out = arena::take_zeroed(outer * inner);
     let data = a.data();
     parallel::for_units(&parallel::kernels::REDUCE_SUM_AXIS, &mut out, inner.max(1), outer * len * inner, |o0, chunk| {
         if inner == 0 {
@@ -64,7 +73,7 @@ pub fn mean_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
 /// ∂sum_axis/∂a: upstream grad broadcast back along `axis`.
 pub fn sum_axis_grad(grad: &Tensor, a_shape: &[usize], axis: usize) -> Tensor {
     let (outer, len, inner) = split_at_axis(a_shape, axis);
-    let mut out = vec![0.0f32; outer * len * inner];
+    let mut out = arena::take_zeroed(outer * len * inner);
     let g = grad.data();
     debug_assert_eq!(g.len(), outer * inner);
     parallel::for_units(&parallel::kernels::REDUCE_SUM_AXIS_GRAD, &mut out, (len * inner).max(1), outer * len * inner, |u0, chunk| {
@@ -79,7 +88,7 @@ pub fn sum_axis_grad(grad: &Tensor, a_shape: &[usize], axis: usize) -> Tensor {
             }
         }
     });
-    Tensor::from_vec(a_shape.to_vec(), out)
+    Tensor::from_vec(a_shape, out)
 }
 
 /// ∂mean_axis/∂a: broadcast divided by axis length.
@@ -101,20 +110,20 @@ pub fn mean_all(a: &Tensor) -> Tensor {
 
 /// ∂sum_all/∂a: the scalar upstream grad splattered everywhere.
 pub fn sum_all_grad(grad: &Tensor, a_shape: &[usize]) -> Tensor {
-    Tensor::full(a_shape.to_vec(), grad.item())
+    Tensor::full(a_shape, grad.item())
 }
 
 /// ∂mean_all/∂a.
 pub fn mean_all_grad(grad: &Tensor, a_shape: &[usize]) -> Tensor {
     let n: usize = a_shape.iter().product();
-    Tensor::full(a_shape.to_vec(), grad.item() / n as f32)
+    Tensor::full(a_shape, grad.item() / n as f32)
 }
 
 /// Maximum over one axis (non-differentiable helper for e.g. Informer's
 /// sparsity measurement; used on detached values only).
 pub fn max_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
     let (outer, len, inner) = split_at_axis(a.shape(), axis);
-    let mut out = vec![f32::NEG_INFINITY; outer * inner];
+    let mut out = arena::take_filled(outer * inner, f32::NEG_INFINITY);
     let data = a.data();
     parallel::for_units(&parallel::kernels::REDUCE_MAX_AXIS, &mut out, inner.max(1), outer * len * inner, |o0, chunk| {
         if inner == 0 {
@@ -135,21 +144,41 @@ pub fn max_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
 
 /// Materialize `a` broadcast to `target` shape.
 pub fn broadcast_to(a: &Tensor, target: &[usize]) -> Tensor {
-    use crate::shape::{numel, ravel_broadcast, unravel};
+    use crate::shape::{numel, strides_for, unravel};
     if a.shape() == target {
         return a.clone();
     }
     let n = numel(target);
-    let mut out = vec![0.0f32; n];
+    let mut out = arena::take_zeroed(n);
     let data = a.data();
     let shape = a.shape();
+    // Right-aligned broadcast strides into `a`: 0 where a dim broadcasts.
+    let rank = target.len();
+    let astr = strides_for(shape);
+    let mut bstr = Shape::zeros(rank);
+    let offset = rank - shape.len();
+    for (i, (&d, &s)) in shape.iter().zip(astr.iter()).enumerate() {
+        bstr[offset + i] = if d == 1 { 0 } else { s };
+    }
     parallel::for_units(&parallel::kernels::BROADCAST_TO, &mut out, 1, n, |start, chunk| {
-        for (i, o) in chunk.iter_mut().enumerate() {
-            let coords = unravel(start + i, target);
-            *o = data[ravel_broadcast(&coords, shape)];
+        // One coordinate vector per chunk, then an odometer walk carrying
+        // the source offset — no per-element unravel allocation.
+        let mut coords = unravel(start, target);
+        let mut src: usize = coords.iter().zip(bstr.iter()).map(|(c, s)| c * s).sum();
+        for o in chunk.iter_mut() {
+            *o = data[src];
+            for ax in (0..rank).rev() {
+                coords[ax] += 1;
+                src += bstr[ax];
+                if coords[ax] < target[ax] {
+                    break;
+                }
+                src -= target[ax] * bstr[ax];
+                coords[ax] = 0;
+            }
         }
     });
-    Tensor::from_vec(target.to_vec(), out)
+    Tensor::from_vec(target, out)
 }
 
 #[cfg(test)]

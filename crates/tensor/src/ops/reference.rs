@@ -7,7 +7,7 @@
 //! the `a == 0.0` skip that masked NaN/∞ — see `ops::matmul`), so they also
 //! serve as the "serial baseline" side of the serial-vs-parallel benches.
 
-use crate::shape::{broadcast_shapes, numel, ravel_broadcast, unravel};
+use crate::shape::{broadcast_shapes, numel, ravel_broadcast, strides_for, unravel};
 use crate::Tensor;
 
 /// Naive batched matmul: `[..., m, k] × [..., k, n]` with batch broadcasting.
@@ -114,6 +114,43 @@ pub fn sum_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
         shape.push(1);
     }
     Tensor::from_vec(shape, out)
+}
+
+/// Naive reduce of a broadcast-output-shaped gradient back to
+/// `target_shape`: the seed's serial scatter-add, one pass over `grad` in
+/// flat order. Oracle for the parallel gather in
+/// `ops::elementwise::reduce_to_shape`, which must match it bit-for-bit.
+pub fn reduce_to_shape(grad: &Tensor, target_shape: &[usize]) -> Tensor {
+    if grad.shape() == target_shape {
+        return grad.clone();
+    }
+    let mut out = Tensor::zeros(target_shape.to_vec());
+    let gshape = grad.shape().to_vec();
+    // Strides of the target viewed in grad space (0 on broadcast axes).
+    let mut t_str = vec![0usize; gshape.len()];
+    let offset = gshape.len() - target_shape.len();
+    let real = strides_for(target_shape);
+    for (i, (&dim, &stride)) in target_shape.iter().zip(real.iter()).enumerate() {
+        t_str[offset + i] = if dim == 1 { 0 } else { stride };
+    }
+    let mut coords = vec![0usize; gshape.len()];
+    let mut idx = 0usize;
+    for flat in 0..grad.len() {
+        out.data_mut()[idx] += grad.data()[flat];
+        if flat + 1 == grad.len() {
+            break;
+        }
+        for d in (0..gshape.len()).rev() {
+            coords[d] += 1;
+            idx += t_str[d];
+            if coords[d] < gshape[d] {
+                break;
+            }
+            coords[d] = 0;
+            idx -= t_str[d] * gshape[d];
+        }
+    }
+    out
 }
 
 /// Naive transpose of the last two dims.

@@ -1,32 +1,42 @@
 //! Shape-manipulating operations: permute, concat, slice, index-select.
 
-use crate::shape::{numel, unravel};
+use crate::arena;
+use crate::shape::{numel, Shape};
 use crate::Tensor;
 
 /// Permute dimensions: `perm[i]` is the source axis that becomes output axis `i`.
 pub fn permute(a: &Tensor, perm: &[usize]) -> Tensor {
     assert_eq!(perm.len(), a.rank(), "permute rank mismatch");
     let in_shape = a.shape();
-    let out_shape: Vec<usize> = perm.iter().map(|&p| in_shape[p]).collect();
-    let mut out = vec![0.0f32; a.len()];
+    let out_shape: Shape = perm.iter().map(|&p| in_shape[p]).collect();
+    let mut out = arena::take_zeroed(a.len());
     let in_strides = a.strides();
     // stride of output axis i in the *input* buffer
-    let mapped_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
-    for (flat, slot) in out.iter_mut().enumerate() {
-        let coords = unravel(flat, &out_shape);
-        let src: usize = coords
-            .iter()
-            .zip(mapped_strides.iter())
-            .map(|(c, s)| c * s)
-            .sum();
-        *slot = a.data()[src];
+    let mapped_strides: Shape = perm.iter().map(|&p| in_strides[p]).collect();
+    // Odometer over output coordinates carrying the source offset along —
+    // no per-element coordinate vector (this runs on every tape step).
+    let rank = out_shape.len();
+    let mut coords = Shape::zeros(rank);
+    let mut src = 0usize;
+    let data = a.data();
+    for slot in out.iter_mut() {
+        *slot = data[src];
+        for ax in (0..rank).rev() {
+            coords[ax] += 1;
+            src += mapped_strides[ax];
+            if coords[ax] < out_shape[ax] {
+                break;
+            }
+            src -= out_shape[ax] * mapped_strides[ax];
+            coords[ax] = 0;
+        }
     }
     Tensor::from_vec(out_shape, out)
 }
 
 /// Inverse permutation: `inverse(perm)[perm[i]] = i`.
-pub fn inverse_perm(perm: &[usize]) -> Vec<usize> {
-    let mut inv = vec![0; perm.len()];
+pub fn inverse_perm(perm: &[usize]) -> Shape {
+    let mut inv = Shape::zeros(perm.len());
     for (i, &p) in perm.iter().enumerate() {
         inv[p] = i;
     }
@@ -42,7 +52,7 @@ pub fn permute_grad(grad: &Tensor, perm: &[usize]) -> Tensor {
 pub fn concat(parts: &[&Tensor], axis: usize) -> Tensor {
     assert!(!parts.is_empty());
     let first = parts[0].shape();
-    let mut out_shape = first.to_vec();
+    let mut out_shape = Shape::from_slice(first);
     out_shape[axis] = parts.iter().map(|p| p.shape()[axis]).sum();
     for p in parts {
         for (d, (&a, &b)) in p.shape().iter().zip(first.iter()).enumerate() {
@@ -52,7 +62,7 @@ pub fn concat(parts: &[&Tensor], axis: usize) -> Tensor {
     let outer: usize = first[..axis].iter().product();
     let inner: usize = first[axis + 1..].iter().product();
     let total_axis = out_shape[axis];
-    let mut out = vec![0.0f32; numel(&out_shape)];
+    let mut out = arena::take_zeroed(numel(&out_shape));
     let mut offset = 0;
     for p in parts {
         let len = p.shape()[axis];
@@ -73,9 +83,9 @@ pub fn slice(a: &Tensor, axis: usize, start: usize, end: usize) -> Tensor {
     let len = a.shape()[axis];
     let inner: usize = a.shape()[axis + 1..].iter().product();
     let out_len = end - start;
-    let mut out_shape = a.shape().to_vec();
+    let mut out_shape = Shape::from_slice(a.shape());
     out_shape[axis] = out_len;
-    let mut out = vec![0.0f32; outer * out_len * inner];
+    let mut out = arena::take_zeroed(outer * out_len * inner);
     for o in 0..outer {
         let src = (o * len + start) * inner;
         let dst = o * out_len * inner;
@@ -105,9 +115,9 @@ pub fn index_select(a: &Tensor, axis: usize, indices: &[usize]) -> Tensor {
     let outer: usize = a.shape()[..axis].iter().product();
     let len = a.shape()[axis];
     let inner: usize = a.shape()[axis + 1..].iter().product();
-    let mut out_shape = a.shape().to_vec();
+    let mut out_shape = Shape::from_slice(a.shape());
     out_shape[axis] = indices.len();
-    let mut out = vec![0.0f32; outer * indices.len() * inner];
+    let mut out = arena::take_zeroed(outer * indices.len() * inner);
     for o in 0..outer {
         for (j, &idx) in indices.iter().enumerate() {
             assert!(idx < len, "index_select out of bounds");
@@ -145,15 +155,15 @@ pub fn index_select_grad(
 /// Stack rank-R tensors into a rank-(R+1) tensor along a new axis 0.
 pub fn stack(parts: &[&Tensor]) -> Tensor {
     assert!(!parts.is_empty());
-    let shape = parts[0].shape().to_vec();
+    let shape = parts[0].shape();
     for p in parts {
-        assert_eq!(p.shape(), shape.as_slice(), "stack shape mismatch");
+        assert_eq!(p.shape(), shape, "stack shape mismatch");
     }
-    let mut out_shape = vec![parts.len()];
-    out_shape.extend_from_slice(&shape);
-    let mut data = Vec::with_capacity(parts.len() * parts[0].len());
-    for p in parts {
-        data.extend_from_slice(p.data());
+    let out_shape: Shape = std::iter::once(parts.len()).chain(shape.iter().copied()).collect();
+    let each = parts[0].len();
+    let mut data = arena::take_zeroed(parts.len() * each);
+    for (p, dst) in parts.iter().zip(data.chunks_mut(each.max(1))) {
+        dst.copy_from_slice(p.data());
     }
     Tensor::from_vec(out_shape, data)
 }
@@ -167,9 +177,9 @@ pub fn pad_axis(a: &Tensor, axis: usize, before: usize, after: usize) -> Tensor 
     let len = a.shape()[axis];
     let inner: usize = a.shape()[axis + 1..].iter().product();
     let new_len = before + len + after;
-    let mut out_shape = a.shape().to_vec();
+    let mut out_shape = Shape::from_slice(a.shape());
     out_shape[axis] = new_len;
-    let mut out = vec![0.0f32; outer * new_len * inner];
+    let mut out = arena::take_zeroed(outer * new_len * inner);
     for o in 0..outer {
         let src = o * len * inner;
         let dst = (o * new_len + before) * inner;

@@ -5,6 +5,7 @@
 //! unchanged from the serial version, keeping results bit-exact at any
 //! thread count.
 
+use crate::arena;
 use crate::parallel;
 use crate::Tensor;
 
@@ -12,7 +13,7 @@ use crate::Tensor;
 pub fn softmax_last(a: &Tensor) -> Tensor {
     let r = a.rank();
     let n = a.shape()[r - 1];
-    let mut out = vec![0.0f32; a.len()];
+    let mut out = arena::take_zeroed(a.len());
     let data = a.data();
     // ~4 flops per element (max scan, exp, sum, scale).
     parallel::for_units(&parallel::kernels::SOFTMAX, &mut out, n.max(1), 4 * a.len(), |start, chunk| {
@@ -35,14 +36,14 @@ pub fn softmax_last(a: &Tensor) -> Tensor {
             }
         }
     });
-    Tensor::from_vec(a.shape().to_vec(), out)
+    Tensor::from_vec(a.shape(), out)
 }
 
 /// ∂softmax/∂a given the saved output `y`: `y ⊙ (g − Σ g⊙y)` per row.
 pub fn softmax_last_grad(grad: &Tensor, y: &Tensor) -> Tensor {
     let r = y.rank();
     let n = y.shape()[r - 1];
-    let mut out = vec![0.0f32; y.len()];
+    let mut out = arena::take_zeroed(y.len());
     let g = grad.data();
     let yv = y.data();
     parallel::for_units(&parallel::kernels::SOFTMAX_GRAD, &mut out, n.max(1), 4 * y.len(), |start, chunk| {
@@ -57,7 +58,7 @@ pub fn softmax_last_grad(grad: &Tensor, y: &Tensor) -> Tensor {
             }
         }
     });
-    Tensor::from_vec(y.shape().to_vec(), out)
+    Tensor::from_vec(y.shape(), out)
 }
 
 /// Log-sum-exp over the last axis (stable), used by some losses.
@@ -65,7 +66,7 @@ pub fn logsumexp_last(a: &Tensor) -> Tensor {
     let r = a.rank();
     let n = a.shape()[r - 1];
     let rows = a.len() / n.max(1);
-    let mut out = vec![0.0f32; rows];
+    let mut out = arena::take_zeroed(rows);
     let data = a.data();
     parallel::for_units(&parallel::kernels::LOGSUMEXP, &mut out, 1, 3 * a.len(), |start, chunk| {
         for (ri, o) in chunk.iter_mut().enumerate() {
@@ -76,7 +77,7 @@ pub fn logsumexp_last(a: &Tensor) -> Tensor {
             *o = m + z.ln();
         }
     });
-    let mut shape = a.shape()[..r - 1].to_vec();
+    let mut shape = crate::shape::Shape::from_slice(&a.shape()[..r - 1]);
     if shape.is_empty() {
         shape.push(1);
     }

@@ -1,11 +1,27 @@
-//! Scoped-thread parallel partitioning for tensor kernels.
+//! Deterministic parallel partitioning for tensor kernels, dispatched on
+//! a persistent worker pool.
 //!
 //! Every data-parallel kernel in [`crate::ops`] funnels through the helpers
 //! here. The model is deliberately simple: an output buffer is viewed as a
 //! sequence of fixed-size *units* (a matmul output row, a softmax row, one
 //! batch matrix, a single element, …) and contiguous runs of units are
-//! dispatched to scoped worker threads (crossbeam-style scoped threads, so
-//! kernels can borrow their inputs without `Arc`).
+//! dealt out to workers.
+//!
+//! # Dispatch
+//!
+//! Shares execute on a lazily-started persistent worker pool
+//! ([`crate::pool`]): workers are spawned on the first sufficiently large
+//! kernel, then park on a condvar between jobs, so steady-state dispatch
+//! is a wake/sleep round-trip instead of an OS thread spawn per kernel
+//! (PR 1's scoped-thread dispatch cost tens of microseconds per launch —
+//! ruinous for the search loop's thousands of small kernels per epoch).
+//! The old spawn-per-kernel path is retained as a benchmark baseline:
+//! select it with [`set_dispatch`] or `CTS_DISPATCH=spawn`.
+//!
+//! Dispatch mode affects scheduling only. Partitioning ([`share`]) and
+//! result combination (fixed worker order) are identical in both modes,
+//! so results are bit-identical between pool and spawn dispatch, at any
+//! thread count, and across pool teardown/re-init.
 //!
 //! # Thread count
 //!
@@ -37,8 +53,9 @@
 //! strategy cannot even name it. `cts-verify` audits the registry as part
 //! of its static report.
 
+use crate::{arena, pool};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// How a kernel's output is split across workers.
 ///
@@ -104,6 +121,13 @@ pub mod kernels {
 
     /// Cache-blocked packed-B matrix product (one unit = one output row).
     pub static MATMUL: KernelSpec = disjoint("matmul");
+    /// Fused A·Bᵀ product used by `matmul_grad_a` (one unit = one output
+    /// row); reads B's rows directly instead of materialising a transpose.
+    pub static MATMUL_NT: KernelSpec = disjoint("matmul.nt");
+    /// Fused Aᵀ·G product used by `matmul_grad_b` (one unit = one output
+    /// row); reads A's columns in place instead of materialising a
+    /// transpose.
+    pub static MATMUL_TN: KernelSpec = disjoint("matmul.tn");
     /// Tiled last-two-dims transpose (one unit = one matrix).
     pub static TRANSPOSE: KernelSpec = disjoint("matmul.transpose_last2");
     /// Same-shape elementwise zip (one unit = one scalar).
@@ -114,6 +138,11 @@ pub mod kernels {
     pub static EW_UNARY: KernelSpec = disjoint("elementwise.unary");
     /// Exact-length zip used by saved-value gradient kernels.
     pub static EW_ZIP_EXACT: KernelSpec = disjoint("elementwise.zip_exact");
+    /// Broadcast-gradient reduction: one unit = one *target* element,
+    /// each summing its grad preimage in ascending flat order (the same
+    /// per-element order as the old serial scatter, so results are
+    /// bit-identical to it).
+    pub static REDUCE_TO_SHAPE: KernelSpec = disjoint("elementwise.reduce_to_shape");
     /// Axis sum (one unit = one inner slice).
     pub static REDUCE_SUM_AXIS: KernelSpec = disjoint("reduce.sum_axis");
     /// Axis-sum gradient broadcast-back.
@@ -141,11 +170,14 @@ pub mod kernels {
     /// registration assert fires on first use of an unlisted spec.
     pub static ALL: &[&KernelSpec] = &[
         &MATMUL,
+        &MATMUL_NT,
+        &MATMUL_TN,
         &TRANSPOSE,
         &EW_ZIP,
         &EW_ZIP_BROADCAST,
         &EW_UNARY,
         &EW_ZIP_EXACT,
+        &REDUCE_TO_SHAPE,
         &REDUCE_SUM_AXIS,
         &REDUCE_SUM_AXIS_GRAD,
         &REDUCE_MAX_AXIS,
@@ -185,9 +217,9 @@ fn check_spec(spec: &'static KernelSpec, expected: Reduction) {
 
 /// Estimated scalar-op count below which kernels stay on the serial path.
 ///
-/// Spawning a scoped thread costs on the order of tens of microseconds; at
-/// roughly one fused multiply-add per nanosecond, work below ~32k ops is
-/// cheaper to run in place than to fan out.
+/// Even with persistent workers, waking and joining the pool costs a few
+/// microseconds; at roughly one fused multiply-add per nanosecond, work
+/// below ~32k ops is cheaper to run in place than to fan out.
 pub const PAR_THRESHOLD: usize = 32_768;
 
 /// Sentinel meaning "no override set".
@@ -227,10 +259,98 @@ pub fn set_num_threads(n: usize) {
     THREAD_OVERRIDE.store(if n == 0 { UNSET } else { n }, Ordering::Relaxed);
 }
 
+/// How parallel shares reach worker threads. Results are bit-identical in
+/// both modes; only scheduling overhead differs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Persistent worker pool (default): workers park between kernels.
+    Pool,
+    /// PR 1 behaviour: spawn scoped threads per kernel call. Kept as the
+    /// benchmark baseline for measuring dispatch overhead.
+    Spawn,
+}
+
+/// 0 = unset (follow `CTS_DISPATCH` env, default pool), 1 = pool, 2 = spawn.
+static DISPATCH_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static ENV_DISPATCH: OnceLock<Dispatch> = OnceLock::new();
+
+fn env_dispatch() -> Dispatch {
+    *ENV_DISPATCH.get_or_init(|| {
+        match std::env::var("CTS_DISPATCH").as_deref() {
+            Ok("spawn") => Dispatch::Spawn,
+            _ => Dispatch::Pool,
+        }
+    })
+}
+
+/// The dispatch mode kernels will use for sufficiently large work.
+pub fn dispatch() -> Dispatch {
+    match DISPATCH_OVERRIDE.load(Ordering::Relaxed) {
+        1 => Dispatch::Pool,
+        2 => Dispatch::Spawn,
+        _ => env_dispatch(),
+    }
+}
+
+/// Override the dispatch mode process-wide (`None` restores the
+/// `CTS_DISPATCH` env default). Benchmarks use this to compare pool
+/// dispatch against the spawn-per-kernel baseline in one process.
+pub fn set_dispatch(d: Option<Dispatch>) {
+    DISPATCH_OVERRIDE.store(
+        match d {
+            None => 0,
+            Some(Dispatch::Pool) => 1,
+            Some(Dispatch::Spawn) => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// Tear down the persistent pool (joining its workers); the next parallel
+/// kernel lazily re-creates it. Results before and after a reset are
+/// bit-identical — the pool holds no numeric state.
+pub fn reset_pool() {
+    pool::shutdown();
+}
+
+/// Number of parked worker threads currently owned by the pool.
+pub fn pool_workers() -> usize {
+    pool::worker_count()
+}
+
 /// Split `units` items over `threads` workers: first `rem` workers get one
 /// extra unit. Returns the unit count for worker `w`.
 fn share(units: usize, threads: usize, w: usize) -> usize {
     units / threads + usize::from(w < units % threads)
+}
+
+/// A pre-assigned work share, handed to exactly one worker. The mutex is
+/// uncontended (each worker takes only its own slot); it exists so the
+/// share's `&mut` chunk can cross the closure boundary without `unsafe`.
+type Slot<'a, T> = Mutex<Option<T>>;
+
+fn take_slot<T>(slot: &Slot<'_, T>) -> Option<T> {
+    slot.lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+}
+
+/// Run `task(0..n_shares)` under the active dispatch mode.
+fn execute(n_shares: usize, task: &(dyn Fn(usize) + Sync)) {
+    match dispatch() {
+        Dispatch::Pool => pool::run(n_shares, task),
+        Dispatch::Spawn => {
+            crossbeam::thread::scope(|s| {
+                for w in 1..n_shares {
+                    s.spawn(move |_| task(w));
+                }
+                task(0);
+            })
+            // invariant: scope() only errs when a worker panicked;
+            // re-raising the panic is the intended behaviour.
+            .expect("parallel kernel worker panicked");
+        }
+    }
 }
 
 /// Partition `out` into contiguous units of `unit_len` elements and run
@@ -256,8 +376,10 @@ where
         }
         return;
     }
-    crossbeam::thread::scope(|s| {
-        let f = &f;
+    // Deal out contiguous chunks (deterministic: depends only on units
+    // and thread count), then execute the shares on the dispatch layer.
+    let mut slots: Vec<Slot<'_, (usize, &mut [f32])>> = Vec::with_capacity(threads);
+    {
         let mut rest = out;
         let mut first = 0usize;
         for w in 0..threads {
@@ -267,14 +389,16 @@ where
             }
             let (head, tail) = rest.split_at_mut(n_units * unit_len);
             rest = tail;
-            let start = first;
-            s.spawn(move |_| f(start, head));
+            slots.push(Mutex::new(Some((first, head))));
             first += n_units;
         }
-    })
-    // invariant: scope() only errs when a worker panicked; re-raising the
-    // panic (rather than swallowing it) is the intended behaviour.
-    .expect("parallel kernel worker panicked");
+    }
+    let f = &f;
+    execute(slots.len(), &|w| {
+        if let Some((start, chunk)) = take_slot(&slots[w]) {
+            f(start, chunk);
+        }
+    });
 }
 
 /// Parallel accumulation: each worker owns a zeroed `acc_len` buffer, calls
@@ -288,6 +412,9 @@ where
 /// gradient accumulated over a batch). Summation order of partial buffers is
 /// deterministic for a fixed thread count; with 1 thread it is exactly the
 /// serial accumulation order.
+///
+/// All accumulators (including the returned one) come from the buffer
+/// arena, so steady-state calls allocate nothing.
 pub fn partial_sums<F>(spec: &'static KernelSpec, units: usize, acc_len: usize, work: usize, f: F) -> Vec<f32>
 where
     F: Fn(usize, &mut [f32]) + Sync,
@@ -295,45 +422,51 @@ where
     check_spec(spec, Reduction::OrderedPartialSums);
     let threads = num_threads().min(units.max(1));
     if threads <= 1 || work < PAR_THRESHOLD {
-        let mut acc = vec![0.0f32; acc_len];
+        let mut acc = arena::take_zeroed(acc_len);
         for u in 0..units {
             f(u, &mut acc);
         }
         return acc;
     }
+    // Accumulators are allocated (from the caller's arena) and summed on
+    // the calling thread; workers only fill the slices handed to them, so
+    // buffers never migrate between per-thread arenas.
     let mut partials: Vec<Vec<f32>> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|s| {
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(threads);
+    let mut first = 0usize;
+    for w in 0..threads {
+        let n_units = share(units, threads, w);
+        if n_units == 0 {
+            break;
+        }
+        partials.push(arena::take_zeroed(acc_len));
+        ranges.push((first, n_units));
+        first += n_units;
+    }
+    {
+        let slots: Vec<Slot<'_, (usize, usize, &mut [f32])>> = partials
+            .iter_mut()
+            .zip(ranges.iter())
+            .map(|(acc, &(start, n))| Mutex::new(Some((start, n, acc.as_mut_slice()))))
+            .collect();
         let f = &f;
-        let mut handles = Vec::with_capacity(threads);
-        let mut first = 0usize;
-        for w in 0..threads {
-            let n_units = share(units, threads, w);
-            if n_units == 0 {
-                break;
-            }
-            let start = first;
-            handles.push(s.spawn(move |_| {
-                let mut acc = vec![0.0f32; acc_len];
-                for u in start..start + n_units {
-                    f(u, &mut acc);
+        execute(slots.len(), &|w| {
+            if let Some((start, n, acc)) = take_slot(&slots[w]) {
+                for u in start..start + n {
+                    f(u, acc);
                 }
-                acc
-            }));
-            first += n_units;
-        }
-        for h in handles {
-            // invariant: join() only errs when the worker panicked;
-            // propagate the panic.
-            partials.push(h.join().expect("parallel accumulation worker panicked"));
-        }
-    })
-    // invariant: scope() only errs when a worker panicked; re-raise it.
-    .expect("parallel accumulation scope failed");
-    let mut acc = partials.remove(0);
-    for p in &partials {
+            }
+        });
+    }
+    let mut it = partials.into_iter();
+    // invariant: threads >= 2 here and units >= threads, so at least one
+    // share (and one accumulator) exists.
+    let mut acc = it.next().expect("at least one partial accumulator");
+    for p in it {
         for (a, &v) in acc.iter_mut().zip(p.iter()) {
             *a += v;
         }
+        arena::recycle(p);
     }
     acc
 }
@@ -356,6 +489,16 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_override_roundtrip() {
+        let _g = LOCK.lock().unwrap();
+        set_dispatch(Some(Dispatch::Spawn));
+        assert_eq!(dispatch(), Dispatch::Spawn);
+        set_dispatch(Some(Dispatch::Pool));
+        assert_eq!(dispatch(), Dispatch::Pool);
+        set_dispatch(None);
+    }
+
+    #[test]
     fn for_units_covers_every_unit_once() {
         let _g = LOCK.lock().unwrap();
         for threads in [1, 2, 5] {
@@ -373,6 +516,25 @@ mod tests {
             assert_eq!(out, expect, "threads = {threads}");
         }
         set_num_threads(0);
+    }
+
+    #[test]
+    fn for_units_covers_every_unit_once_in_spawn_mode() {
+        let _g = LOCK.lock().unwrap();
+        set_dispatch(Some(Dispatch::Spawn));
+        set_num_threads(3);
+        let mut out = vec![0.0f32; 7 * 3];
+        for_units(&kernels::EW_UNARY, &mut out, 3, PAR_THRESHOLD * 2, |first, chunk| {
+            for (u, slot) in chunk.chunks_mut(3).enumerate() {
+                for s in slot.iter_mut() {
+                    *s += (first + u) as f32;
+                }
+            }
+        });
+        let expect: Vec<f32> = (0..7).flat_map(|u| [u as f32; 3]).collect();
+        assert_eq!(out, expect);
+        set_num_threads(0);
+        set_dispatch(None);
     }
 
     #[test]
@@ -409,6 +571,32 @@ mod tests {
         assert_eq!(serial, parallel);
         // sum over u of (u*4 + 0) for i = 0: 0+4+..+36 = 180
         assert_eq!(serial[0], 180.0);
+    }
+
+    #[test]
+    fn pool_persists_and_survives_reset() {
+        let _g = LOCK.lock().unwrap();
+        set_num_threads(4);
+        let run_kernel = || {
+            let mut out = vec![0.0f32; 64];
+            for_units(&kernels::EW_UNARY, &mut out, 1, PAR_THRESHOLD * 2, |first, chunk| {
+                for (u, s) in chunk.iter_mut().enumerate() {
+                    *s = (first + u) as f32;
+                }
+            });
+            out
+        };
+        let before = run_kernel();
+        assert!(pool_workers() >= 3, "pool should have spawned workers");
+        let workers = pool_workers();
+        let again = run_kernel();
+        assert_eq!(pool_workers(), workers, "steady state spawns no threads");
+        reset_pool();
+        assert_eq!(pool_workers(), 0);
+        let after = run_kernel();
+        assert_eq!(before, again);
+        assert_eq!(before, after, "teardown/re-init must not change results");
+        set_num_threads(0);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The dense, contiguous, row-major `f32` tensor.
 
+use crate::arena;
 use crate::shape::{numel, ravel, strides_for, Shape};
 use std::fmt;
 
@@ -7,10 +8,30 @@ use std::fmt;
 ///
 /// Cloning copies the buffer; all workspace code passes `&Tensor` on hot
 /// paths and relies on explicit `clone` when ownership is needed.
-#[derive(Clone, PartialEq)]
+///
+/// Buffers come from (and return to, on drop) the thread-local
+/// [`crate::arena`], so the create/destroy churn of a training step
+/// recycles a steady-state set of allocations instead of hitting the
+/// system allocator per op.
+#[derive(PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Self {
+            shape: self.shape.clone(),
+            data: arena::take_copied(&self.data),
+        }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        arena::recycle(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -35,7 +56,7 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = numel(&shape);
-        Self { shape, data: vec![0.0; n] }
+        Self { shape, data: arena::take_zeroed(n) }
     }
 
     /// All-ones tensor.
@@ -47,12 +68,12 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = numel(&shape);
-        Self { shape, data: vec![value; n] }
+        Self { shape, data: arena::take_filled(n, value) }
     }
 
     /// Rank-0-like scalar stored as shape `[1]`.
     pub fn scalar(value: f32) -> Self {
-        Self { shape: vec![1], data: vec![value] }
+        Self { shape: [1].into(), data: arena::take_filled(1, value) }
     }
 
     /// Identity matrix of size `n`.
@@ -95,8 +116,10 @@ impl Tensor {
     }
 
     /// Consume the tensor, returning its buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f32> {
+        // `Tensor: Drop`, so the field is taken rather than moved out; the
+        // drop then recycles an empty vec, which the arena ignores.
+        std::mem::take(&mut self.data)
     }
 
     /// Element access by coordinates.
@@ -127,7 +150,7 @@ impl Tensor {
     }
 
     /// Row-major strides.
-    pub fn strides(&self) -> Vec<usize> {
+    pub fn strides(&self) -> Shape {
         strides_for(&self.shape)
     }
 
@@ -135,7 +158,7 @@ impl Tensor {
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
         Self {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: arena::take_from_iter(self.data.len(), self.data.iter().map(|&x| f(x))),
         }
     }
 

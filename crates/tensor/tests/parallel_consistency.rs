@@ -15,8 +15,8 @@
 //! mutex.
 
 use cts_tensor::ops::{self, reference};
-use cts_tensor::parallel::set_num_threads;
-use cts_tensor::Tensor;
+use cts_tensor::parallel::{reset_pool, set_dispatch, set_num_threads, Dispatch};
+use cts_tensor::{arena, Tensor};
 use proptest::prelude::*;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::sync::Mutex;
@@ -142,6 +142,66 @@ proptest! {
         prop_assert_eq!(serial.data(), threaded.data());
     }
 
+    /// Fused-transpose gradient kernels (`matmul_nt` = a·bᵀ, `matmul_tn` =
+    /// aᵀ·g) vs the explicit transpose-then-matmul oracle composition, at
+    /// every thread count the pool is expected to run under.
+    fn fused_transpose_matmuls_match_reference(
+        bsz in 1usize..4,
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        seed in 0u64..1_000_000
+    ) {
+        let _g = LOCK.lock().unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = rand_tensor(&mut rng, vec![bsz, m, k]);
+        let b = rand_tensor(&mut rng, vec![bsz, n, k]);
+        let g = rand_tensor(&mut rng, vec![bsz, m, n]);
+        let nt_oracle = reference::matmul(&a, &reference::transpose_last2(&b));
+        let tn_oracle = reference::matmul(&reference::transpose_last2(&a), &g);
+        for threads in [1usize, 2, 4] {
+            let nt = with_threads(threads, || ops::matmul_nt(&a, &b));
+            let tn = with_threads(threads, || ops::matmul_tn(&a, &g));
+            prop_assert_eq!(nt.shape(), nt_oracle.shape());
+            prop_assert_eq!(tn.shape(), tn_oracle.shape());
+            // Ascending-k accumulation on both sides => bit-exact.
+            prop_assert_eq!(nt.data(), nt_oracle.data());
+            prop_assert_eq!(tn.data(), tn_oracle.data());
+        }
+    }
+
+    /// Parallel-gather `reduce_to_shape` vs the serial-scatter oracle over
+    /// randomized broadcastable target shapes and thread counts.
+    fn reduce_to_shape_matches_reference(
+        d0 in 1usize..5,
+        d1 in 1usize..12,
+        d2 in 1usize..32,
+        mask in 0usize..8,
+        drop_leading in proptest::bool::ANY,
+        seed in 0u64..1_000_000
+    ) {
+        let _g = LOCK.lock().unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let grad = rand_tensor(&mut rng, vec![d0, d1, d2]);
+        // Each mask bit squashes one right-aligned dim to 1; optionally the
+        // leading dim is dropped entirely (rank-reducing reduction).
+        let mut target = vec![
+            if mask & 1 != 0 { 1 } else { d0 },
+            if mask & 2 != 0 { 1 } else { d1 },
+            if mask & 4 != 0 { 1 } else { d2 },
+        ];
+        if drop_leading {
+            target.remove(0);
+        }
+        let slow = reference::reduce_to_shape(&grad, &target);
+        for threads in [1usize, 2, 4] {
+            let fast = with_threads(threads, || ops::reduce_to_shape(&grad, &target));
+            prop_assert_eq!(fast.shape(), slow.shape());
+            // One ascending gather chain per output element => bit-exact.
+            prop_assert_eq!(fast.data(), slow.data());
+        }
+    }
+
     /// Axis reductions and transpose stay consistent with the oracle.
     fn reduce_and_transpose_match_reference(
         d0 in 1usize..6,
@@ -182,6 +242,71 @@ fn pipeline_bit_exact_across_thread_counts() {
     let eight = with_threads(8, run);
     assert_eq!(one.data(), two.data());
     assert_eq!(one.data(), eight.data());
+}
+
+/// Every pooled kernel must produce identical bits before a pool teardown,
+/// after the pool is lazily re-initialised at a different width, and under
+/// the legacy spawn-per-call dispatcher kept as the benchmark baseline.
+#[test]
+fn pool_teardown_reinit_and_spawn_dispatch_are_bit_identical() {
+    let _g = LOCK.lock().unwrap();
+    let mut rng = SmallRng::seed_from_u64(7);
+    // Large enough that every kernel crosses PAR_THRESHOLD.
+    let a = rand_tensor(&mut rng, vec![6, 48, 40]);
+    let b = rand_tensor(&mut rng, vec![40, 56]);
+    let bt = rand_tensor(&mut rng, vec![6, 64, 56]);
+    let run = || {
+        let h = ops::matmul(&a, &b); // [6, 48, 56]
+        let nt = ops::matmul_nt(&h, &bt); // [6, 48, 64]
+        let tn = ops::matmul_tn(&a, &h); // [6, 40, 56]
+        let s = ops::softmax_last(&nt);
+        let r = ops::reduce_to_shape(&s, &[48, 64]);
+        (h, nt, tn, s, r)
+    };
+    let pooled = with_threads(4, run);
+    reset_pool();
+    let reinit = with_threads(2, run); // pool comes back lazily, narrower
+    set_dispatch(Some(Dispatch::Spawn));
+    let spawned = with_threads(4, run);
+    set_dispatch(None);
+    for (x, y, z) in [
+        (&pooled.0, &reinit.0, &spawned.0),
+        (&pooled.1, &reinit.1, &spawned.1),
+        (&pooled.2, &reinit.2, &spawned.2),
+        (&pooled.3, &reinit.3, &spawned.3),
+        (&pooled.4, &reinit.4, &spawned.4),
+    ] {
+        assert_eq!(x.data(), y.data(), "pool re-init changed results");
+        assert_eq!(x.data(), z.data(), "spawn dispatch diverges from pool");
+    }
+}
+
+/// Arena recycling must never hand a live tensor's storage to a new
+/// allocation: only dropped buffers enter the free lists, and recycled
+/// storage is fully re-initialised (poison-filled first in debug builds)
+/// before reuse.
+#[test]
+fn arena_reuse_never_aliases_live_buffers() {
+    let _g = LOCK.lock().unwrap();
+    let mut rng = SmallRng::seed_from_u64(13);
+    let a = rand_tensor(&mut rng, vec![512]);
+    let before = a.data().to_vec();
+    // Recycle a buffer the same size as `a`'s, then allocate and mutate new
+    // tensors that will draw from the free list.
+    drop(a.clone());
+    let mut b = Tensor::zeros(vec![512]);
+    assert!(b.data().iter().all(|&v| v == 0.0), "recycled buffer not zeroed");
+    for v in b.data_mut() {
+        *v = -1234.5;
+    }
+    assert_eq!(a.data(), &before[..], "live buffer was aliased by arena reuse");
+    // No handout may ever expose the debug poison pattern.
+    let c = Tensor::full(vec![512], 3.25);
+    assert!(c
+        .data()
+        .iter()
+        .chain(b.data())
+        .all(|v| v.to_bits() != arena::POISON.to_bits()));
 }
 
 /// NaN must flow through the parallel matmul even when the other operand is

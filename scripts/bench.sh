@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Emit machine-readable benchmark JSON at the repo root:
+#   BENCH_ops.json          per-kernel ns/iter + allocs across threads/dispatch
+#   BENCH_search_step.json  bi-level search-step cost, pool vs spawn, arena on/off
+#
+# Usage: scripts/bench.sh
+# Output dir override: BENCH_OUT_DIR=/tmp scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p cts-bench --bin bench_json
+./target/release/bench_json "$@"

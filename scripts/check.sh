@@ -34,6 +34,12 @@ echo "==> fault-injection suite (explicit)"
 cargo test --offline --test fault_injection -- --nocapture
 cargo test --offline -p cts-nn --test run_state
 
+echo "==> allocation-regression gate"
+# A steady-state supernet train step must stay within the pinned
+# system-allocator budget (tests/alloc_budget.rs); catches per-step Vec
+# churn or arena bypasses creeping back into the hot path.
+cargo test --offline --test alloc_budget
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
