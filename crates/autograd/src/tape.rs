@@ -196,12 +196,31 @@ impl Tape {
         grads.resize_with(n, || None);
         grads[root.id] = Some(Tensor::ones(inner.nodes[root.id].value.shape()));
 
+        // Memory-profile counters (only walked when metrics are on: the
+        // activation sum and live-gradient tracking are O(n) bookkeeping
+        // that pure training runs should not pay).
+        let metrics = cts_obs::metrics_enabled();
+        let activation_scalars: u64 = if metrics {
+            inner.nodes.iter().map(|nd| nd.value.len() as u64).sum()
+        } else {
+            0
+        };
+        let mut live_grad_scalars: u64 = if metrics {
+            inner.nodes[root.id].value.len() as u64
+        } else {
+            0
+        };
+        let mut peak_grad_scalars = live_grad_scalars;
+
         // Scratch for per-node input views, reused across the whole sweep.
         let mut input_values: Vec<&Tensor> = Vec::new();
         for id in (0..n).rev() {
             let Some(grad) = grads[id].take() else {
                 continue;
             };
+            if metrics {
+                live_grad_scalars -= grad.len() as u64;
+            }
             let node = &inner.nodes[id];
             if !node.requires_grad {
                 continue;
@@ -223,10 +242,17 @@ impl Tape {
                 }
                 match &mut grads[input_id] {
                     Some(acc) => acc.axpy(1.0, &g),
-                    slot @ None => *slot = Some(g),
+                    slot @ None => {
+                        if metrics {
+                            live_grad_scalars += g.len() as u64;
+                            peak_grad_scalars = peak_grad_scalars.max(live_grad_scalars);
+                        }
+                        *slot = Some(g);
+                    }
                 }
             }
         }
+        cts_obs::tape::record_backward(n as u64, activation_scalars, peak_grad_scalars);
         grads.clear();
         let _ = GRADS_STORE.try_with(|s| *s.borrow_mut() = grads);
     }

@@ -1,0 +1,51 @@
+//! Observability smoke run: a tiny two-epoch joint search with metrics
+//! forced on, emitting the structured JSONL run log. Pipe the result
+//! through the `report` binary (`cts-obs`) to get the human summary and
+//! `BENCH_obs.json`.
+//!
+//! The log path follows the usual resolution: `$CTS_RUN_LOG` if set, else
+//! `cts_run.jsonl` in the working directory. `scripts/bench.sh` runs this
+//! with `CTS_RUN_LOG` pointed into the bench output directory.
+
+use cts_bench::{prepare, ExpContext};
+use cts_data::DatasetSpec;
+
+fn main() {
+    // Force metrics on regardless of CTS_METRICS so the smoke run always
+    // produces a log; tracing stays env-controlled (per-step rows are
+    // high-volume).
+    cts_obs::set_metrics(Some(true));
+
+    let ctx = ExpContext {
+        search_epochs: 2,
+        ..ExpContext::smoke()
+    };
+    let p = prepare(&ctx, &DatasetSpec::metr_la());
+    let cfg = ctx.search_config();
+
+    let (genotype, _model, stats) =
+        match autocts::joint_search(&cfg, &p.spec, &p.data.graph, &p.windows) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("obs_smoke: joint_search failed: {e}");
+                std::process::exit(1);
+            }
+        };
+    cts_obs::runlog::flush();
+
+    println!(
+        "obs_smoke: searched {} epochs / {} steps in {:.2}s (final tau {:.3}, \
+         val loss {:.4}, rollbacks {})",
+        stats.epochs.len(),
+        stats.steps,
+        stats.secs,
+        stats.final_tau,
+        stats.final_val_loss,
+        stats.rollbacks,
+    );
+    println!("obs_smoke: derived genotype with {} blocks", genotype.b());
+    println!(
+        "obs_smoke: run log at {}",
+        cts_obs::runlog::resolved_path().display()
+    );
+}

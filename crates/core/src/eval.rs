@@ -65,7 +65,7 @@ pub fn evaluate_model(
 pub fn inference_ms_per_window(model: &dyn Forecaster, batches: &Batches) -> f64 {
     model.set_training(false);
     let mut windows = 0usize;
-    let started = std::time::Instant::now();
+    let started = cts_obs::Stopwatch::start();
     for (x, _) in batches {
         let tape = Tape::new();
         let xv = tape.constant(x.clone());
@@ -75,7 +75,7 @@ pub fn inference_ms_per_window(model: &dyn Forecaster, batches: &Batches) -> f64
     if windows == 0 {
         0.0
     } else {
-        started.elapsed().as_secs_f64() * 1e3 / windows as f64
+        started.elapsed_secs() * 1e3 / windows as f64
     }
 }
 
@@ -147,7 +147,10 @@ pub fn evaluate_genotype(
     let merged = windows.train_and_val();
     let train_batches = batches_from_windows(&merged, cfg.batch_size);
     let test_batches = batches_from_windows(&windows.test, cfg.batch_size);
-    let report = train_full(&model, &train_batches, None, &train_cfg)?;
+    let report = {
+        let _span = cts_obs::span(cts_obs::Phase::Retrain);
+        train_full(&model, &train_batches, None, &train_cfg)?
+    };
     let (overall, horizons) = evaluate_model(&model, &test_batches, spec.null_value);
     Ok(EvalReport {
         overall,

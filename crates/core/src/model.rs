@@ -134,7 +134,16 @@ impl SupernetModel {
     }
 
     /// Update τ (driven by the search loop's schedule).
+    ///
+    /// τ ≤ 0 or non-finite would silently poison every α-softmax deep in
+    /// the forward pass (NaN mixture weights), so it is rejected here with
+    /// the same contract as [`cts_nn::TemperatureSchedule::new`].
     pub fn set_tau(&self, tau: f32) {
+        assert!(
+            tau.is_finite() && tau > 0.0,
+            "SupernetModel::set_tau: temperature must be a positive finite \
+             number, got {tau}"
+        );
         self.tau.set(tau);
     }
 
@@ -503,5 +512,23 @@ mod tests {
         model.set_tau(0.05);
         let sharp = model.forward(&tape, &x).value();
         assert!(!soft.approx_eq(&sharp, 1e-4), "temperature had no effect");
+    }
+
+    #[test]
+    fn set_tau_rejects_non_positive_and_non_finite() {
+        // τ ≤ 0 / NaN would silently NaN-poison every α-softmax in the
+        // forward pass; the setter must refuse it loudly instead.
+        let (cfg, spec, data, windows) = fixture();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let model = SupernetModel::new(&mut rng, &cfg, &spec, &data.graph, &windows.scaler);
+        for bad in [0.0f32, -1.0, f32::NAN, f32::NEG_INFINITY, f32::INFINITY] {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                model.set_tau(bad);
+            }));
+            assert!(r.is_err(), "set_tau({bad}) must panic");
+        }
+        // The rejected values must not have corrupted the stored τ.
+        model.set_tau(1.5);
+        assert_eq!(model.tau(), 1.5);
     }
 }

@@ -94,8 +94,9 @@ fn run_search_epoch(
         }
         // line 3-4: update Θ on a pseudo-validation mini-batch
         let (x_va, y_va) = &val_batches[step_in_epoch % val_batches.len()];
-        {
+        let step_val = {
             let tape = Tape::new();
+            let fwd = cts_obs::span(cts_obs::Phase::Forward);
             let xv = tape.constant(x_va.clone());
             let pred = model.forward(&tape, &xv);
             let mut loss = loss_kind.compute(&tape, &pred, y_va);
@@ -112,7 +113,11 @@ fn run_search_epoch(
                 // L_val + λ · E[operator cost]
                 loss = loss.add(&model.expected_cost(&tape).scale(cfg.cost_penalty));
             }
-            tape.backward(&loss);
+            drop(fwd);
+            {
+                let _span = cts_obs::span(cts_obs::Phase::Backward);
+                tape.backward(&loss);
+            }
             // w gradients from this pass are discarded (first-order
             // approximation): only Θ steps here.
             for p in weight_opt.params() {
@@ -123,11 +128,16 @@ fn run_search_epoch(
                     step: gstep,
                 }));
             }
-            arch_opt.step();
-        }
+            {
+                let _span = cts_obs::span(cts_obs::Phase::ArchStep);
+                arch_opt.step();
+            }
+            lv
+        };
         // line 5-6: update w on a pseudo-training mini-batch
         {
             let tape = Tape::new();
+            let fwd = cts_obs::span(cts_obs::Phase::Forward);
             let xv = tape.constant(x_tr.clone());
             let pred = model.forward(&tape, &xv);
             let loss = loss_kind.compute(&tape, &pred, y_tr);
@@ -136,7 +146,11 @@ fn run_search_epoch(
                     step: gstep,
                 }));
             }
-            tape.backward(&loss);
+            drop(fwd);
+            {
+                let _span = cts_obs::span(cts_obs::Phase::Backward);
+                tape.backward(&loss);
+            }
             for p in arch_opt.params() {
                 p.zero_grad();
             }
@@ -148,13 +162,27 @@ fn run_search_epoch(
                     step: gstep,
                 }));
             }
-            if cfg.clip > 0.0 {
-                clip_grad_norm(weight_opt.params(), cfg.clip);
-            }
             *memory_scalars = (*memory_scalars).max(tape.activation_scalars());
-            weight_opt.step();
+            {
+                let _span = cts_obs::span(cts_obs::Phase::WeightStep);
+                if cfg.clip > 0.0 {
+                    clip_grad_norm(weight_opt.params(), cfg.clip);
+                }
+                weight_opt.step();
+            }
         }
         *steps += 1;
+        if cts_obs::trace_enabled() {
+            use cts_obs::runlog::Value;
+            cts_obs::runlog::emit(
+                "step",
+                &[
+                    ("kind", Value::Str("joint_search")),
+                    ("step", Value::U64(gstep)),
+                    ("val_loss", Value::F64(step_val as f64)),
+                ],
+            );
+        }
     }
     Ok(if val_count > 0 {
         (val_loss_acc / val_count as f64) as f32
@@ -363,7 +391,20 @@ pub fn joint_search(
         }
     }
 
-    let started = std::time::Instant::now();
+    let started = cts_obs::Stopwatch::start();
+    if cts_obs::metrics_enabled() {
+        use cts_obs::runlog::Value;
+        cts_obs::runlog::emit(
+            "run_start",
+            &[
+                ("kind", Value::Str("joint_search")),
+                ("seed", Value::U64(cfg.seed)),
+                ("epochs", Value::U64(cfg.epochs as u64)),
+                ("start_epoch", Value::U64(epoch as u64)),
+                ("tau", Value::F64(schedule.tau() as f64)),
+            ],
+        );
+    }
     let mut snapshot = Snapshot::capture(
         &all_params,
         &arch_opt,
@@ -426,6 +467,20 @@ pub fn joint_search(
                 });
             }
             rollbacks += 1;
+            if cts_obs::metrics_enabled() {
+                use cts_obs::runlog::Value;
+                let reason_text = reason.to_string();
+                cts_obs::runlog::emit(
+                    "watchdog",
+                    &[
+                        ("kind", Value::Str("joint_search")),
+                        ("epoch", Value::U64(epoch as u64)),
+                        ("step", Value::U64(steps as u64)),
+                        ("reason", Value::Str(&reason_text)),
+                        ("rollbacks", Value::U64(rollbacks as u64)),
+                    ],
+                );
+            }
             snapshot.restore(
                 &all_params,
                 &mut arch_opt,
@@ -442,11 +497,12 @@ pub fn joint_search(
         }
 
         loss_history.push(final_val_loss);
-        epoch_trace.push(EpochStats {
+        let epoch_stats = EpochStats {
             tau: model.tau(),
             val_loss: final_val_loss,
             alpha_entropy: model.mean_alpha_entropy(),
-        });
+        };
+        epoch_trace.push(epoch_stats);
         if cfg.use_temperature {
             schedule.step();
         }
@@ -480,7 +536,7 @@ pub fn joint_search(
                         step: steps as u64,
                         memory_scalars: memory_scalars as u64,
                         last_val: final_val_loss,
-                        secs: secs_before + started.elapsed().as_secs_f64(),
+                        secs: secs_before + started.elapsed_secs(),
                         ..RunCounters::default()
                     },
                     rng: Some(rng.state()),
@@ -492,14 +548,41 @@ pub fn joint_search(
                     val_losses: loss_history.clone(),
                     mid_epoch: None,
                 };
-                save_run_state(&ck.path, &rs)?;
+                {
+                    let _span = cts_obs::span(cts_obs::Phase::CheckpointWrite);
+                    save_run_state(&ck.path, &rs)?;
+                }
             }
+        }
+
+        if cts_obs::metrics_enabled() {
+            use cts_obs::runlog::Value;
+            // `epoch` was already advanced past the epoch that just ran.
+            let done = epoch as u64 - 1;
+            cts_obs::runlog::emit(
+                "epoch",
+                &[
+                    ("kind", Value::Str("joint_search")),
+                    ("epoch", Value::U64(done)),
+                    ("tau", Value::F64(epoch_stats.tau as f64)),
+                    ("val_loss", Value::F64(epoch_stats.val_loss as f64)),
+                    ("alpha_entropy", Value::F64(epoch_stats.alpha_entropy as f64)),
+                    ("steps", Value::U64(steps as u64)),
+                    ("rollbacks", Value::U64(rollbacks as u64)),
+                    ("secs", Value::F64(secs_before + started.elapsed_secs())),
+                ],
+            );
+            cts_obs::emit_epoch_rows(done);
+            cts_tensor::metrics::emit_epoch_rows(done);
         }
     }
 
-    let genotype = model.derive();
+    let genotype = {
+        let _span = cts_obs::span(cts_obs::Phase::Derive);
+        model.derive()
+    };
     let stats = SearchStats {
-        secs: secs_before + started.elapsed().as_secs_f64(),
+        secs: secs_before + started.elapsed_secs(),
         steps,
         memory_mb: crate::stats::search_memory_mb(&model, memory_scalars),
         final_tau: model.tau(),
@@ -507,6 +590,27 @@ pub fn joint_search(
         rollbacks,
         epochs: epoch_trace,
     };
+    if cts_obs::metrics_enabled() {
+        use cts_obs::runlog::Value;
+        // Final roll-up past the last epoch boundary so the derivation
+        // phase (and any kernel work it did) reaches the log.
+        cts_obs::emit_epoch_rows(epoch as u64);
+        cts_tensor::metrics::emit_epoch_rows(epoch as u64);
+        cts_obs::runlog::emit(
+            "run_end",
+            &[
+                ("kind", Value::Str("joint_search")),
+                ("epochs", Value::U64(epoch as u64)),
+                ("steps", Value::U64(stats.steps as u64)),
+                ("rollbacks", Value::U64(stats.rollbacks as u64)),
+                ("final_tau", Value::F64(stats.final_tau as f64)),
+                ("final_val_loss", Value::F64(stats.final_val_loss as f64)),
+                ("memory_mb", Value::F64(stats.memory_mb)),
+                ("secs", Value::F64(stats.secs)),
+            ],
+        );
+        cts_obs::runlog::flush();
+    }
     Ok((genotype, model, stats))
 }
 

@@ -47,9 +47,28 @@ impl TemperatureSchedule {
     }
 
     /// Restore the schedule position from a checkpoint.
+    ///
+    /// `tau` must be a positive finite number. A value below the
+    /// schedule's floor (possible only in a legacy or hand-edited
+    /// checkpoint — [`TemperatureSchedule::step`] never goes below `min`)
+    /// is clamped up to `min` with a warning, so a resumed run can never
+    /// anneal from below the floor and diverge from a fresh run's trace.
     pub fn restore(&mut self, tau: f32) {
-        assert!(tau > 0.0, "temperature must stay positive");
-        self.tau = tau;
+        assert!(
+            tau.is_finite() && tau > 0.0,
+            "TemperatureSchedule::restore: temperature must be a positive \
+             finite number, got {tau}"
+        );
+        if tau < self.min {
+            cts_obs::runlog::warn(&format!(
+                "TemperatureSchedule::restore: checkpoint tau {tau} is below \
+                 the schedule floor {}; clamping to the floor",
+                self.min
+            ));
+            self.tau = self.min;
+        } else {
+            self.tau = tau;
+        }
     }
 
     /// Advance one epoch.
@@ -80,6 +99,23 @@ mod tests {
             s.step();
             assert!(s.tau() <= last);
             last = s.tau();
+        }
+    }
+
+    #[test]
+    fn restore_clamps_below_floor_and_rejects_non_finite() {
+        let mut s = TemperatureSchedule::new(5.0, 0.9, 1e-3);
+        s.restore(2.5);
+        assert_eq!(s.tau(), 2.5);
+        // Below the floor: clamped up, never resumed as-is.
+        s.restore(1e-6);
+        assert_eq!(s.tau(), 1e-3);
+        for bad in [0.0, -1.0, f32::NAN, f32::INFINITY] {
+            let mut s = TemperatureSchedule::paper_default();
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                s.restore(bad);
+            }));
+            assert!(r.is_err(), "restore({bad}) must panic");
         }
     }
 

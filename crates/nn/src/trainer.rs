@@ -149,15 +149,20 @@ fn run_epoch_checked(
             return Err(EpochAbort::Interrupted);
         }
         let tape = Tape::new();
+        let fwd = cts_obs::span(cts_obs::Phase::Forward);
         let xv = tape.constant(x.clone());
         let pred = model.forward(&tape, &xv);
         let loss = loss_kind.compute(&tape, &pred, y);
         let lv = loss.value().item();
+        drop(fwd);
         if watchdog_on && !lv.is_finite() {
             return Err(EpochAbort::Diverged(DivergenceReason::NonFiniteLoss { step: *step }));
         }
         total += lv as f64;
-        tape.backward(&loss);
+        {
+            let _span = cts_obs::span(cts_obs::Phase::Backward);
+            tape.backward(&loss);
+        }
         if fault::take_nan_grad(*step) {
             fault::poison_gradients(opt.params());
         }
@@ -166,10 +171,13 @@ fn run_epoch_checked(
                 step: *step,
             }));
         }
-        if clip > 0.0 {
-            clip_grad_norm(opt.params(), clip);
+        {
+            let _span = cts_obs::span(cts_obs::Phase::WeightStep);
+            if clip > 0.0 {
+                clip_grad_norm(opt.params(), clip);
+            }
+            opt.step();
         }
-        opt.step();
         *step += 1;
         on_step(opt, *step, (bi + 1) as u64, total).map_err(EpochAbort::Failed)?;
     }
@@ -265,7 +273,7 @@ pub fn train_full(
         }
     }
 
-    let started = std::time::Instant::now();
+    let started = cts_obs::Stopwatch::start();
     let mut snapshot = GoodState::capture(&opt, step, start_batch, carry);
     let mut rollbacks = 0usize;
 
@@ -291,7 +299,7 @@ pub fn train_full(
                     memory_scalars: 0,
                     best_val: best,
                     last_val: val_losses.last().copied().unwrap_or(0.0),
-                    secs: secs_before + started.elapsed().as_secs_f64(),
+                    secs: secs_before + started.elapsed_secs(),
                 },
                 rng: None,
                 trace: Vec::new(),
@@ -299,6 +307,7 @@ pub fn train_full(
                 val_losses: val_losses.clone(),
                 mid_epoch: Some(MidEpochState { batch: batches_done, loss_sum }),
             };
+            let _span = cts_obs::span(cts_obs::Phase::CheckpointWrite);
             save_run_state(&ck.path, &rs)?;
             Ok(())
         };
@@ -332,6 +341,18 @@ pub fn train_full(
             }
         };
         if let Some(reason) = diverged {
+            if cts_obs::metrics_enabled() {
+                cts_obs::runlog::emit(
+                    "watchdog",
+                    &[
+                        ("kind", cts_obs::runlog::Value::Str("train")),
+                        ("epoch", cts_obs::runlog::Value::U64(epoch as u64)),
+                        ("step", cts_obs::runlog::Value::U64(step)),
+                        ("reason", cts_obs::runlog::Value::Str(&reason.to_string())),
+                        ("rollbacks", cts_obs::runlog::Value::U64(rollbacks as u64 + 1)),
+                    ],
+                );
+            }
             if rollbacks >= cfg.watchdog.max_retries {
                 return Err(TrainError::Diverged { epoch, retries: rollbacks, reason });
             }
@@ -384,7 +405,7 @@ pub fn train_full(
                         memory_scalars: 0,
                         best_val: best,
                         last_val: val_losses.last().copied().unwrap_or(0.0),
-                        secs: secs_before + started.elapsed().as_secs_f64(),
+                        secs: secs_before + started.elapsed_secs(),
                     },
                     rng: None,
                     trace: Vec::new(),
@@ -392,8 +413,33 @@ pub fn train_full(
                     val_losses: val_losses.clone(),
                     mid_epoch: None,
                 };
+                let _span = cts_obs::span(cts_obs::Phase::CheckpointWrite);
                 save_run_state(&ck.path, &rs)?;
             }
+        }
+        if cts_obs::metrics_enabled() {
+            use cts_obs::runlog::Value;
+            let done = epoch as u64 - 1;
+            cts_obs::runlog::emit(
+                "epoch",
+                &[
+                    ("kind", Value::Str("train")),
+                    ("epoch", Value::U64(done)),
+                    ("train_loss", Value::F64(tl as f64)),
+                    (
+                        // A missing validation set serializes as null
+                        // (non-finite F64s are written as JSON null).
+                        "val_loss",
+                        val_losses
+                            .last()
+                            .map_or(Value::F64(f64::NAN), |&v| Value::F64(v as f64)),
+                    ),
+                    ("rollbacks", Value::U64(rollbacks as u64)),
+                    ("secs", Value::F64(secs_before + started.elapsed_secs())),
+                ],
+            );
+            cts_obs::emit_epoch_rows(done);
+            cts_tensor::metrics::emit_epoch_rows(done);
         }
         if stop {
             break;
@@ -405,7 +451,7 @@ pub fn train_full(
         train_losses,
         val_losses,
         best_epoch,
-        secs_per_epoch: (secs_before + started.elapsed().as_secs_f64()) / completed,
+        secs_per_epoch: (secs_before + started.elapsed_secs()) / completed,
         rollbacks,
     })
 }

@@ -106,6 +106,26 @@ fn encode(rs: &RunState) -> Vec<u8> {
     buf
 }
 
+/// A legacy/hand-edited checkpoint carrying a τ below the schedule floor
+/// must resume clamped to the floor, not below it — resuming below would
+/// diverge from the trace a fresh run produces ([`cts_nn::TemperatureSchedule::step`]
+/// never yields τ < min, so no legitimate checkpoint goes under).
+#[test]
+fn restoring_schedule_below_floor_clamps_to_floor() {
+    let below_floor = ScheduleState {
+        tau: 1e-6,
+        factor: 0.9,
+        min: 1e-3,
+    };
+    let mut sched = cts_nn::TemperatureSchedule::new(5.0, below_floor.factor, below_floor.min);
+    sched.restore(below_floor.tau);
+    assert_eq!(sched.tau(), below_floor.min, "resume must clamp up to the floor");
+    // Annealing from the clamped state stays at the floor, exactly like a
+    // fresh schedule that reached it.
+    sched.step();
+    assert_eq!(sched.tau(), below_floor.min);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

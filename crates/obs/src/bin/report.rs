@@ -1,0 +1,64 @@
+//! `report`: summarize a `cts_run.jsonl` run log.
+//!
+//! ```text
+//! report <run.jsonl> [--out BENCH_obs.json]
+//! ```
+//!
+//! Prints a human-readable summary to stdout; with `--out`, also writes a
+//! `BENCH_obs.json` document in the same `{"rows": [...]}` shape as the
+//! other `BENCH_*.json` files.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut out_path = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                if i + 1 >= args.len() {
+                    eprintln!("report: --out needs a path");
+                    return ExitCode::FAILURE;
+                }
+                out_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "-h" | "--help" => {
+                println!("usage: report <run.jsonl> [--out BENCH_obs.json]");
+                return ExitCode::SUCCESS;
+            }
+            other if input.is_none() => {
+                input = Some(other.to_owned());
+                i += 1;
+            }
+            other => {
+                eprintln!("report: unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("usage: report <run.jsonl> [--out BENCH_obs.json]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("report: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sum = cts_obs::report::summarize(&text);
+    print!("{}", cts_obs::report::render_text(&sum));
+    if let Some(out) = out_path {
+        let json = cts_obs::report::render_bench_json(&sum);
+        if let Err(e) = std::fs::write(&out, json) {
+            eprintln!("report: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {out}");
+    }
+    ExitCode::SUCCESS
+}

@@ -52,12 +52,20 @@ const N_CLASSES: usize = 27;
 /// bound; this only guards against one class monopolising it.
 const PER_CLASS: usize = 8192;
 
-/// Total floats retained per thread across all classes (1 GiB of f32).
-/// Sized for the default-scale supernet (`NODES=16`, `BATCH=8`,
-/// `D_MODEL=16`), whose per-step buffer population is a few hundred MB;
-/// a smaller cap makes every step re-allocate the overflow from the
-/// system. Retention is demand-driven — the cap only fills if the
-/// workload actually churns that much.
+/// Total floats retained per thread across all classes (2^28 floats =
+/// 1 GiB of f32). Sized for the default-scale supernet (`NODES=16`,
+/// `BATCH=8`, `D_MODEL=16`), whose per-step buffer population is a few
+/// hundred MB; a smaller cap makes every step re-allocate the overflow
+/// from the system. Retention is demand-driven — the cap only fills if
+/// the workload actually churns that much.
+///
+/// The budget is accounted in *actual capacity* (`Vec::capacity`), which
+/// for arena-allocated buffers is the rounded power-of-two class size —
+/// never the smaller requested length. Both sides of the ledger use the
+/// same measure (`take_raw` subtracts `buf.capacity()` on a hit,
+/// [`recycle`] adds `cap` back), so residency can neither drift nor
+/// undercount rounding slack; `arena_residency_counts_class_capacity` in
+/// the tests pins this at class boundaries.
 const MAX_RESIDENT_FLOATS: usize = 1 << 28;
 
 /// NaN bit pattern written over recycled buffers in debug builds, so any
@@ -79,10 +87,28 @@ pub struct ArenaStats {
     pub resident_floats: u64,
 }
 
+/// Per-size-class gauges for one class of this thread's arena.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Size-class index (buffers hold `2^class` floats).
+    pub class: usize,
+    /// Buffers currently cached in this class's free list.
+    pub buffers: usize,
+    /// Floats currently cached in this class (`buffers * 2^class` for
+    /// arena-allocated buffers; exact capacity sum in general).
+    pub resident_floats: u64,
+    /// Requests this class served from its free list.
+    pub hits: u64,
+    /// Requests routed to this class that fell through to the allocator.
+    pub misses: u64,
+}
+
 struct ArenaTls {
     bins: Vec<Vec<Vec<f32>>>,
     resident: usize,
     stats: ArenaStats,
+    class_hits: [u64; N_CLASSES],
+    class_misses: [u64; N_CLASSES],
 }
 
 impl ArenaTls {
@@ -91,6 +117,8 @@ impl ArenaTls {
             bins: (0..N_CLASSES).map(|_| Vec::new()).collect(),
             resident: 0,
             stats: ArenaStats::default(),
+            class_hits: [0; N_CLASSES],
+            class_misses: [0; N_CLASSES],
         }
     }
 }
@@ -162,10 +190,12 @@ fn take_raw(len: usize) -> Vec<f32> {
             if let Some(mut buf) = a.bins[class].pop() {
                 a.resident -= buf.capacity();
                 a.stats.hits += 1;
+                a.class_hits[class] += 1;
                 a.stats.resident_floats = a.resident as u64;
                 buf.clear();
                 return buf;
             }
+            a.class_misses[class] += 1;
         }
         a.stats.misses += 1;
         Vec::with_capacity(len.max(1).next_power_of_two())
@@ -242,6 +272,31 @@ pub fn stats() -> ArenaStats {
     ARENA.with(|a| a.borrow().stats)
 }
 
+/// Per-class gauges for this thread, skipping classes with no activity
+/// (no cached buffers and no hits/misses).
+pub fn class_stats() -> Vec<ClassStats> {
+    ARENA.with(|a| {
+        let a = a.borrow();
+        (0..N_CLASSES)
+            .filter_map(|c| {
+                let buffers = a.bins[c].len();
+                let hits = a.class_hits[c];
+                let misses = a.class_misses[c];
+                if buffers == 0 && hits == 0 && misses == 0 {
+                    return None;
+                }
+                Some(ClassStats {
+                    class: c,
+                    buffers,
+                    resident_floats: a.bins[c].iter().map(|b| b.capacity() as u64).sum(),
+                    hits,
+                    misses,
+                })
+            })
+            .collect()
+    })
+}
+
 /// Zero this thread's counters (residency is preserved and re-reported).
 pub fn reset_stats() {
     ARENA.with(|a| {
@@ -251,6 +306,8 @@ pub fn reset_stats() {
             resident_floats: resident,
             ..ArenaStats::default()
         };
+        a.class_hits = [0; N_CLASSES];
+        a.class_misses = [0; N_CLASSES];
     });
 }
 
@@ -321,6 +378,56 @@ mod tests {
         recycle(f);
         recycle(c);
         recycle(it);
+    }
+
+    #[test]
+    fn arena_residency_counts_class_capacity() {
+        // The residency ledger must count the rounded power-of-two class
+        // capacity a buffer actually occupies, not the requested length —
+        // a 1025-float request allocates (and must be accounted as) 2048.
+        clear();
+        reset_stats();
+        let v = take_zeroed(1025);
+        assert_eq!(v.capacity(), 2048, "fresh alloc rounds up to class size");
+        recycle(v);
+        let s = stats();
+        assert_eq!(
+            s.resident_floats, 2048,
+            "resident floats must be class capacity, not requested 1025"
+        );
+        let cs = class_stats();
+        let c11 = cs
+            .iter()
+            .find(|c| c.class == 11)
+            .expect("class 11 (2048) active");
+        assert_eq!((c11.buffers, c11.resident_floats), (1, 2048));
+        // Exact power-of-two boundary: 1024 lands one class below.
+        let w = take_zeroed(1024);
+        assert_eq!(w.capacity(), 1024);
+        recycle(w);
+        assert_eq!(stats().resident_floats, 2048 + 1024);
+        // Taking the 1025-class buffer back removes its full capacity.
+        let v2 = take_zeroed(1025);
+        assert_eq!(stats().resident_floats, 1024);
+        assert_eq!(v2.capacity(), 2048, "hit returns the rounded buffer");
+        recycle(v2);
+        clear();
+    }
+
+    #[test]
+    fn class_stats_track_hits_and_misses() {
+        clear();
+        reset_stats();
+        let v = take_zeroed(100); // miss in class 7 (128)
+        recycle(v);
+        let v = take_zeroed(100); // hit in class 7
+        recycle(v);
+        let cs = class_stats();
+        let c7 = cs.iter().find(|c| c.class == 7).expect("class 7 active");
+        assert_eq!((c7.hits, c7.misses, c7.buffers), (1, 1, 1));
+        assert_eq!(c7.resident_floats, 128);
+        clear();
+        reset_stats();
     }
 
     #[test]

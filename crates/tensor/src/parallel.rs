@@ -97,6 +97,10 @@ pub struct KernelSpec {
     pub partition: Partition,
     /// Result-combination strategy.
     pub reduction: Reduction,
+    /// Cumulative invocation/timing counters (observability). Embedded in
+    /// the spec so recording needs no lookup; timing is only added when
+    /// `cts_obs::metrics_enabled()`.
+    pub stats: cts_obs::KernelStats,
 }
 
 /// The closed registry of kernels allowed on the parallel layer.
@@ -108,6 +112,7 @@ pub mod kernels {
             name,
             partition: Partition::ContiguousUnits,
             reduction: Reduction::DisjointWrites,
+            stats: cts_obs::KernelStats::new(),
         }
     }
 
@@ -116,6 +121,7 @@ pub mod kernels {
             name,
             partition: Partition::ContiguousUnits,
             reduction: Reduction::OrderedPartialSums,
+            stats: cts_obs::KernelStats::new(),
         }
     }
 
@@ -318,6 +324,16 @@ pub fn pool_workers() -> usize {
     pool::worker_count()
 }
 
+/// Snapshot the worker pool's dispatch counters (observability).
+pub fn pool_stats() -> cts_obs::PoolStats {
+    pool::stats()
+}
+
+/// Zero the worker pool's dispatch counters.
+pub fn reset_pool_stats() {
+    pool::reset_stats()
+}
+
 /// Split `units` items over `threads` workers: first `rem` workers get one
 /// extra unit. Returns the unit count for worker `w`.
 fn share(units: usize, threads: usize, w: usize) -> usize {
@@ -369,11 +385,13 @@ where
     check_spec(spec, Reduction::DisjointWrites);
     debug_assert!(unit_len > 0 && out.len().is_multiple_of(unit_len));
     let units = out.len() / unit_len;
+    let t = cts_obs::timer();
     let threads = num_threads().min(units);
     if threads <= 1 || work < PAR_THRESHOLD {
         if !out.is_empty() {
             f(0, out);
         }
+        spec.stats.record(t, units as u64, false);
         return;
     }
     // Deal out contiguous chunks (deterministic: depends only on units
@@ -399,6 +417,7 @@ where
             f(start, chunk);
         }
     });
+    spec.stats.record(t, units as u64, true);
 }
 
 /// Parallel accumulation: each worker owns a zeroed `acc_len` buffer, calls
@@ -420,12 +439,14 @@ where
     F: Fn(usize, &mut [f32]) + Sync,
 {
     check_spec(spec, Reduction::OrderedPartialSums);
+    let t = cts_obs::timer();
     let threads = num_threads().min(units.max(1));
     if threads <= 1 || work < PAR_THRESHOLD {
         let mut acc = arena::take_zeroed(acc_len);
         for u in 0..units {
             f(u, &mut acc);
         }
+        spec.stats.record(t, units as u64, false);
         return acc;
     }
     // Accumulators are allocated (from the caller's arena) and summed on
@@ -468,7 +489,24 @@ where
         }
         arena::recycle(p);
     }
+    spec.stats.record(t, units as u64, true);
     acc
+}
+
+/// Snapshot every registered kernel's cumulative counters, in registry
+/// order. Kernels with zero calls are included (callers filter).
+pub fn kernel_stats() -> Vec<(&'static str, cts_obs::KernelCounters)> {
+    kernels::ALL
+        .iter()
+        .map(|k| (k.name, k.stats.snapshot()))
+        .collect()
+}
+
+/// Zero every registered kernel's counters.
+pub fn reset_kernel_stats() {
+    for k in kernels::ALL {
+        k.stats.reset();
+    }
 }
 
 #[cfg(test)]
@@ -605,6 +643,7 @@ mod tests {
             name: "rogue",
             partition: Partition::ContiguousUnits,
             reduction: Reduction::DisjointWrites,
+            stats: cts_obs::KernelStats::new(),
         };
         assert!(!kernels::is_registered(&ROGUE));
         let panicked = std::panic::catch_unwind(|| {

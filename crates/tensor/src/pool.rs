@@ -46,8 +46,57 @@
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
+
+// --- Observability counters (always-on atomics; timing metrics-gated) ---
+
+/// Jobs published to workers (parallel regions with at least one worker).
+static DISPATCHES: AtomicU64 = AtomicU64::new(0);
+/// Nested parallel regions degraded to in-place serial execution.
+static NESTED_SERIAL: AtomicU64 = AtomicU64::new(0);
+/// Worker job pickups (wake transitions out of the condvar).
+static WAKES: AtomicU64 = AtomicU64::new(0);
+/// Worker condvar waits entered (park transitions).
+static PARKS: AtomicU64 = AtomicU64::new(0);
+/// Per-worker busy nanoseconds; worker `id` accumulates into slot
+/// `min(id - 1, N_BUSY - 1)` (ids beyond the tracked range fold into the
+/// last slot). Only advances while `cts_obs::metrics_enabled()`.
+const N_BUSY: usize = 64;
+static BUSY_NS: [AtomicU64; N_BUSY] = [const { AtomicU64::new(0) }; N_BUSY];
+
+fn busy_slot(id: usize) -> &'static AtomicU64 {
+    &BUSY_NS[(id - 1).min(N_BUSY - 1)]
+}
+
+/// Snapshot the pool's dispatch counters.
+pub(crate) fn stats() -> cts_obs::PoolStats {
+    let workers = worker_count();
+    cts_obs::PoolStats {
+        workers,
+        dispatches: DISPATCHES.load(Ordering::Relaxed),
+        nested_serial: NESTED_SERIAL.load(Ordering::Relaxed),
+        wakes: WAKES.load(Ordering::Relaxed),
+        parks: PARKS.load(Ordering::Relaxed),
+        busy_ns: BUSY_NS[..workers.clamp(1, N_BUSY)]
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect(),
+    }
+}
+
+/// Zero the pool's dispatch counters (worker count is live state, not a
+/// counter, and is unaffected).
+pub(crate) fn reset_stats() {
+    DISPATCHES.store(0, Ordering::Relaxed);
+    NESTED_SERIAL.store(0, Ordering::Relaxed);
+    WAKES.store(0, Ordering::Relaxed);
+    PARKS.store(0, Ordering::Relaxed);
+    for a in &BUSY_NS {
+        a.store(0, Ordering::Relaxed);
+    }
+}
 
 /// Lifetime-erased pointer to the current job's share closure. The
 /// pointee type is `+ 'static` only because a stored trait object must
@@ -163,6 +212,7 @@ pub(crate) fn run(n_shares: usize, task: &(dyn Fn(usize) + Sync)) {
         // in ascending order right here. Share execution order never
         // affects results, so this is bit-identical and deadlock-free.
         // The flag was already true; leave it for the outer region.
+        NESTED_SERIAL.fetch_add(1, Ordering::Relaxed);
         for w in 0..n_shares {
             task(w);
         }
@@ -172,6 +222,7 @@ pub(crate) fn run(n_shares: usize, task: &(dyn Fn(usize) + Sync)) {
     let region = lock(&p.dispatch);
     let needed = n_shares - 1;
     if needed > 0 {
+        DISPATCHES.fetch_add(1, Ordering::Relaxed);
         let mut st = lock(&p.state);
         spawn_to(p, &mut st, needed);
         st.epoch += 1;
@@ -234,12 +285,17 @@ fn worker_loop(id: usize) {
                 if let Some(t) = &st.task {
                     let task = t.0;
                     drop(st);
+                    WAKES.fetch_add(1, Ordering::Relaxed);
+                    let busy = cts_obs::timer();
                     IN_PARALLEL.with(|f| f.set(true));
                     // SAFETY: the dispatcher keeps the closure (and all
                     // it borrows) alive until `active` drops to 0 — only
                     // after this call returns; it is `Sync` (ErasedTask).
                     let r = catch_unwind(AssertUnwindSafe(|| (unsafe { &*task })(id)));
                     IN_PARALLEL.with(|f| f.set(false));
+                    if let Some(ns) = busy.elapsed_ns() {
+                        busy_slot(id).fetch_add(ns, Ordering::Relaxed);
+                    }
                     st = lock(&p.state);
                     if r.is_err() {
                         st.panicked = true;
@@ -252,6 +308,7 @@ fn worker_loop(id: usize) {
                 }
             }
         }
+        PARKS.fetch_add(1, Ordering::Relaxed);
         st = p
             .work
             .wait(st)

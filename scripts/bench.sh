@@ -2,11 +2,20 @@
 # Emit machine-readable benchmark JSON at the repo root:
 #   BENCH_ops.json          per-kernel ns/iter + allocs across threads/dispatch
 #   BENCH_search_step.json  bi-level search-step cost, pool vs spawn, arena on/off
+#   BENCH_obs.json          observability smoke run: per-kernel time shares,
+#                           phase breakdown, arena/pool/tape counters
+#   cts_run.jsonl           the raw structured run log behind BENCH_obs.json
 #
 # Usage: scripts/bench.sh
 # Output dir override: BENCH_OUT_DIR=/tmp scripts/bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline -p cts-bench --bin bench_json
+out="${BENCH_OUT_DIR:-.}"
+
+cargo build --release --offline -p cts-bench --bin bench_json --bin obs_smoke
+cargo build --release --offline -p cts-obs --bin report
 ./target/release/bench_json "$@"
+
+CTS_RUN_LOG="$out/cts_run.jsonl" ./target/release/obs_smoke
+./target/release/report "$out/cts_run.jsonl" --out "$out/BENCH_obs.json"

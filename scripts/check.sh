@@ -40,6 +40,12 @@ echo "==> allocation-regression gate"
 # churn or arena bypasses creeping back into the hot path.
 cargo test --offline --test alloc_budget
 
+echo "==> observability gate"
+# Metrics collection must be a pure observer: bit-identical genotype and
+# per-epoch trace with CTS_METRICS on/off, and the JSONL run log must
+# summarize (tests/observability.rs).
+cargo test --offline --test observability
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

@@ -14,6 +14,10 @@
 #   3. In the checkpoint reader (`crates/nn/src/checkpoint.rs`), narrowing
 #      `as u16|u32|usize` casts must carry a `// invariant:` comment; length
 #      fields there must use checked conversions instead.
+#   4. `std::time::Instant` is forbidden outside `crates/obs/src` and
+#      `crates/bench/src` (and the vendored compat shims): product crates
+#      must read wall-clock through `cts_obs::{timer, Stopwatch}` so the
+#      metrics-off path stays free of clock syscalls.
 #
 # Exits non-zero with a `file:line` listing on any finding.
 set -euo pipefail
@@ -41,6 +45,9 @@ while IFS= read -r f; do
             if (FILENAME ~ /crates\/nn\/src\/checkpoint\.rs$/ \
                 && line ~ / as (u16|u32|usize)([^0-9_a-zA-Z]|$)/ && !ok_inv)
                 printf "%s:%d: unchecked narrowing cast in checkpoint reader\n", FILENAME, NR
+            if (FILENAME !~ /^crates\/(obs|bench)\/src\// && FILENAME !~ /^compat\// \
+                && line ~ /(^|[^a-zA-Z_])Instant([^a-zA-Z_]|$)/)
+                printf "%s:%d: Instant outside cts-obs/cts-bench (use cts_obs timers)\n", FILENAME, NR
         }
     ' "$f" >>"$findings"
 done < <(find crates/*/src compat/*/src src -name '*.rs' ! -name '*_tests.rs' | sort)

@@ -14,12 +14,17 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use cts_autograd::Tape;
 use cts_bench::{prepare, ExpContext};
 use cts_data::{batches_from_windows, DatasetSpec};
 use cts_nn::{Adam, Forecaster, LossKind, Optimizer};
 use rand::{rngs::SmallRng, SeedableRng};
+
+/// Serializes the tests in this binary: both flip the process-wide
+/// `cts_obs` metrics switch, and the allocation counters are global.
+static GATE: Mutex<()> = Mutex::new(());
 
 /// Measured steady state (2026-08): ~3.5k allocs / ~0.2 MB per weight step.
 /// Budgets leave ~5x headroom; the pre-arena baseline was ~170k allocs /
@@ -52,6 +57,10 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
 fn steady_state_train_step_stays_under_alloc_budget() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    // The budget is pinned for the metrics-off path (the production
+    // default); metrics-on adds a few timing reads but no per-step Vecs.
+    cts_obs::set_metrics(Some(false));
     let ctx = ExpContext::smoke();
     let p = prepare(&ctx, &DatasetSpec::metr_la());
     let cfg = ctx.search_config();
@@ -101,4 +110,48 @@ fn steady_state_train_step_stays_under_alloc_budget() {
          is not reaching its free-list fixed point (stats: {stats:?})",
         stats.misses
     );
+}
+
+/// The observability layer must be a pure observer: the numeric trace of
+/// a training loop is bit-identical with metrics on and off.
+#[test]
+fn metrics_do_not_change_training_trace() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let log = std::env::temp_dir().join("cts_alloc_budget_obs.jsonl");
+    cts_obs::runlog::set_path(Some(&log));
+
+    let run = |metrics: bool| -> Vec<u32> {
+        cts_obs::set_metrics(Some(metrics));
+        let ctx = ExpContext::smoke();
+        let p = prepare(&ctx, &DatasetSpec::metr_la());
+        let cfg = ctx.search_config();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let model = autocts::SupernetModel::new(
+            &mut rng,
+            &cfg,
+            &p.spec,
+            &p.data.graph,
+            &p.windows.scaler,
+        );
+        let batches = batches_from_windows(&p.windows.train, ctx.batch);
+        let (x, y) = batches[0].clone();
+        let mut opt = Adam::new(model.weight_parameters(), cfg.weight_lr, cfg.weight_wd);
+        let loss_kind = LossKind::MaskedMae { null_value: Some(0.0) };
+        let mut bits = Vec::new();
+        for _ in 0..4 {
+            let tape = Tape::new();
+            let pred = model.forward(&tape, &tape.constant(x.clone()));
+            let loss = loss_kind.compute(&tape, &pred, &y);
+            bits.push(loss.value().item().to_bits());
+            tape.backward(&loss);
+            opt.step();
+        }
+        bits
+    };
+
+    let off = run(false);
+    let on = run(true);
+    cts_obs::set_metrics(Some(false));
+    let _ = std::fs::remove_file(&log);
+    assert_eq!(off, on, "metrics collection changed the numeric trace");
 }
