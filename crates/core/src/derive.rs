@@ -5,15 +5,53 @@ use crate::micro::pair_index;
 use crate::{BlockGenotype, Genotype, MicroCell, SupernetModel};
 use cts_ops::OpKind;
 use cts_tensor::{ops, Tensor};
+use std::fmt;
+
+/// Why discretisation refused an architecture snapshot.
+///
+/// A NaN or infinite architecture weight would make every Eq. 7 score for
+/// its pair NaN; the old code silently sorted NaNs as "equal" and derived
+/// an arbitrary genotype. A poisoned snapshot is now a typed error so the
+/// caller can surface the diverged search instead of evaluating garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeriveError {
+    /// The α (operator-mixture) snapshot contains a non-finite value.
+    NonFiniteAlpha,
+    /// The β (edge-mixture) snapshot feeding node `node` contains a
+    /// non-finite value.
+    NonFiniteBeta {
+        /// DAG node whose β vector is poisoned (`1 ≤ node < m`).
+        node: usize,
+    },
+}
+
+impl fmt::Display for DeriveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeriveError::NonFiniteAlpha => {
+                write!(f, "α snapshot contains non-finite architecture weights")
+            }
+            DeriveError::NonFiniteBeta { node } => {
+                write!(f, "β snapshot for node {node} contains non-finite weights")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeriveError {}
 
 /// Derive the discrete architecture from a (partially) trained supernet.
-pub fn derive_genotype(supernet: &SupernetModel) -> Genotype {
+///
+/// # Errors
+/// [`DeriveError`] when any cell's α/β snapshot contains non-finite values
+/// (a diverged search) — deriving from it would pick arbitrary operators.
+pub fn derive_genotype(supernet: &SupernetModel) -> Result<Genotype, DeriveError> {
     let cfg = supernet.config();
     let blocks: Vec<BlockGenotype> = supernet
         .cells()
         .iter()
         .map(|cell| derive_block(cell, cfg.edges_per_node))
-        .collect();
+        .collect::<Result<_, _>>()?;
     let (blocks, backbone) = match supernet.topology() {
         Some(t) => {
             let mut backbone = t.derive();
@@ -33,7 +71,7 @@ pub fn derive_genotype(supernet: &SupernetModel) -> Genotype {
     let genotype = Genotype { blocks, backbone };
     // invariant: internal consistency check — derivation must emit valid genotypes.
     genotype.validate().expect("derivation produced invalid genotype");
-    genotype
+    Ok(genotype)
 }
 
 /// Derive one ST-block from a cell's `α`/`β` snapshot.
@@ -43,18 +81,34 @@ pub fn derive_genotype(supernet: &SupernetModel) -> Genotype {
 ///    its best non-zero operator;
 /// 2. keep the `edges_per_node − 1` best remaining `(h_i, o)` pairs with
 ///    distinct `i ≤ j−2`.
-pub fn derive_block(cell: &MicroCell, edges_per_node: usize) -> BlockGenotype {
+///
+/// Each pair's α-softmax row is computed exactly once (the old code
+/// re-softmaxed per `(i, o)` probe — `O(m²·|O|²)` redundant softmaxes).
+///
+/// # Errors
+/// [`DeriveError`] when the snapshot contains non-finite weights.
+pub fn derive_block(cell: &MicroCell, edges_per_node: usize) -> Result<BlockGenotype, DeriveError> {
     let (alpha, betas) = cell.arch_snapshot();
+    if !alpha.data().iter().all(|v| v.is_finite()) {
+        return Err(DeriveError::NonFiniteAlpha);
+    }
+    for (idx, beta) in betas.iter().enumerate() {
+        if !beta.data().iter().all(|v| v.is_finite()) {
+            return Err(DeriveError::NonFiniteBeta { node: idx + 1 });
+        }
+    }
     let op_set = cell.op_set();
     let m = cell.m();
     let mut edges = Vec::new();
     for j in 1..m {
         let beta_probs = ops::softmax_last(&betas[j - 1].clone().reshaped(vec![1, j]));
+        // One α-softmax row per incoming pair (i, j), hoisted out of the
+        // per-operator probes below.
+        let alpha_rows: Vec<Vec<f32>> = (0..j)
+            .map(|i| alpha_row_softmax(&alpha, pair_index(i, j)))
+            .collect();
         // Eq. 7 weight for every (i, o)
-        let weight = |i: usize, o: usize| -> f32 {
-            let a_row = alpha_row_softmax(&alpha, pair_index(i, j));
-            beta_probs.at(&[0, i]) * a_row[o]
-        };
+        let weight = |i: usize, o: usize| -> f32 { beta_probs.at(&[0, i]) * alpha_rows[i][o] };
         // 1. mandatory immediate-predecessor edge
         let best_op = argmax_op(op_set, |o| weight(j - 1, o));
         edges.push((j - 1, j, best_op));
@@ -67,12 +121,14 @@ pub fn derive_block(cell: &MicroCell, edges_per_node: usize) -> BlockGenotype {
                 (weight(i, o_idx), i, op)
             })
             .collect();
-        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        // Finiteness is established above, so total_cmp is a plain
+        // descending order (and deterministic, unlike the old NaN≍Equal).
+        candidates.sort_by(|a, b| b.0.total_cmp(&a.0));
         for (_, i, op) in candidates.into_iter().take(edges_per_node - 1) {
             edges.push((i, j, op));
         }
     }
-    BlockGenotype { m, edges }
+    Ok(BlockGenotype { m, edges })
 }
 
 fn alpha_row_softmax(alpha: &Tensor, pair: usize) -> Vec<f32> {
@@ -112,7 +168,7 @@ mod tests {
     #[test]
     fn block_has_expected_edge_count() {
         let c = cell(5);
-        let b = derive_block(&c, 2);
+        let b = derive_block(&c, 2).unwrap();
         assert_eq!(b.m, 5);
         // node 1: 1 edge; node 2: 2; nodes 3,4: 2 each (cap)
         assert_eq!(b.edges.len(), 1 + 2 + 2 + 2);
@@ -126,7 +182,7 @@ mod tests {
     #[test]
     fn edge3_keeps_more_edges() {
         let c = cell(5);
-        let b = derive_block(&c, 3);
+        let b = derive_block(&c, 3).unwrap();
         // node 1: 1; node 2: 2; node 3: 3; node 4: 3
         assert_eq!(b.edges.len(), 1 + 2 + 3 + 3);
     }
@@ -135,7 +191,7 @@ mod tests {
     fn derived_ops_never_zero() {
         let c = cell(4);
         for _ in 0..3 {
-            let b = derive_block(&c, 2);
+            let b = derive_block(&c, 2).unwrap();
             assert!(b.edges.iter().all(|(_, _, op)| *op != OpKind::Zero));
         }
     }
@@ -151,8 +207,37 @@ mod tests {
             a.fill(0.0);
             *a.at_mut(&[pair_index(0, 1), gdcc]) = 10.0;
         }
-        let b = derive_block(&c, 2);
+        let b = derive_block(&c, 2).unwrap();
         let (_, op) = b.incoming(1)[0];
         assert_eq!(op, OpKind::Gdcc);
+    }
+
+    /// A diverged search leaves NaN/∞ in the architecture weights; the old
+    /// sort treated NaN comparisons as Equal and silently derived an
+    /// arbitrary genotype. Now it's a typed refusal.
+    #[test]
+    fn non_finite_snapshot_is_rejected() {
+        let c = cell(4);
+        {
+            let arch = c.arch_parameters();
+            let mut a = arch[0].value_mut();
+            *a.at_mut(&[0, 0]) = f32::NAN;
+        }
+        assert_eq!(derive_block(&c, 2), Err(DeriveError::NonFiniteAlpha));
+
+        let c = cell(4);
+        {
+            let arch = c.arch_parameters();
+            // arch = [alpha, beta_1, beta_2, ...]; poison the second beta.
+            let mut b = arch[2].value_mut();
+            *b.at_mut(&[0]) = f32::INFINITY;
+        }
+        assert_eq!(
+            derive_block(&c, 2),
+            Err(DeriveError::NonFiniteBeta { node: 2 })
+        );
+
+        // A clean snapshot still derives.
+        assert!(derive_block(&cell(4), 2).is_ok());
     }
 }

@@ -42,6 +42,9 @@ pub enum SearchError {
     /// The derived genotype failed the static pre-flight analysis
     /// (`cts-verify`): shape, wiring, or gradient-reachability errors.
     InvalidGenotype(VerifyError),
+    /// Discretisation refused the architecture snapshot (non-finite α/β —
+    /// the search diverged without tripping the watchdog).
+    Derive(crate::DeriveError),
 }
 
 impl fmt::Display for SearchError {
@@ -64,11 +67,18 @@ impl fmt::Display for SearchError {
             SearchError::InvalidGenotype(e) => {
                 write!(f, "derived genotype failed static verification: {e}")
             }
+            SearchError::Derive(e) => write!(f, "architecture derivation failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for SearchError {}
+
+impl From<crate::DeriveError> for SearchError {
+    fn from(e: crate::DeriveError) -> Self {
+        SearchError::Derive(e)
+    }
+}
 
 impl From<CheckpointError> for SearchError {
     fn from(e: CheckpointError) -> Self {

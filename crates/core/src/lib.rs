@@ -39,7 +39,7 @@ pub mod preflight;
 
 pub use api::{AutoCts, SearchOutcome};
 pub use config::SearchConfig;
-pub use derive::derive_genotype;
+pub use derive::{derive_genotype, DeriveError};
 pub use error::{EvalError, SearchError};
 pub use genotype::{BlockGenotype, Genotype};
 pub use macro_space::MacroTopology;

@@ -14,8 +14,11 @@ use cts_data::{DatasetSpec, Scaler, Task};
 use cts_graph::SensorGraph;
 use cts_nn::{Forecaster, Linear};
 use cts_ops::{build_operator, GraphContext, StOperator};
+use cts_runtime::{BlockPlan, ExecPlan, PlanError, PlanSpec};
+use cts_tensor::Tensor;
 use rand::Rng;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
 
 /// Output horizon for a task.
 fn q_out(spec: &DatasetSpec) -> usize {
@@ -35,11 +38,13 @@ fn make_context(cfg: &SearchConfig, rng: &mut impl Rng, graph: &SensorGraph) -> 
     }
 }
 
-/// Shared embedding/output scaffolding.
+/// Shared embedding/output scaffolding. The layers and graph context are
+/// reference-counted so a compiled [`ExecPlan`] can share them with the
+/// model and read their weights in place.
 struct Scaffold {
-    embed: Linear,
-    output: Linear,
-    ctx: GraphContext,
+    embed: Rc<Linear>,
+    output: Rc<Linear>,
+    ctx: Rc<GraphContext>,
     out_scale: f32,
     out_shift: f32,
     input_len: usize,
@@ -55,9 +60,15 @@ impl Scaffold {
         scaler: &Scaler,
     ) -> Self {
         Self {
-            embed: Linear::new(rng, "embed", spec.features, cfg.d_model, true),
-            output: Linear::new(rng, "output", spec.input_len * cfg.d_model, q_out(spec), true),
-            ctx: make_context(cfg, rng, graph),
+            embed: Rc::new(Linear::new(rng, "embed", spec.features, cfg.d_model, true)),
+            output: Rc::new(Linear::new(
+                rng,
+                "output",
+                spec.input_len * cfg.d_model,
+                q_out(spec),
+                true,
+            )),
+            ctx: Rc::new(make_context(cfg, rng, graph)),
             out_scale: scaler.target_std(),
             out_shift: scaler.target_mean(),
             input_len: spec.input_len,
@@ -177,7 +188,11 @@ impl SupernetModel {
     }
 
     /// Derive the discrete genotype (Eq. 7 + 2-edge rule + argmax γ).
-    pub fn derive(&self) -> Genotype {
+    ///
+    /// # Errors
+    /// [`crate::DeriveError`] when the architecture snapshot contains
+    /// non-finite weights (a diverged search).
+    pub fn derive(&self) -> Result<Genotype, crate::DeriveError> {
         crate::derive::derive_genotype(self)
     }
 
@@ -260,10 +275,11 @@ impl Forecaster for SupernetModel {
     }
 }
 
-/// One discrete ST-block instantiated from a [`BlockGenotype`].
+/// One discrete ST-block instantiated from a [`BlockGenotype`]. Edges are
+/// reference-counted so the compiled plan can share the live operators.
 struct DerivedBlock {
     m: usize,
-    edges: Vec<(usize, usize, Box<dyn StOperator>)>,
+    edges: Vec<(usize, usize, Rc<dyn StOperator>)>,
 }
 
 impl DerivedBlock {
@@ -283,14 +299,14 @@ impl DerivedBlock {
                 (
                     *from,
                     *to,
-                    build_operator(
+                    Rc::from(build_operator(
                         rng,
                         *kind,
                         &format!("{name}.e{idx}.{}", kind.label()),
                         d,
                         gcn_k,
                         adaptive,
-                    ),
+                    )),
                 )
             })
             .collect();
@@ -342,6 +358,10 @@ pub struct DerivedModel {
     blocks: Vec<DerivedBlock>,
     backbone: Vec<usize>,
     genotype: Genotype,
+    /// Lazily compiled tape-free plan; shares the scaffold's layers and the
+    /// blocks' operators, so retraining updates flow through without
+    /// recompilation.
+    plan: RefCell<Option<Rc<ExecPlan>>>,
 }
 
 impl DerivedModel {
@@ -372,12 +392,55 @@ impl DerivedModel {
             blocks,
             backbone: genotype.backbone.clone(),
             genotype: genotype.clone(),
+            plan: RefCell::new(None),
         }
     }
 
     /// The genotype this model instantiates.
     pub fn genotype(&self) -> &Genotype {
         &self.genotype
+    }
+
+    /// Compile (and cache) the tape-free execution plan for this model.
+    ///
+    /// The plan holds `Rc`s to the live layers and operators and reads
+    /// their weights at execution time, so it stays valid across optimizer
+    /// steps; its output is bit-identical to the tape forward.
+    ///
+    /// # Errors
+    /// Propagates [`PlanError`] when the genotype defeats compilation
+    /// (callers fall back to the tape path).
+    pub fn compiled_plan(&self) -> Result<Rc<ExecPlan>, PlanError> {
+        if let Some(p) = self.plan.borrow().as_ref() {
+            return Ok(Rc::clone(p));
+        }
+        let spec = PlanSpec {
+            embed: Rc::clone(&self.scaffold.embed),
+            output: Rc::clone(&self.scaffold.output),
+            ctx: Rc::clone(&self.scaffold.ctx),
+            blocks: self
+                .blocks
+                .iter()
+                .map(|b| BlockPlan {
+                    m: b.m,
+                    edges: b
+                        .edges
+                        .iter()
+                        .map(|(from, to, op)| (*from, *to, Rc::clone(op)))
+                        .collect(),
+                })
+                .collect(),
+            backbone: self.backbone.clone(),
+            out_scale: self.scaffold.out_scale,
+            out_shift: self.scaffold.out_shift,
+            input_len: self.scaffold.input_len,
+            d_model: self.scaffold.d_model,
+            nodes: self.scaffold.ctx.n(),
+            features: self.scaffold.embed.d_in(),
+        };
+        let plan = Rc::new(ExecPlan::compile(spec)?);
+        *self.plan.borrow_mut() = Some(Rc::clone(&plan));
+        Ok(plan)
     }
 }
 
@@ -399,6 +462,19 @@ impl Forecaster for DerivedModel {
             merged = merged.add(out);
         }
         self.scaffold.project(tape, &merged)
+    }
+
+    fn forward_inference(&self, x: &Tensor) -> Tensor {
+        match self.compiled_plan() {
+            Ok(plan) => plan.run(x),
+            // A genotype that defeats compilation still forecasts; the tape
+            // path is the always-correct fallback.
+            Err(_) => {
+                let tape = Tape::new();
+                let xv = tape.constant(x.clone());
+                self.forward(&tape, &xv).value()
+            }
+        }
     }
 
     fn parameters(&self) -> Vec<Parameter> {
@@ -467,7 +543,7 @@ mod tests {
         let (cfg, spec, data, windows) = fixture();
         let mut rng = SmallRng::seed_from_u64(2);
         let supernet = SupernetModel::new(&mut rng, &cfg, &spec, &data.graph, &windows.scaler);
-        let genotype = supernet.derive();
+        let genotype = supernet.derive().unwrap();
         genotype.validate().unwrap();
         let model = DerivedModel::new(&mut rng, &cfg, &genotype, &spec, &data.graph, &windows.scaler);
         let batches = cts_data::batches_from_windows(&windows.train, 4);

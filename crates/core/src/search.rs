@@ -579,7 +579,7 @@ pub fn joint_search(
 
     let genotype = {
         let _span = cts_obs::span(cts_obs::Phase::Derive);
-        model.derive()
+        model.derive()?
     };
     let stats = SearchStats {
         secs: secs_before + started.elapsed_secs(),

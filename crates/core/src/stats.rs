@@ -22,9 +22,9 @@ impl ModelStats {
     }
 }
 
-/// Estimated peak memory of a search step in MB: parameters ×3 (weights +
-/// gradients + Adam moments ×2 ≈ ×4 for exactness — we count m and v) plus
-/// activations ×2 (forward values + backward gradients).
+/// Estimated peak memory of a search step in MB: parameters ×4 (weights +
+/// gradients + the two Adam moments m and v) plus activations ×2 (forward
+/// values + backward gradients).
 pub fn search_memory_mb(model: &dyn Forecaster, peak_activation_scalars: usize) -> f64 {
     let params = count_parameters(&model.parameters());
     let param_bytes = params as f64 * 4.0 * 4.0; // value + grad + adam m + v

@@ -28,8 +28,8 @@ impl EvalMetrics {
             mae: masked_mae(pred, target, null_value),
             rmse: masked_rmse(pred, target, null_value),
             mape: masked_mape(pred, target, null_value),
-            rrse: rrse_metric(pred, target),
-            corr: corr_metric(pred, target),
+            rrse: rrse_metric(pred, target, null_value),
+            corr: corr_metric(pred, target, null_value),
         }
     }
 }
@@ -98,12 +98,24 @@ pub fn masked_mape(pred: &Tensor, target: &Tensor, null_value: Option<f32>) -> f
 }
 
 /// Root relative squared error: `√(Σ(p−t)² / Σ(t−t̄)²)` (Lai et al. 2018).
-pub fn rrse_metric(pred: &Tensor, target: &Tensor) -> f32 {
-    assert_eq!(pred.shape(), target.shape());
-    let t_mean = target.mean() as f64;
+///
+/// Masked entries (`target ≈ null_value`) are excluded from both sums and
+/// from the target mean, matching the MAE/RMSE/MAPE convention — a missing
+/// reading used to contribute `(p − null)²` to the numerator and drag the
+/// mean toward the null sentinel.
+pub fn rrse_metric(pred: &Tensor, target: &Tensor, null_value: Option<f32>) -> f32 {
+    let (mut t_sum, mut n) = (0.0f64, 0.0f64);
+    for (_, t) in masked_iter(pred, target, null_value) {
+        t_sum += t as f64;
+        n += 1.0;
+    }
+    if n == 0.0 {
+        return 0.0;
+    }
+    let t_mean = t_sum / n;
     let mut num = 0.0f64;
     let mut den = 0.0f64;
-    for (&p, &t) in pred.data().iter().zip(target.data().iter()) {
+    for (p, t) in masked_iter(pred, target, null_value) {
         num += (p as f64 - t as f64).powi(2);
         den += (t as f64 - t_mean).powi(2);
     }
@@ -118,11 +130,18 @@ pub fn rrse_metric(pred: &Tensor, target: &Tensor) -> f32 {
 /// target computed per series (last-axis-flattened per node), averaged over
 /// nodes with non-degenerate variance (Lai et al. 2018).
 ///
-/// Expects `[S, N, Q]` (samples × nodes × horizons).
-pub fn corr_metric(pred: &Tensor, target: &Tensor) -> f32 {
+/// Expects `[S, N, Q]` (samples × nodes × horizons). Masked entries
+/// (`target ≈ null_value`) are skipped per node, matching the masked-MAE
+/// convention — a run of missing readings used to read as a block of
+/// constant targets and bias the per-node correlation.
+pub fn corr_metric(pred: &Tensor, target: &Tensor, null_value: Option<f32>) -> f32 {
     assert_eq!(pred.shape(), target.shape());
     assert_eq!(pred.rank(), 3, "corr expects [S,N,Q]");
     let (s, n, q) = (pred.shape()[0], pred.shape()[1], pred.shape()[2]);
+    let keep = |t: f32| match null_value {
+        Some(nv) => (t - nv).abs() > 1e-4,
+        None => true,
+    };
     let mut total = 0.0f64;
     let mut nodes = 0.0f64;
     for node in 0..n {
@@ -130,9 +149,16 @@ pub fn corr_metric(pred: &Tensor, target: &Tensor) -> f32 {
         let mut ts = Vec::with_capacity(s * q);
         for si in 0..s {
             for qi in 0..q {
+                let t = target.at(&[si, node, qi]);
+                if !keep(t) {
+                    continue;
+                }
                 ps.push(pred.at(&[si, node, qi]) as f64);
-                ts.push(target.at(&[si, node, qi]) as f64);
+                ts.push(t as f64);
             }
+        }
+        if ps.is_empty() {
+            continue;
         }
         let len = ps.len() as f64;
         let mp = ps.iter().sum::<f64>() / len;
@@ -206,14 +232,14 @@ mod tests {
     fn rrse_of_mean_predictor_is_one() {
         let t = Tensor::from_vec([1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]);
         let p = Tensor::full([1, 1, 4], 2.5);
-        assert!((rrse_metric(&p, &t) - 1.0).abs() < 1e-6);
+        assert!((rrse_metric(&p, &t, None) - 1.0).abs() < 1e-6);
     }
 
     #[test]
     fn corr_detects_anticorrelation() {
         let t = Tensor::from_vec([4, 1, 1], vec![1.0, 2.0, 3.0, 4.0]);
         let p = Tensor::from_vec([4, 1, 1], vec![4.0, 3.0, 2.0, 1.0]);
-        assert!((corr_metric(&p, &t) + 1.0).abs() < 1e-6);
+        assert!((corr_metric(&p, &t, None) + 1.0).abs() < 1e-6);
     }
 
     #[test]
@@ -221,7 +247,56 @@ mod tests {
         // node 1 has zero variance; corr must come from node 0 only
         let t = Tensor::from_vec([3, 2, 1], vec![1.0, 5.0, 2.0, 5.0, 3.0, 5.0]);
         let p = t.clone();
-        assert!((corr_metric(&p, &t) - 1.0).abs() < 1e-6);
+        assert!((corr_metric(&p, &t, None) - 1.0).abs() < 1e-6);
+    }
+
+    /// Regression: RRSE used to ignore the null mask entirely. With the
+    /// masked entry excluded, RRSE over the real entries must equal RRSE of
+    /// the same data with the masked entry physically absent — and a wildly
+    /// wrong prediction at a masked position must not move the score.
+    #[test]
+    fn rrse_masks_null_targets() {
+        let t = Tensor::from_vec([1, 1, 4], vec![1.0, 0.0, 3.0, 4.0]);
+        let p = Tensor::from_vec([1, 1, 4], vec![1.5, 999.0, 2.5, 4.5]);
+        let t_clean = Tensor::from_vec([1, 1, 3], vec![1.0, 3.0, 4.0]);
+        let p_clean = Tensor::from_vec([1, 1, 3], vec![1.5, 2.5, 4.5]);
+        let masked = rrse_metric(&p, &t, Some(0.0));
+        let reference = rrse_metric(&p_clean, &t_clean, None);
+        assert!((masked - reference).abs() < 1e-6, "{masked} vs {reference}");
+        // Unmasked, the 999 at the null slot dominates the numerator.
+        assert!(rrse_metric(&p, &t, None) > 100.0 * masked);
+    }
+
+    /// Regression: CORR used to feed null sentinels into the per-node
+    /// Pearson sums. Masked entries are skipped per node; a node whose
+    /// readings are all null contributes nothing.
+    #[test]
+    fn corr_masks_null_targets_per_node() {
+        // node 0: targets [1,2,3] + one null; predictions track the real
+        // entries perfectly but are garbage at the null slot.
+        // node 1: every target null -> the node is dropped entirely.
+        let t = Tensor::from_vec(
+            [4, 2, 1],
+            vec![1.0, 0.0, 2.0, 0.0, 3.0, 0.0, 0.0, 0.0],
+        );
+        let p = Tensor::from_vec(
+            [4, 2, 1],
+            vec![1.0, 7.0, 2.0, 7.0, 3.0, 7.0, -50.0, 7.0],
+        );
+        assert!((corr_metric(&p, &t, Some(0.0)) - 1.0).abs() < 1e-6);
+        // Unmasked, the -50 at the null slot wrecks node 0's correlation.
+        assert!(corr_metric(&p, &t, None) < 0.99);
+    }
+
+    /// `EvalMetrics::compute` must thread the mask into all five metrics.
+    #[test]
+    fn compute_threads_mask_into_rrse_and_corr() {
+        let t = Tensor::from_vec([4, 1, 1], vec![1.0, 2.0, 0.0, 4.0]);
+        let p = Tensor::from_vec([4, 1, 1], vec![1.0, 2.0, 123.0, 4.0]);
+        let m = EvalMetrics::compute(&p, &t, Some(0.0));
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.rrse, 0.0);
+        assert!((m.corr - 1.0).abs() < 1e-6);
     }
 
     #[test]

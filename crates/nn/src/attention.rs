@@ -7,6 +7,7 @@
 use cts_autograd::{Parameter, Tape, Var};
 use cts_tensor::{ops, Tensor};
 use rand::Rng;
+use std::cell::RefCell;
 
 /// Which attention mechanism a layer uses.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -77,22 +78,99 @@ pub fn prob_sparse_attention(tape: &Tape, q: &Var, k: &Var, v: &Var, factor: f32
 }
 
 /// Pick the `u` query indices with the largest batch-averaged max-mean
-/// sparsity measurement.
-fn top_queries(q: &Tensor, k: &Tensor, u: usize) -> Vec<usize> {
+/// sparsity measurement, writing into caller-provided scratch.
+///
+/// Shared by the tape and tape-free paths so their selections are
+/// identical by construction (the sort's tie-breaking included).
+fn top_queries_into(q: &Tensor, k: &Tensor, u: usize, idx: &mut Vec<usize>, sel: &mut Vec<usize>) {
     let scores = ops::matmul(q, &ops::transpose_last2(k)); // [B', L, L]
     let max = ops::max_axis(&scores, 2, false); // [B', L]
     let mean = ops::mean_axis(&scores, 2, false); // [B', L]
     let m = ops::sub(&max, &mean);
     let batch_avg = ops::mean_axis(&m, 0, false); // [L]
-    let mut idx: Vec<usize> = (0..batch_avg.len()).collect();
+    idx.clear();
+    idx.extend(0..batch_avg.len());
     idx.sort_by(|&a, &b| {
         batch_avg.data()[b]
             .partial_cmp(&batch_avg.data()[a])
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    let mut sel = idx[..u].to_vec();
+    sel.clear();
+    sel.extend_from_slice(&idx[..u]);
     sel.sort_unstable();
+}
+
+/// Pick the `u` query indices with the largest batch-averaged max-mean
+/// sparsity measurement.
+fn top_queries(q: &Tensor, k: &Tensor, u: usize) -> Vec<usize> {
+    let mut idx = Vec::new();
+    let mut sel = Vec::new();
+    top_queries_into(q, k, u, &mut idx, &mut sel);
     sel
+}
+
+/// Index scratch (idx, sel, nonsel, inv) for the tape-free ProbSparse path.
+type SparseScratch = (Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>);
+
+thread_local! {
+    /// Reused across tape-free ProbSparse forwards so a steady-state
+    /// compiled plan performs no per-forward `Vec` allocation.
+    static SPARSE_SCRATCH: RefCell<SparseScratch> =
+        const { RefCell::new((Vec::new(), Vec::new(), Vec::new(), Vec::new())) };
+}
+
+/// Tape-free [`scaled_dot_attention`]: the same kernels in the same order,
+/// bit-identical output.
+pub fn scaled_dot_attention_eval(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    mask: Option<&Tensor>,
+) -> Tensor {
+    // invariant: attention inputs are at least rank 1.
+    let d = *q.shape().last().expect("attention on rank-0") as f32;
+    let mut scores = ops::scale(&ops::matmul(q, &ops::permute(k, &[0, 2, 1])), 1.0 / d.sqrt());
+    if let Some(m) = mask {
+        scores = ops::add(&scores, m);
+    }
+    ops::matmul(&ops::softmax_last(&scores), v)
+}
+
+/// Tape-free [`prob_sparse_attention`]: the same kernels and the same
+/// query selection (via the shared measurement), bit-identical output.
+pub fn prob_sparse_attention_eval(q: &Tensor, k: &Tensor, v: &Tensor, factor: f32) -> Tensor {
+    let shape = q.shape();
+    let (l, d) = (shape[1], shape[2]);
+    let u = ((factor * (l as f32).ln()).ceil() as usize).clamp(1, l);
+    if u >= l {
+        return scaled_dot_attention_eval(q, k, v, None);
+    }
+    SPARSE_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let (idx, sel, nonsel, inv) = &mut *scratch;
+        top_queries_into(q, k, u, idx, sel);
+        nonsel.clear();
+        nonsel.extend((0..l).filter(|i| !sel.contains(i)));
+
+        let q_sel = ops::index_select(q, 1, sel);
+        let scores = ops::scale(
+            &ops::matmul(&q_sel, &ops::permute(k, &[0, 2, 1])),
+            1.0 / (d as f32).sqrt(),
+        );
+        let attn_sel = ops::matmul(&ops::softmax_last(&scores), v); // [B', u, D]
+
+        let v_mean = ops::mean_axis(v, 1, true); // [B', 1, D]
+        let expand = Tensor::ones([1, l - u, 1]);
+        let v_rep = ops::mul(&v_mean, &expand); // [B', L-u, D]
+
+        let stacked = ops::concat(&[&attn_sel, &v_rep], 1); // rows: sel ++ nonsel
+        inv.clear();
+        inv.resize(l, 0);
+        for (pos, &orig) in sel.iter().chain(nonsel.iter()).enumerate() {
+            inv[orig] = pos;
+        }
+        ops::index_select(&stacked, 1, inv)
+    })
 }
 
 /// A self-attention layer with learned Q/K/V projections.
@@ -123,6 +201,19 @@ impl AttentionLayer {
             AttentionKind::Full => scaled_dot_attention(tape, &q, &k, &v, None),
             AttentionKind::ProbSparse { factor } => {
                 prob_sparse_attention(tape, &q, &k, &v, factor)
+            }
+        }
+    }
+
+    /// Tape-free self-attention mirroring [`Self::forward`].
+    pub fn forward_eval(&self, x: &Tensor) -> Tensor {
+        let q = self.wq.forward_eval(x);
+        let k = self.wk.forward_eval(x);
+        let v = self.wv.forward_eval(x);
+        match self.kind {
+            AttentionKind::Full => scaled_dot_attention_eval(&q, &k, &v, None),
+            AttentionKind::ProbSparse { factor } => {
+                prob_sparse_attention_eval(&q, &k, &v, factor)
             }
         }
     }

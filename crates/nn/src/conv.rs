@@ -1,7 +1,7 @@
 //! Temporal convolution layers over `[B, N, T, D]` activations.
 
 use cts_autograd::{Parameter, Tape, Var};
-use cts_tensor::{init, Tensor};
+use cts_tensor::{init, ops, Tensor};
 use rand::Rng;
 
 /// Dilated causal temporal convolution with optional bias.
@@ -44,6 +44,15 @@ impl TemporalConvLayer {
         }
     }
 
+    /// Tape-free forward: same kernels as [`Self::forward`], bit-identical.
+    pub fn forward_eval(&self, x: &Tensor) -> Tensor {
+        let y = ops::temporal_conv(x, &self.kernel.value(), self.dilation);
+        match &self.bias {
+            Some(b) => ops::add(&y, &b.value()),
+            None => y,
+        }
+    }
+
     /// Parameters of this layer.
     pub fn parameters(&self) -> Vec<Parameter> {
         let mut v = vec![self.kernel.clone()];
@@ -82,6 +91,13 @@ impl GatedTemporalConv {
         let f = self.filter.forward(tape, x).tanh();
         let g = self.gate.forward(tape, x).sigmoid();
         f.mul(&g)
+    }
+
+    /// Tape-free forward mirroring [`Self::forward`] kernel for kernel.
+    pub fn forward_eval(&self, x: &Tensor) -> Tensor {
+        let f = ops::tanh(&self.filter.forward_eval(x));
+        let g = ops::sigmoid(&self.gate.forward_eval(x));
+        ops::mul(&f, &g)
     }
 
     /// Parameters of both branches.

@@ -24,7 +24,10 @@ mod runstate;
 mod schedule;
 mod trainer;
 
-pub use attention::{prob_sparse_attention, scaled_dot_attention, AttentionKind, AttentionLayer};
+pub use attention::{
+    prob_sparse_attention, prob_sparse_attention_eval, scaled_dot_attention,
+    scaled_dot_attention_eval, AttentionKind, AttentionLayer,
+};
 pub use conv::{GatedTemporalConv, TemporalConvLayer};
 pub use linear::Linear;
 pub use loss::{l1_loss, masked_mae_loss, masked_mse_loss, mse_loss, LossKind};

@@ -1,7 +1,7 @@
 //! Dense (fully connected) layer applied to the last axis.
 
 use cts_autograd::{Parameter, Tape, Var};
-use cts_tensor::init;
+use cts_tensor::{init, ops, Tensor};
 use rand::Rng;
 
 /// `y = x · W (+ b)` over the last axis; leading axes are batch.
@@ -52,6 +52,17 @@ impl Linear {
         let y = x.matmul(&w);
         match &self.bias {
             Some(b) => y.add(&tape.param(b)),
+            None => y,
+        }
+    }
+
+    /// Tape-free forward: the same kernels as [`Self::forward`] in the same
+    /// order (bit-identical output), reading the weights in place instead of
+    /// copying them onto a tape.
+    pub fn forward_eval(&self, x: &Tensor) -> Tensor {
+        let y = ops::matmul(x, &self.weight.value());
+        match &self.bias {
+            Some(b) => ops::add(&y, &b.value()),
             None => y,
         }
     }

@@ -1,6 +1,7 @@
 //! Model-level traits and parameter bookkeeping.
 
 use cts_autograd::{Parameter, Tape, Var};
+use cts_tensor::Tensor;
 
 /// A collection of parameters gathered from a module tree.
 #[derive(Default, Clone)]
@@ -60,6 +61,24 @@ pub trait Forecaster {
 
     /// Toggle train/eval behaviour (batch-norm statistics, dropout).
     fn set_training(&self, _training: bool) {}
+
+    /// Current train/eval mode. Models without mode-dependent behaviour may
+    /// keep the default (`true`); stateful models should report the mode
+    /// their last `set_training` call installed so eval guards can restore
+    /// it.
+    fn is_training(&self) -> bool {
+        true
+    }
+
+    /// Gradient-free forward for inference: `x` is `[B, N, P, F]`, the
+    /// result `[B, N, Q]`. The default builds a throwaway tape; models with
+    /// a compiled execution plan override this with a tape-free path that
+    /// must stay bit-identical to [`Self::forward`].
+    fn forward_inference(&self, x: &Tensor) -> Tensor {
+        let tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        self.forward(&tape, &xv).value()
+    }
 
     /// A short human-readable model name for reports.
     fn name(&self) -> &str {

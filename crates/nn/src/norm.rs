@@ -7,7 +7,7 @@
 //! it. The substitution is noted in DESIGN.md.
 
 use cts_autograd::{Parameter, Tape, Var};
-use cts_tensor::Tensor;
+use cts_tensor::{ops, Tensor};
 use std::cell::{Cell, RefCell};
 
 /// Layer normalisation over the last (channel) axis with learnable affine.
@@ -39,6 +39,19 @@ impl LayerNorm {
         normed
             .mul(&tape.param(&self.gamma))
             .add(&tape.param(&self.beta))
+    }
+
+    /// Tape-free forward mirroring [`Self::forward`] kernel for kernel
+    /// (bit-identical output). LayerNorm is stateless, so eval and train
+    /// behaviour coincide.
+    pub fn forward_eval(&self, x: &Tensor) -> Tensor {
+        let axis = x.rank() - 1;
+        let mean = ops::mean_axis(x, axis, true);
+        let centered = ops::sub(x, &mean);
+        let var = ops::mean_axis(&ops::square(&centered), axis, true);
+        let std = ops::sqrt(&ops::add_scalar(&var, self.eps));
+        let normed = ops::div(&centered, &std);
+        ops::add(&ops::mul(&normed, &self.gamma.value()), &self.beta.value())
     }
 
     /// Learnable affine parameters.

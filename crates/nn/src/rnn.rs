@@ -7,6 +7,7 @@
 
 use crate::Linear;
 use cts_autograd::{Parameter, Tape, Var};
+use cts_tensor::{ops, Tensor};
 use rand::Rng;
 
 /// A long short-term memory layer over `[B', T, D]`.
@@ -67,6 +68,37 @@ impl Lstm {
         let all = self.forward_sequence(tape, x);
         let b = x.shape()[0];
         all.slice(1, t - 1, t).reshape(&[b, self.hidden])
+    }
+
+    /// Tape-free step mirroring [`Self::step`] kernel for kernel.
+    fn step_eval(&self, x_t: &Tensor, h: &Tensor, c: &Tensor) -> (Tensor, Tensor) {
+        let gates = ops::add(&self.wx.forward_eval(x_t), &self.wh.forward_eval(h));
+        let hsz = self.hidden;
+        let i = ops::sigmoid(&ops::slice(&gates, 1, 0, hsz));
+        let f = ops::sigmoid(&ops::slice(&gates, 1, hsz, 2 * hsz));
+        let g = ops::tanh(&ops::slice(&gates, 1, 2 * hsz, 3 * hsz));
+        let o = ops::sigmoid(&ops::slice(&gates, 1, 3 * hsz, 4 * hsz));
+        let c_new = ops::add(&ops::mul(&f, c), &ops::mul(&i, &g));
+        let h_new = ops::mul(&o, &ops::tanh(&c_new));
+        (h_new, c_new)
+    }
+
+    /// Tape-free unroll mirroring [`Self::forward_sequence`], bit-identical.
+    pub fn forward_sequence_eval(&self, x: &Tensor) -> Tensor {
+        let shape = x.shape();
+        let (b, t, d) = (shape[0], shape[1], shape[2]);
+        let mut h = Tensor::zeros([b, self.hidden]);
+        let mut c = h.clone();
+        let mut outputs = Vec::with_capacity(t);
+        for ti in 0..t {
+            let x_t = ops::slice(x, 1, ti, ti + 1).reshaped([b, d]);
+            let (h2, c2) = self.step_eval(&x_t, &h, &c);
+            h = h2;
+            c = c2;
+            outputs.push(h.clone().reshaped([b, 1, self.hidden]));
+        }
+        let refs: Vec<&Tensor> = outputs.iter().collect();
+        ops::concat(&refs, 1)
     }
 
     /// Parameters of the cell.
@@ -142,6 +174,35 @@ impl Gru {
         self.forward_sequence(tape, x)
             .slice(1, t - 1, t)
             .reshape(&[b, self.hidden])
+    }
+
+    /// Tape-free step mirroring [`Self::step`] kernel for kernel.
+    fn step_eval(&self, x_t: &Tensor, h: &Tensor) -> Tensor {
+        let hsz = self.hidden;
+        let zr = ops::add(&self.wx_zr.forward_eval(x_t), &self.wh_zr.forward_eval(h));
+        let z = ops::sigmoid(&ops::slice(&zr, 1, 0, hsz));
+        let r = ops::sigmoid(&ops::slice(&zr, 1, hsz, 2 * hsz));
+        let n = ops::tanh(&ops::add(
+            &self.wx_n.forward_eval(x_t),
+            &self.wh_n.forward_eval(&ops::mul(&r, h)),
+        ));
+        let one_minus_z = ops::add_scalar(&ops::neg(&z), 1.0);
+        ops::add(&ops::mul(&one_minus_z, &n), &ops::mul(&z, h))
+    }
+
+    /// Tape-free unroll mirroring [`Self::forward_sequence`], bit-identical.
+    pub fn forward_sequence_eval(&self, x: &Tensor) -> Tensor {
+        let shape = x.shape();
+        let (b, t, d) = (shape[0], shape[1], shape[2]);
+        let mut h = Tensor::zeros([b, self.hidden]);
+        let mut outputs = Vec::with_capacity(t);
+        for ti in 0..t {
+            let x_t = ops::slice(x, 1, ti, ti + 1).reshaped([b, d]);
+            h = self.step_eval(&x_t, &h);
+            outputs.push(h.clone().reshaped([b, 1, self.hidden]));
+        }
+        let refs: Vec<&Tensor> = outputs.iter().collect();
+        ops::concat(&refs, 1)
     }
 
     /// Parameters of the cell.

@@ -95,13 +95,16 @@ pub fn train_one_epoch(
 }
 
 /// Mean loss of `model` over `batches` without updating weights.
+///
+/// Uses the model's gradient-free [`Forecaster::forward_inference`] (the
+/// compiled plan for derived models — no gradient is needed here); only the
+/// loss itself is computed on a throwaway tape.
 pub fn evaluate_loss(model: &dyn Forecaster, batches: &[(Tensor, Tensor)], loss_kind: LossKind) -> f32 {
     model.set_training(false);
     let mut total = 0.0f64;
     for (x, y) in batches {
         let tape = Tape::new();
-        let xv = tape.constant(x.clone());
-        let pred = model.forward(&tape, &xv);
+        let pred = tape.constant(model.forward_inference(x));
         total += loss_kind.compute(&tape, &pred, y).value().item() as f64;
     }
     (total / batches.len().max(1) as f64) as f32

@@ -4,6 +4,7 @@ use crate::registry::StOperator;
 use crate::{GraphContext, OpKind};
 use cts_autograd::{Parameter, Tape, Var};
 use cts_nn::{AttentionKind, AttentionLayer};
+use cts_tensor::{ops, Tensor};
 use rand::Rng;
 
 /// Informer's default sampling factor `c` in `u = ⌈c·ln L⌉`.
@@ -33,8 +34,34 @@ fn from_spatial(y: &Var, d: [usize; 4]) -> Var {
     y.reshape(&[d[0], d[2], d[1], d[3]]).permute(&[0, 2, 1, 3])
 }
 
+// Tape-free view mirrors: a `Var::reshape` clones the value then
+// reinterprets the shape, so `clone().reshaped(..)` is bit-identical.
+
+fn temporal_view_eval(x: &Tensor) -> (Tensor, [usize; 4]) {
+    let s = x.shape();
+    let dims = [s[0], s[1], s[2], s[3]];
+    (x.clone().reshaped([dims[0] * dims[1], dims[2], dims[3]]), dims)
+}
+
+fn spatial_view_eval(x: &Tensor) -> (Tensor, [usize; 4]) {
+    let s = x.shape();
+    let dims = [s[0], s[1], s[2], s[3]];
+    (
+        ops::permute(x, &[0, 2, 1, 3]).reshaped([dims[0] * dims[2], dims[1], dims[3]]),
+        dims,
+    )
+}
+
+fn from_temporal_eval(y: Tensor, d: [usize; 4]) -> Tensor {
+    y.reshaped([d[0], d[1], d[2], d[3]])
+}
+
+fn from_spatial_eval(y: Tensor, d: [usize; 4]) -> Tensor {
+    ops::permute(&y.reshaped([d[0], d[2], d[1], d[3]]), &[0, 2, 1, 3])
+}
+
 macro_rules! attention_op {
-    ($name:ident, $kind:expr, $attn:expr, $view:ident, $unview:ident, $doc:literal) => {
+    ($name:ident, $kind:expr, $attn:expr, $view:ident, $unview:ident, $view_eval:ident, $unview_eval:ident, $doc:literal) => {
         #[doc = $doc]
         pub struct $name {
             attn: AttentionLayer,
@@ -56,6 +83,12 @@ macro_rules! attention_op {
                 $unview(&y, dims)
             }
 
+            fn forward_eval(&self, x: &Tensor, _ctx: &GraphContext) -> Tensor {
+                let (v, dims) = $view_eval(x);
+                let y = self.attn.forward_eval(&v);
+                $unview_eval(y, dims)
+            }
+
             fn parameters(&self) -> Vec<Parameter> {
                 self.attn.parameters()
             }
@@ -73,6 +106,8 @@ attention_op!(
     AttentionKind::Full,
     temporal_view,
     from_temporal,
+    temporal_view_eval,
+    from_temporal_eval,
     "Full self-attention over timestamps per series (Eq. 12)."
 );
 
@@ -82,6 +117,8 @@ attention_op!(
     AttentionKind::ProbSparse { factor: INFORMER_FACTOR },
     temporal_view,
     from_temporal,
+    temporal_view_eval,
+    from_temporal_eval,
     "ProbSparse self-attention over timestamps per series — INF-T (Eq. 13)."
 );
 
@@ -91,6 +128,8 @@ attention_op!(
     AttentionKind::Full,
     spatial_view,
     from_spatial,
+    spatial_view_eval,
+    from_spatial_eval,
     "Full self-attention over series per timestamp (Eq. 16)."
 );
 
@@ -100,6 +139,8 @@ attention_op!(
     AttentionKind::ProbSparse { factor: INFORMER_FACTOR },
     spatial_view,
     from_spatial,
+    spatial_view_eval,
+    from_spatial_eval,
     "ProbSparse self-attention over series per timestamp — INF-S (Eq. 17)."
 );
 

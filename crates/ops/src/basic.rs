@@ -4,6 +4,7 @@ use crate::{GraphContext, OpKind};
 use crate::registry::StOperator;
 use cts_autograd::{Parameter, Tape, Var};
 use cts_nn::{GatedTemporalConv, TemporalConvLayer};
+use cts_tensor::{ops, Tensor};
 use rand::Rng;
 
 /// The zero operator: cuts an edge in the micro-DAG.
@@ -12,6 +13,10 @@ pub struct ZeroOp;
 impl StOperator for ZeroOp {
     fn forward(&self, _tape: &Tape, x: &Var, _ctx: &GraphContext) -> Var {
         x.scale(0.0)
+    }
+
+    fn forward_eval(&self, x: &Tensor, _ctx: &GraphContext) -> Tensor {
+        ops::scale(x, 0.0)
     }
 
     fn parameters(&self) -> Vec<Parameter> {
@@ -28,6 +33,10 @@ pub struct IdentityOp;
 
 impl StOperator for IdentityOp {
     fn forward(&self, _tape: &Tape, x: &Var, _ctx: &GraphContext) -> Var {
+        x.clone()
+    }
+
+    fn forward_eval(&self, x: &Tensor, _ctx: &GraphContext) -> Tensor {
         x.clone()
     }
 
@@ -59,6 +68,10 @@ impl StOperator for Conv1dOp {
         self.conv.forward(tape, x)
     }
 
+    fn forward_eval(&self, x: &Tensor, _ctx: &GraphContext) -> Tensor {
+        self.conv.forward_eval(x)
+    }
+
     fn parameters(&self) -> Vec<Parameter> {
         self.conv.parameters()
     }
@@ -86,6 +99,10 @@ impl GdccOp {
 impl StOperator for GdccOp {
     fn forward(&self, tape: &Tape, x: &Var, _ctx: &GraphContext) -> Var {
         self.gate.forward(tape, x)
+    }
+
+    fn forward_eval(&self, x: &Tensor, _ctx: &GraphContext) -> Tensor {
+        self.gate.forward_eval(x)
     }
 
     fn parameters(&self) -> Vec<Parameter> {

@@ -3,7 +3,7 @@
 
 use cts_autograd::{Parameter, Tape, Var};
 use cts_graph::{chebyshev_basis, transition_matrices, transition_powers, SensorGraph};
-use cts_tensor::{init, Tensor};
+use cts_tensor::{init, ops, Tensor};
 use rand::Rng;
 
 /// Everything an S-operator needs beyond its own weights.
@@ -81,6 +81,30 @@ impl GraphContext {
         })
     }
 
+    /// Forward diffusion supports as raw tensors (tape-free path).
+    pub fn diffusion_fwd_tensors(&self) -> &[Tensor] {
+        &self.diffusion_fwd
+    }
+
+    /// Backward diffusion supports as raw tensors (tape-free path).
+    pub fn diffusion_bwd_tensors(&self) -> &[Tensor] {
+        &self.diffusion_bwd
+    }
+
+    /// Chebyshev basis as raw tensors (tape-free path).
+    pub fn chebyshev_tensors(&self) -> &[Tensor] {
+        &self.cheb
+    }
+
+    /// Tape-free adaptive adjacency mirroring [`Self::adaptive_support`]
+    /// kernel for kernel; reads the embeddings in place, so weight updates
+    /// flow through without recompilation.
+    pub fn adaptive_support_eval(&self) -> Option<Tensor> {
+        self.adaptive.as_ref().map(|(e1, e2)| {
+            ops::softmax_last(&ops::relu(&ops::matmul(&e1.value(), &e2.value())))
+        })
+    }
+
     /// Embedding parameters (must be trained with the network weights).
     pub fn parameters(&self) -> Vec<Parameter> {
         match &self.adaptive {
@@ -112,6 +136,15 @@ pub fn node_mix(x: &Var, support: &Var) -> Var {
     let xt = x.permute(&[0, 2, 1, 3]); // [B,T,N,D]
     let mixed = support.matmul(&xt); // broadcast over [B,T]
     mixed.permute(&[0, 2, 1, 3])
+}
+
+/// Tape-free [`node_mix`]: the same permute → matmul → permute kernels,
+/// bit-identical output.
+pub fn node_mix_eval(x: &Tensor, support: &Tensor) -> Tensor {
+    debug_assert_eq!(x.rank(), 4);
+    let xt = ops::permute(x, &[0, 2, 1, 3]); // [B,T,N,D]
+    let mixed = ops::matmul(support, &xt); // broadcast over [B,T]
+    ops::permute(&mixed, &[0, 2, 1, 3])
 }
 
 #[cfg(test)]

@@ -2,9 +2,10 @@
 //! (Eq. 15).
 
 use crate::registry::StOperator;
-use crate::{node_mix, GraphContext, OpKind};
+use crate::{node_mix, node_mix_eval, GraphContext, OpKind};
 use cts_autograd::{Parameter, Tape, Var};
 use cts_nn::Linear;
+use cts_tensor::{ops, Tensor};
 use rand::Rng;
 
 /// Chebyshev graph convolution: `H_t = Σ_k W_k T_k(L̃) Z_t`.
@@ -34,6 +35,20 @@ impl StOperator for ChebGcnOp {
             let term = w_k.forward(tape, &mixed);
             acc = Some(match acc {
                 Some(a) => a.add(&term),
+                None => term,
+            });
+        }
+        // invariant: gcn_k >= 1 (validated config), so the basis is non-empty.
+        acc.expect("chebyshev basis is never empty")
+    }
+
+    fn forward_eval(&self, x: &Tensor, ctx: &GraphContext) -> Tensor {
+        let mut acc: Option<Tensor> = None;
+        for (t_k, w_k) in ctx.chebyshev_tensors().iter().zip(self.weights.iter()) {
+            let mixed = node_mix_eval(x, t_k);
+            let term = w_k.forward_eval(&mixed);
+            acc = Some(match acc {
+                Some(a) => ops::add(&a, &term),
                 None => term,
             });
         }
@@ -101,6 +116,25 @@ impl StOperator for DgcnOp {
             for w_k in &self.adp_weights {
                 mixed = node_mix(&mixed, &adp);
                 acc = acc.add(&w_k.forward(tape, &mixed));
+            }
+        }
+        acc
+    }
+
+    fn forward_eval(&self, x: &Tensor, ctx: &GraphContext) -> Tensor {
+        // k = 0 term: the node's own features.
+        let mut acc = self.self_weight.forward_eval(x);
+        for (p_k, w_k) in ctx.diffusion_fwd_tensors().iter().zip(self.fwd_weights.iter()) {
+            acc = ops::add(&acc, &w_k.forward_eval(&node_mix_eval(x, p_k)));
+        }
+        for (p_k, w_k) in ctx.diffusion_bwd_tensors().iter().zip(self.bwd_weights.iter()) {
+            acc = ops::add(&acc, &w_k.forward_eval(&node_mix_eval(x, p_k)));
+        }
+        if let Some(adp) = ctx.adaptive_support_eval() {
+            let mut mixed = x.clone();
+            for w_k in &self.adp_weights {
+                mixed = node_mix_eval(&mixed, &adp);
+                acc = ops::add(&acc, &w_k.forward_eval(&mixed));
             }
         }
         acc

@@ -6,12 +6,17 @@ use crate::{
 };
 use cts_autograd::{Parameter, Tape, Var};
 use cts_nn::LayerNorm;
+use cts_tensor::Tensor;
 use rand::Rng;
 
 /// A spatio-temporal operator: `[B,N,T,D] → [B,N,T,D]`.
 pub trait StOperator {
     /// Apply the operator.
     fn forward(&self, tape: &Tape, x: &Var, ctx: &GraphContext) -> Var;
+    /// Tape-free forward for compiled inference plans. Implementations MUST
+    /// call the same kernels in the same order as [`Self::forward`] so the
+    /// output is bit-identical (weights are read in place, never copied).
+    fn forward_eval(&self, x: &Tensor, ctx: &GraphContext) -> Tensor;
     /// The operator's trainable weights (excluding shared context params).
     fn parameters(&self) -> Vec<Parameter>;
     /// Which kind this operator instantiates.
@@ -50,6 +55,12 @@ impl StOperator for ReluNormed {
         let activated = x.relu();
         let out = self.inner.forward(tape, &activated, ctx);
         self.norm.forward(tape, &out)
+    }
+
+    fn forward_eval(&self, x: &Tensor, ctx: &GraphContext) -> Tensor {
+        let activated = cts_tensor::ops::relu(x);
+        let out = self.inner.forward_eval(&activated, ctx);
+        self.norm.forward_eval(&out)
     }
 
     fn parameters(&self) -> Vec<Parameter> {

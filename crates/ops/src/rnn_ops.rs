@@ -6,6 +6,7 @@ use crate::registry::StOperator;
 use crate::{GraphContext, OpKind};
 use cts_autograd::{Parameter, Tape, Var};
 use cts_nn::{Gru, Lstm};
+use cts_tensor::Tensor;
 use rand::Rng;
 
 fn to_series(x: &Var) -> (Var, [usize; 4]) {
@@ -16,6 +17,19 @@ fn to_series(x: &Var) -> (Var, [usize; 4]) {
 
 fn from_series(y: &Var, dims: [usize; 4]) -> Var {
     y.reshape(&[dims[0], dims[1], dims[2], dims[3]])
+}
+
+// Tape-free view mirrors of `to_series` / `from_series`: `Var::reshape`
+// clones the value and reinterprets the shape, so these are bit-identical.
+
+fn to_series_eval(x: &Tensor) -> (Tensor, [usize; 4]) {
+    let s = x.shape();
+    let dims = [s[0], s[1], s[2], s[3]];
+    (x.clone().reshaped([dims[0] * dims[1], dims[2], dims[3]]), dims)
+}
+
+fn from_series_eval(y: Tensor, dims: [usize; 4]) -> Tensor {
+    y.reshaped([dims[0], dims[1], dims[2], dims[3]])
 }
 
 /// LSTM applied independently to each series (Eq. 10); hidden width = D so
@@ -38,6 +52,12 @@ impl StOperator for LstmOp {
         let (series, dims) = to_series(x);
         let y = self.cell.forward_sequence(tape, &series);
         from_series(&y, dims)
+    }
+
+    fn forward_eval(&self, x: &Tensor, _ctx: &GraphContext) -> Tensor {
+        let (series, dims) = to_series_eval(x);
+        let y = self.cell.forward_sequence_eval(&series);
+        from_series_eval(y, dims)
     }
 
     fn parameters(&self) -> Vec<Parameter> {
@@ -68,6 +88,12 @@ impl StOperator for GruOp {
         let (series, dims) = to_series(x);
         let y = self.cell.forward_sequence(tape, &series);
         from_series(&y, dims)
+    }
+
+    fn forward_eval(&self, x: &Tensor, _ctx: &GraphContext) -> Tensor {
+        let (series, dims) = to_series_eval(x);
+        let y = self.cell.forward_sequence_eval(&series);
+        from_series_eval(y, dims)
     }
 
     fn parameters(&self) -> Vec<Parameter> {

@@ -1,0 +1,153 @@
+//! Request micro-batching: coalesce concurrent sensor-stream requests into
+//! one batched forward through a compiled plan.
+
+use crate::ExecPlan;
+use cts_tensor::{ops, Tensor};
+use std::rc::Rc;
+
+/// Coalesces pending forecast requests into batched [`ExecPlan::run`]
+/// calls.
+///
+/// Each submitted request is a window batch `[b_i, N, T, F]` (typically
+/// `b_i = 1`: one live stream). [`flush`] greedily packs consecutive
+/// requests up to `max_batch` windows, runs each pack as a single forward,
+/// and slices the batched output back into per-request tensors in
+/// submission order. Row-independence of the forward (all mixing happens
+/// within a window) makes a coalesced answer identical to a solo one.
+///
+/// [`flush`]: Self::flush
+pub struct MicroBatcher {
+    plan: Rc<ExecPlan>,
+    max_batch: usize,
+    pending: Vec<Tensor>,
+}
+
+impl MicroBatcher {
+    /// Batcher over `plan` packing at most `max_batch` windows per forward.
+    pub fn new(plan: Rc<ExecPlan>, max_batch: usize) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        Self {
+            plan,
+            max_batch,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Queue one request (`[b_i, N, T, F]`).
+    pub fn submit(&mut self, x: Tensor) {
+        assert_eq!(
+            x.shape()[1..],
+            [self.plan.nodes(), self.plan.input_len(), self.plan.features()],
+            "request shape does not match the compiled plan"
+        );
+        self.pending.push(x);
+    }
+
+    /// Number of queued requests.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Run every queued request, coalescing consecutive ones into batched
+    /// forwards, and return the per-request forecasts (`[b_i, N, Q]`) in
+    /// submission order.
+    pub fn flush(&mut self) -> Vec<Tensor> {
+        let requests = std::mem::take(&mut self.pending);
+        let mut out = Vec::with_capacity(requests.len());
+        let mut start = 0;
+        while start < requests.len() {
+            let mut end = start + 1;
+            let mut total = requests[start].shape()[0];
+            while end < requests.len() && total + requests[end].shape()[0] <= self.max_batch {
+                total += requests[end].shape()[0];
+                end += 1;
+            }
+            let y = if end - start == 1 {
+                self.plan.run(&requests[start])
+            } else {
+                let group: Vec<&Tensor> = requests[start..end].iter().collect();
+                self.plan.run(&ops::concat(&group, 0))
+            };
+            let mut off = 0;
+            for r in &requests[start..end] {
+                let b = r.shape()[0];
+                out.push(ops::slice(&y, 0, off, off + b));
+                off += b;
+            }
+            start = end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockPlan, PlanSpec};
+    use cts_graph::SensorGraph;
+    use cts_nn::Linear;
+    use cts_ops::{build_operator, GraphContext, OpKind, StOperator};
+    use cts_tensor::init;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn plan(rng: &mut impl Rng) -> Rc<ExecPlan> {
+        let (n, t, f, d) = (3, 4, 2, 4);
+        let op: Rc<dyn StOperator> = Rc::from(build_operator(rng, OpKind::Gdcc, "op", d, 2, false));
+        Rc::new(
+            ExecPlan::compile(PlanSpec {
+                embed: Rc::new(Linear::new(rng, "embed", f, d, true)),
+                output: Rc::new(Linear::new(rng, "output", t * d, 5, true)),
+                ctx: Rc::new(GraphContext::from_graph(&SensorGraph::identity(n), 2)),
+                blocks: vec![BlockPlan {
+                    m: 2,
+                    edges: vec![(0, 1, op)],
+                }],
+                backbone: vec![0],
+                out_scale: 1.0,
+                out_shift: 0.0,
+                input_len: t,
+                d_model: d,
+                nodes: n,
+                features: f,
+            })
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn coalesced_results_match_solo_runs() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let plan = plan(&mut rng);
+        let requests: Vec<Tensor> = (0..5)
+            .map(|_| init::uniform(&mut rng, [1, 3, 4, 2], -1.0, 1.0))
+            .collect();
+        let mut batcher = MicroBatcher::new(Rc::clone(&plan), 4);
+        for r in &requests {
+            batcher.submit(r.clone());
+        }
+        assert_eq!(batcher.pending(), 5);
+        let coalesced = batcher.flush();
+        assert_eq!(batcher.pending(), 0);
+        assert_eq!(coalesced.len(), 5);
+        for (r, y) in requests.iter().zip(&coalesced) {
+            let solo = plan.run(r);
+            assert_eq!(y.shape(), &[1, 3, 5]);
+            assert!(solo.approx_eq(y, 1e-6), "coalesced forecast drifted");
+        }
+    }
+
+    #[test]
+    fn respects_max_batch_and_order() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let plan = plan(&mut rng);
+        let mut batcher = MicroBatcher::new(plan, 2);
+        let a = init::uniform(&mut rng, [2, 3, 4, 2], -1.0, 1.0);
+        let b = init::uniform(&mut rng, [1, 3, 4, 2], -1.0, 1.0);
+        batcher.submit(a);
+        batcher.submit(b);
+        let out = batcher.flush();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].shape(), &[2, 3, 5]);
+        assert_eq!(out[1].shape(), &[1, 3, 5]);
+    }
+}

@@ -1,0 +1,34 @@
+//! `cts-runtime`: compiled, tape-free inference plans for derived models.
+//!
+//! The tape (`cts-autograd`) exists to record a backward pass; at inference
+//! time it is pure overhead — every forward allocates `Rc` nodes, clones
+//! parameter tensors onto the tape, and rebuilds the graph from scratch.
+//! This crate compiles a derived architecture once into an [`ExecPlan`]: a
+//! topologically ordered flat list of op records whose intermediate buffer
+//! shapes are pre-computed symbolically (via the same `OpKind::infer_shape`
+//! contract `cts-verify` uses), then executed as a plain loop that calls the
+//! tensor kernels directly. After [`ExecPlan::prewarm`], a steady-state
+//! forward performs **zero** heap allocations (all buffers cycle through the
+//! tensor arena) and is bit-identical to the tape forward by construction:
+//! each op's `forward_eval` invokes the same kernels in the same order as
+//! its tape `forward`, reading weights in place so retraining updates flow
+//! through without recompilation.
+//!
+//! On top of the plan sit the serving pieces: a [`PlanRegistry`] keyed by
+//! model id and a [`MicroBatcher`] that coalesces concurrent sensor streams
+//! into one batched forward.
+//!
+//! This crate deliberately does **not** depend on `cts-autograd`; the lint
+//! suite rejects any `Tape` import here so the tape-free property is
+//! structural, not aspirational.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod batcher;
+mod plan;
+mod registry;
+
+pub use batcher::MicroBatcher;
+pub use plan::{BlockPlan, ExecPlan, PlanError, PlanSpec};
+pub use registry::PlanRegistry;

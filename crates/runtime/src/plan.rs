@@ -1,0 +1,510 @@
+//! Genotype → flat execution plan compilation and the tape-free interpreter.
+
+use cts_nn::Linear;
+use cts_ops::{GraphContext, OpKind, ShapeCtx, ShapeIssue, StOperator};
+use cts_tensor::sym::{eval_shape, format_shape, SymDim};
+use cts_tensor::{arena, ops, Tensor};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// One discrete ST-block, described structurally for compilation.
+pub struct BlockPlan {
+    /// Number of nodes in the block's micro-DAG (`m ≥ 2`).
+    pub m: usize,
+    /// Edges `(from, to, operator)` with `from < to`, in genotype order —
+    /// the interpreter folds same-target edges in exactly this order so the
+    /// accumulation sequence matches the tape forward bit for bit.
+    pub edges: Vec<(usize, usize, Rc<dyn StOperator>)>,
+}
+
+/// Everything needed to compile a derived model into an [`ExecPlan`].
+///
+/// Layers and the graph context are shared (`Rc`) with the model that owns
+/// them and their weights are read **in place** at execution time, so
+/// retraining steps between inference calls are picked up without
+/// recompiling.
+pub struct PlanSpec {
+    /// Embedding layer `features → d_model`.
+    pub embed: Rc<Linear>,
+    /// Output layer `input_len·d_model → Q`.
+    pub output: Rc<Linear>,
+    /// Shared graph supports / adaptive adjacency.
+    pub ctx: Rc<GraphContext>,
+    /// The ST-blocks of the backbone, in order.
+    pub blocks: Vec<BlockPlan>,
+    /// `backbone[i]` = index into the source list (0 = embedding output,
+    /// `k > 0` = output of block `k-1`) feeding block `i`.
+    pub backbone: Vec<usize>,
+    /// Inverse-scaler multiplier applied to the output layer's result.
+    pub out_scale: f32,
+    /// Inverse-scaler shift applied after `out_scale`.
+    pub out_shift: f32,
+    /// History window length `T`.
+    pub input_len: usize,
+    /// Channel width `D`.
+    pub d_model: usize,
+    /// Node (sensor) count `N`.
+    pub nodes: usize,
+    /// Input feature count `F`.
+    pub features: usize,
+}
+
+/// Why a [`PlanSpec`] failed to compile.
+#[derive(Debug)]
+pub enum PlanError {
+    /// A step's input shape was rejected by the operator's shape rule.
+    Shape {
+        /// Index of the offending step in the flat program.
+        step: usize,
+        /// The operator kind that rejected its input.
+        kind: OpKind,
+        /// The shape rule's explanation.
+        issue: ShapeIssue,
+    },
+    /// The two sides of a residual/merge add have different shapes.
+    Mismatch {
+        /// Index of the offending step in the flat program.
+        step: usize,
+        /// Rendered shape of the left operand.
+        left: String,
+        /// Rendered shape of the right operand.
+        right: String,
+    },
+    /// The spec is structurally invalid (bad backbone index, empty block,
+    /// node without an incoming edge, layer sized for a different width…).
+    Invalid(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Shape { step, kind, issue } => {
+                write!(f, "step {step} ({kind}): {issue}")
+            }
+            PlanError::Mismatch { step, left, right } => {
+                write!(f, "step {step}: add operands disagree: {left} vs {right}")
+            }
+            PlanError::Invalid(msg) => write!(f, "invalid plan spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One record of the flat program. Slots index the plan's workspace.
+enum Step {
+    /// `dst (+)= op(slot[src])`; `accumulate` folds onto the existing value
+    /// exactly like the tape's `acc.add(&y)`.
+    Op {
+        op: Rc<dyn StOperator>,
+        src: usize,
+        dst: usize,
+        accumulate: bool,
+    },
+    /// `dst = slot[a] + slot[b]` (block residual / skip merge).
+    Add { a: usize, b: usize, dst: usize },
+}
+
+/// A compiled, tape-free forward program for one derived architecture.
+///
+/// Built once by [`ExecPlan::compile`]; [`ExecPlan::run`] then executes the
+/// flat step list with no graph construction, no `Rc` tape nodes, and —
+/// after [`ExecPlan::prewarm`] — no heap allocation: every intermediate
+/// cycles through the tensor arena.
+pub struct ExecPlan {
+    embed: Rc<Linear>,
+    output: Rc<Linear>,
+    ctx: Rc<GraphContext>,
+    steps: Vec<Step>,
+    /// Symbolic shape of every slot (`[B, N, T, D]` with `B` free).
+    slot_shapes: Vec<Vec<SymDim>>,
+    merged_slot: usize,
+    out_scale: f32,
+    out_shift: f32,
+    input_len: usize,
+    d_model: usize,
+    nodes: usize,
+    features: usize,
+    /// Reusable workspace: one cell per slot, kept warm across runs so
+    /// dropped intermediates recycle straight into the arena.
+    slots: RefCell<Vec<Option<Tensor>>>,
+}
+
+impl ExecPlan {
+    /// Compile a spec into a flat program, statically validating every
+    /// intermediate shape through the `OpKind::infer_shape` contract (the
+    /// same rules `cts-verify` applies to candidate architectures).
+    ///
+    /// # Errors
+    /// [`PlanError`] when the spec is structurally invalid or any step's
+    /// shapes cannot be proven consistent.
+    pub fn compile(spec: PlanSpec) -> Result<Self, PlanError> {
+        if spec.blocks.is_empty() {
+            return Err(PlanError::Invalid("no blocks".into()));
+        }
+        if spec.backbone.len() != spec.blocks.len() {
+            return Err(PlanError::Invalid(format!(
+                "backbone length {} != block count {}",
+                spec.backbone.len(),
+                spec.blocks.len()
+            )));
+        }
+        if spec.embed.d_out() != spec.d_model {
+            return Err(PlanError::Invalid(format!(
+                "embedding outputs {} channels, model width is {}",
+                spec.embed.d_out(),
+                spec.d_model
+            )));
+        }
+        if spec.output.d_in() != spec.input_len * spec.d_model {
+            return Err(PlanError::Invalid(format!(
+                "output layer reads {} features, backbone produces {}",
+                spec.output.d_in(),
+                spec.input_len * spec.d_model
+            )));
+        }
+
+        let shape_ctx = ShapeCtx {
+            width: spec.d_model,
+            graph_nodes: Some(spec.nodes),
+        };
+        // Every backbone intermediate is [B, N, T, D] with B left symbolic;
+        // the per-step checks below prove it rather than assume it.
+        let bntd = vec![
+            SymDim::Sym("B"),
+            SymDim::Const(spec.nodes),
+            SymDim::Const(spec.input_len),
+            SymDim::Const(spec.d_model),
+        ];
+
+        let mut steps: Vec<Step> = Vec::new();
+        let mut slot_shapes: Vec<Vec<SymDim>> = vec![bntd]; // slot 0 = z
+
+        // source_slots[k]: 0 = embedding output, k > 0 = block k-1 residual.
+        let mut source_slots = vec![0usize];
+        let mut block_out_slots = Vec::with_capacity(spec.blocks.len());
+        for (i, block) in spec.blocks.iter().enumerate() {
+            if block.m < 2 {
+                return Err(PlanError::Invalid(format!("block {i}: m = {} < 2", block.m)));
+            }
+            let src_idx = spec.backbone[i];
+            if src_idx >= source_slots.len() {
+                return Err(PlanError::Invalid(format!(
+                    "block {i}: backbone index {src_idx} refers to a later block"
+                )));
+            }
+            let input_slot = source_slots[src_idx];
+            // Node 0 aliases the block input; nodes 1..m get fresh slots.
+            let mut node_slots = vec![input_slot];
+            for j in 1..block.m {
+                let mut first = true;
+                let dst = {
+                    let s = slot_shapes[input_slot].clone();
+                    slot_shapes.push(s);
+                    slot_shapes.len() - 1
+                };
+                for (from, to, op) in &block.edges {
+                    if *to != j {
+                        continue;
+                    }
+                    if *from >= node_slots.len() {
+                        return Err(PlanError::Invalid(format!(
+                            "block {i}: edge {from}→{to} is not a forward edge"
+                        )));
+                    }
+                    let src = node_slots[*from];
+                    let out_shape = op
+                        .kind()
+                        .infer_shape(&slot_shapes[src], &shape_ctx)
+                        .map_err(|issue| PlanError::Shape {
+                            step: steps.len(),
+                            kind: op.kind(),
+                            issue,
+                        })?;
+                    if !first && out_shape != slot_shapes[dst] {
+                        return Err(PlanError::Mismatch {
+                            step: steps.len(),
+                            left: format_shape(&slot_shapes[dst]),
+                            right: format_shape(&out_shape),
+                        });
+                    }
+                    slot_shapes[dst] = out_shape;
+                    steps.push(Step::Op {
+                        op: Rc::clone(op),
+                        src,
+                        dst,
+                        accumulate: !first,
+                    });
+                    first = false;
+                }
+                if first {
+                    return Err(PlanError::Invalid(format!(
+                        "block {i}: node {j} has no incoming edge"
+                    )));
+                }
+                node_slots.push(dst);
+            }
+            // Block-level residual: out = block(input) + input.
+            let out_slot = node_slots[block.m - 1];
+            if slot_shapes[out_slot] != slot_shapes[input_slot] {
+                return Err(PlanError::Mismatch {
+                    step: steps.len(),
+                    left: format_shape(&slot_shapes[out_slot]),
+                    right: format_shape(&slot_shapes[input_slot]),
+                });
+            }
+            let resid = slot_shapes.len();
+            let resid_shape = slot_shapes[out_slot].clone();
+            slot_shapes.push(resid_shape);
+            steps.push(Step::Add {
+                a: out_slot,
+                b: input_slot,
+                dst: resid,
+            });
+            source_slots.push(resid);
+            block_out_slots.push(resid);
+        }
+
+        // Skip-merge: merged = Σ block outputs, folded in block order
+        // exactly like the tape forward.
+        let mut merged_slot = block_out_slots[0];
+        for &next in &block_out_slots[1..] {
+            if slot_shapes[next] != slot_shapes[merged_slot] {
+                return Err(PlanError::Mismatch {
+                    step: steps.len(),
+                    left: format_shape(&slot_shapes[merged_slot]),
+                    right: format_shape(&slot_shapes[next]),
+                });
+            }
+            let dst = slot_shapes.len();
+            let dst_shape = slot_shapes[merged_slot].clone();
+            slot_shapes.push(dst_shape);
+            steps.push(Step::Add {
+                a: merged_slot,
+                b: next,
+                dst,
+            });
+            merged_slot = dst;
+        }
+
+        let num_slots = slot_shapes.len();
+        Ok(Self {
+            embed: spec.embed,
+            output: spec.output,
+            ctx: spec.ctx,
+            steps,
+            slot_shapes,
+            merged_slot,
+            out_scale: spec.out_scale,
+            out_shift: spec.out_shift,
+            input_len: spec.input_len,
+            d_model: spec.d_model,
+            nodes: spec.nodes,
+            features: spec.features,
+            slots: RefCell::new((0..num_slots).map(|_| None).collect()),
+        })
+    }
+
+    /// Execute the plan on a batch `x` of shape `[B, N, T, F]`, producing
+    /// `[B, N, Q]` in the data's original units — bit-identical to the tape
+    /// forward of the model the plan was compiled from.
+    pub fn run(&self, x: &Tensor) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 4, "plan input must be [B, N, T, F], got rank {}", s.len());
+        assert_eq!(
+            &s[1..],
+            [self.nodes, self.input_len, self.features],
+            "plan compiled for [B, {}, {}, {}], got {s:?}",
+            self.nodes,
+            self.input_len,
+            self.features
+        );
+        let mut slots = self.slots.borrow_mut();
+        slots[0] = Some(self.embed.forward_eval(x));
+        for step in &self.steps {
+            match step {
+                Step::Op {
+                    op,
+                    src,
+                    dst,
+                    accumulate,
+                } => {
+                    // invariant: compile emits steps in topological order, so
+                    // the source slot of every step is already filled.
+                    let y = op.forward_eval(slots[*src].as_ref().expect("topological order"), &self.ctx);
+                    if *accumulate {
+                        // invariant: accumulate is only set after a first
+                        // non-accumulating write to the same slot.
+                        let acc = slots[*dst].take().expect("first edge wrote the slot");
+                        slots[*dst] = Some(ops::add(&acc, &y));
+                    } else {
+                        slots[*dst] = Some(y);
+                    }
+                }
+                Step::Add { a, b, dst } => {
+                    // invariant: compile emits steps in topological order, so
+                    // both operand slots are already filled.
+                    let left = slots[*a].as_ref().expect("topological order");
+                    let right = slots[*b].as_ref().expect("topological order");
+                    let sum = ops::add(left, right);
+                    slots[*dst] = Some(sum);
+                }
+            }
+        }
+        // invariant: merged_slot is the last slot the step list writes.
+        let merged = slots[self.merged_slot].as_ref().expect("program writes merged slot");
+        // Projection epilogue, mirroring Scaffold::project kernel for kernel:
+        // relu → flatten [B,N,T·D] → output linear → inverse-scaler affine.
+        let (b, n) = (merged.shape()[0], merged.shape()[1]);
+        let flat = ops::relu(merged).reshaped([b, n, self.input_len * self.d_model]);
+        let out = self.output.forward_eval(&flat);
+        ops::add_scalar(&ops::scale(&out, self.out_scale), self.out_shift)
+    }
+
+    /// Prime the tensor arena for batch size `batch` so subsequent [`run`]
+    /// calls allocate nothing: seeds the arena with every slot-sized buffer,
+    /// then performs two warm-up forwards to let op-internal scratch
+    /// (attention score matrices, RNN state) reach steady state.
+    ///
+    /// [`run`]: Self::run
+    pub fn prewarm(&self, batch: usize) {
+        let lens: Vec<usize> = self
+            .slot_shapes
+            .iter()
+            .filter_map(|s| eval_shape(s, &[("B", batch)]))
+            .map(|dims| dims.iter().product())
+            .collect();
+        arena::prewarm(&lens);
+        let x = Tensor::zeros([batch, self.nodes, self.input_len, self.features]);
+        let _ = self.run(&x);
+        let _ = self.run(&x);
+    }
+
+    /// Number of records in the flat program (diagnostics / reports).
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Number of workspace slots (diagnostics / reports).
+    pub fn num_slots(&self) -> usize {
+        self.slot_shapes.len()
+    }
+
+    /// Node (sensor) count the plan was compiled for.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// History window length the plan was compiled for.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Input feature count the plan was compiled for.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_graph::SensorGraph;
+    use cts_ops::build_operator;
+    use cts_tensor::init;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn tiny_spec(rng: &mut impl Rng, kind: OpKind) -> PlanSpec {
+        let d = 4;
+        let (n, t, f) = (3, 5, 2);
+        let ctx = Rc::new(GraphContext::from_graph(&SensorGraph::identity(n), 2));
+        let op: Rc<dyn StOperator> = Rc::from(build_operator(rng, kind, "op", d, 2, false));
+        let id: Rc<dyn StOperator> = Rc::from(build_operator(rng, OpKind::Identity, "id", d, 2, false));
+        PlanSpec {
+            embed: Rc::new(Linear::new(rng, "embed", f, d, true)),
+            output: Rc::new(Linear::new(rng, "output", t * d, 6, true)),
+            ctx,
+            blocks: vec![BlockPlan {
+                m: 3,
+                edges: vec![(0, 1, op), (1, 2, id)],
+            }],
+            backbone: vec![0],
+            out_scale: 2.0,
+            out_shift: 1.0,
+            input_len: t,
+            d_model: d,
+            nodes: n,
+            features: f,
+        }
+    }
+
+    #[test]
+    fn compiles_and_runs_with_expected_shape() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let plan = ExecPlan::compile(tiny_spec(&mut rng, OpKind::Gdcc)).unwrap();
+        assert_eq!(plan.num_steps(), 3); // two edges + residual
+        let x = init::uniform(&mut rng, [2, 3, 5, 2], -1.0, 1.0);
+        let y = plan.run(&x);
+        assert_eq!(y.shape(), &[2, 3, 6]);
+        // Deterministic: same input, same bits.
+        let y2 = plan.run(&x);
+        assert!(y.approx_eq(&y2, 0.0));
+    }
+
+    #[test]
+    fn run_is_batch_size_polymorphic() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let plan = ExecPlan::compile(tiny_spec(&mut rng, OpKind::Dgcn)).unwrap();
+        for b in [1usize, 2, 7] {
+            let x = init::uniform(&mut rng, [b, 3, 5, 2], -1.0, 1.0);
+            assert_eq!(plan.run(&x).shape(), &[b, 3, 6]);
+        }
+    }
+
+    #[test]
+    fn rejects_node_without_incoming_edge() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut spec = tiny_spec(&mut rng, OpKind::Identity);
+        spec.blocks[0].edges.remove(1); // node 2 now orphaned
+        let err = ExecPlan::compile(spec).err().unwrap();
+        assert!(matches!(err, PlanError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_backbone_index_into_future() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut spec = tiny_spec(&mut rng, OpKind::Identity);
+        spec.backbone = vec![1];
+        assert!(matches!(
+            ExecPlan::compile(spec),
+            Err(PlanError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_width_mismatch_via_shape_rule() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut spec = tiny_spec(&mut rng, OpKind::Gdcc);
+        // An operator built for a different width than the plan's d_model.
+        let wrong: Rc<dyn StOperator> = Rc::from(build_operator(&mut rng, OpKind::Gdcc, "w", 8, 2, false));
+        spec.blocks[0].edges[0].2 = wrong;
+        // The shape rule checks the declared kind against the plan width; a
+        // width-8 GDCC inside a width-4 plan still infers fine (kind-level
+        // metadata), but an embed/output mismatch is caught structurally.
+        spec.d_model = 8;
+        let err = ExecPlan::compile(spec).err().unwrap();
+        assert!(matches!(err, PlanError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn prewarm_then_run_reuses_arena() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let plan = ExecPlan::compile(tiny_spec(&mut rng, OpKind::Gdcc)).unwrap();
+        plan.prewarm(2);
+        arena::reset_stats();
+        let x = init::uniform(&mut rng, [2, 3, 5, 2], -1.0, 1.0);
+        let _ = plan.run(&x);
+        assert_eq!(arena::stats().misses, 0, "steady-state run hit the allocator");
+    }
+}

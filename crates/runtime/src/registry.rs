@@ -1,0 +1,56 @@
+//! Registry of compiled plans keyed by model id — the serving layer's
+//! lookup table.
+
+use crate::ExecPlan;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Maps model ids to compiled [`ExecPlan`]s.
+///
+/// Plans are shared (`Rc`) so a registry entry, a [`crate::MicroBatcher`]
+/// and a latency probe can all hold the same compiled program without
+/// duplicating its workspace.
+#[derive(Default)]
+pub struct PlanRegistry {
+    plans: HashMap<String, Rc<ExecPlan>>,
+}
+
+impl PlanRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a plan under `id`; returns the plan it
+    /// displaced, if any.
+    pub fn insert(&mut self, id: impl Into<String>, plan: Rc<ExecPlan>) -> Option<Rc<ExecPlan>> {
+        self.plans.insert(id.into(), plan)
+    }
+
+    /// Look up a plan by model id.
+    pub fn get(&self, id: &str) -> Option<Rc<ExecPlan>> {
+        self.plans.get(id).cloned()
+    }
+
+    /// Remove a plan, returning it if it was registered.
+    pub fn remove(&mut self, id: &str) -> Option<Rc<ExecPlan>> {
+        self.plans.remove(id)
+    }
+
+    /// Registered model ids, sorted for deterministic reports.
+    pub fn ids(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.plans.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of registered plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when no plan is registered.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}

@@ -1,0 +1,171 @@
+//! `serve_bench`: latency benchmark of the forecast-serving layer.
+//!
+//! Builds a smoke-scale [`DerivedModel`], compiles it to a tape-free
+//! [`cts_runtime::ExecPlan`], registers it in a [`PlanRegistry`], and
+//! drives `SERVE_STREAMS` concurrent sensor streams through a
+//! [`MicroBatcher`] for `SERVE_ROUNDS` rounds. Each round submits one
+//! window per stream and flushes once; the flush wall-time is the
+//! serving latency sample.
+//!
+//! Emits `BENCH_serve.json` (override the directory with
+//! `BENCH_OUT_DIR`): p50/p99 flush latency, compiled and tape
+//! milliseconds per window, and the tape-vs-compiled `speedup` column.
+//!
+//! Knobs (environment):
+//! * `SERVE_STREAMS` — concurrent streams per round (default 8)
+//! * `SERVE_ROUNDS`  — measured rounds (default 200)
+//! * `SERVE_BATCH`   — micro-batcher window cap (default = streams)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use autocts::{BlockGenotype, DerivedModel, Genotype, SearchConfig};
+use cts_autograd::Tape;
+use cts_data::{batches_from_windows, build_windows, generate, DatasetSpec};
+use cts_nn::Forecaster;
+use cts_obs::Stopwatch;
+use cts_ops::OpKind;
+use cts_runtime::{MicroBatcher, PlanRegistry};
+use cts_tensor::Tensor;
+use rand::{rngs::SmallRng, SeedableRng};
+use std::rc::Rc;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() -> std::io::Result<()> {
+    let streams = env_usize("SERVE_STREAMS", 8);
+    let rounds = env_usize("SERVE_ROUNDS", 200);
+    let max_batch = env_usize("SERVE_BATCH", streams);
+    let out_dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".into());
+
+    // Smoke-scale derived model, same scale as the verify-space sweep:
+    // a representative genotype mixing temporal conv, ProbSparse
+    // attention, and diffusion graph conv.
+    let spec = DatasetSpec::metr_la().scaled(0.04, 0.015);
+    let data = generate(&spec, 11);
+    let windows = build_windows(&data, 6, 24);
+    let cfg = SearchConfig {
+        m: 3,
+        b: 2,
+        d_model: 8,
+        batch_size: 2,
+        ..Default::default()
+    };
+    let block = BlockGenotype {
+        m: 3,
+        edges: vec![
+            (0, 1, OpKind::Gdcc),
+            (1, 2, OpKind::InformerT),
+            (0, 2, OpKind::Dgcn),
+        ],
+    };
+    let genotype = Genotype {
+        blocks: vec![block.clone(); cfg.b],
+        backbone: vec![0, 1],
+    };
+    let mut rng = SmallRng::seed_from_u64(7);
+    let model = DerivedModel::new(&mut rng, &cfg, &genotype, &spec, &data.graph, &windows.scaler);
+
+    let plan = model
+        .compiled_plan()
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let mut registry = PlanRegistry::new();
+    registry.insert("autocts-smoke", Rc::clone(&plan));
+    println!(
+        "serve_bench: {} plan(s) registered ({}), {streams} stream(s), \
+         {rounds} round(s), max_batch {max_batch}",
+        registry.len(),
+        registry.ids().join(", ")
+    );
+
+    // One live window per stream, cycled from the test split.
+    let test_batches = batches_from_windows(&windows.test, 1);
+    assert!(!test_batches.is_empty(), "test split produced no windows");
+    let stream_windows: Vec<Tensor> = (0..streams)
+        .map(|s| test_batches[s % test_batches.len()].0.clone())
+        .collect();
+
+    // Warm-up: pre-size the arena for the coalesced batch and run the
+    // steady-state shapes once so measured rounds never allocate.
+    plan.prewarm(streams.min(max_batch));
+    let mut batcher = MicroBatcher::new(Rc::clone(&plan), max_batch);
+    for _ in 0..3 {
+        for w in &stream_windows {
+            batcher.submit(w.clone());
+        }
+        let _ = batcher.flush();
+    }
+
+    // Measured rounds: one flush latency sample per round.
+    let mut flush_ms = Vec::with_capacity(rounds);
+    let total = Stopwatch::start();
+    for _ in 0..rounds {
+        for w in &stream_windows {
+            batcher.submit(w.clone());
+        }
+        let sw = Stopwatch::start();
+        let out = batcher.flush();
+        flush_ms.push(sw.elapsed_ms());
+        assert_eq!(out.len(), streams);
+    }
+    let compiled_secs = total.elapsed_secs();
+    let compiled_ms_per_window = compiled_secs * 1e3 / (rounds * streams) as f64;
+    flush_ms.sort_by(|a, b| a.total_cmp(b));
+    let p50 = percentile(&flush_ms, 0.50);
+    let p99 = percentile(&flush_ms, 0.99);
+
+    // Tape baseline over the same windows (fewer rounds — the tape path
+    // is the slow one): one Tape forward per request, as the pre-compile
+    // serving loop would have run it.
+    let tape_rounds = rounds.min(25);
+    let tape_sw = Stopwatch::start();
+    for _ in 0..tape_rounds {
+        for w in &stream_windows {
+            let tape = Tape::new();
+            let xv = tape.constant(w.clone());
+            let _ = model.forward(&tape, &xv).value();
+        }
+    }
+    let tape_ms_per_window = tape_sw.elapsed_secs() * 1e3 / (tape_rounds * streams) as f64;
+    let speedup = tape_ms_per_window / compiled_ms_per_window;
+
+    println!(
+        "  flush latency: p50 {p50:.3} ms, p99 {p99:.3} ms \
+         ({streams} windows per flush)"
+    );
+    println!(
+        "  per-window: compiled {compiled_ms_per_window:.4} ms, \
+         tape {tape_ms_per_window:.4} ms, speedup {speedup:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"rows\": [\n    {{\"streams\": {streams}, \"max_batch\": {max_batch}, \
+         \"rounds\": {rounds}, \"p50_ms\": {p50:.6}, \"p99_ms\": {p99:.6}, \
+         \"compiled_ms_per_window\": {compiled_ms_per_window:.6}, \
+         \"tape_ms_per_window\": {tape_ms_per_window:.6}, \
+         \"speedup\": {speedup:.4}}}\n  ],\n  \"summary\": {{\"model\": \"{}\", \
+         \"plans_registered\": {}, \"windows_served\": {}, \"speedup\": {speedup:.4}}}\n}}\n",
+        genotype.to_text(),
+        registry.len(),
+        rounds * streams
+    );
+    let path = format!("{out_dir}/BENCH_serve.json");
+    std::fs::write(&path, json)?;
+    println!("  wrote {path}");
+    Ok(())
+}

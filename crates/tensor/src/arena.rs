@@ -231,6 +231,21 @@ pub fn take_from_iter(len: usize, it: impl Iterator<Item = f32>) -> Vec<f32> {
     v
 }
 
+/// Pre-populate this thread's free lists so that a later sequence of
+/// `take_*` requests for exactly these lengths is served without touching
+/// the system allocator (compiled inference plans call this with their
+/// full intermediate-buffer population before the first forward).
+///
+/// All buffers are taken *before* any is recycled: duplicate lengths in
+/// `lens` therefore end up as distinct free-list entries, matching a
+/// forward pass that holds several same-sized intermediates live at once.
+pub fn prewarm(lens: &[usize]) {
+    let taken: Vec<Vec<f32>> = lens.iter().map(|&l| take_raw(l)).collect();
+    for buf in taken {
+        recycle(buf);
+    }
+}
+
 /// Return a buffer to this thread's free lists (or drop it when the
 /// arena is disabled, the class is full, or the residency budget is hit).
 pub fn recycle(mut buf: Vec<f32>) {

@@ -65,7 +65,7 @@ pub fn temporal_conv(x: &Tensor, w: &Tensor, dilation: usize) -> Tensor {
             }
         }
     });
-    Tensor::from_vec(vec![b, n, t, dout], out)
+    Tensor::from_vec([b, n, t, dout], out)
 }
 
 /// ∂temporal_conv/∂x.

@@ -4,6 +4,8 @@
 #   BENCH_search_step.json  bi-level search-step cost, pool vs spawn, arena on/off
 #   BENCH_obs.json          observability smoke run: per-kernel time shares,
 #                           phase breakdown, arena/pool/tape counters
+#   BENCH_serve.json        serving latency: p50/p99 micro-batched flush,
+#                           compiled-vs-tape ms/window + speedup
 #   cts_run.jsonl           the raw structured run log behind BENCH_obs.json
 #
 # Usage: scripts/bench.sh
@@ -19,3 +21,6 @@ cargo build --release --offline -p cts-obs --bin report
 
 CTS_RUN_LOG="$out/cts_run.jsonl" ./target/release/obs_smoke
 ./target/release/report "$out/cts_run.jsonl" --out "$out/BENCH_obs.json"
+
+cargo build --release --offline -p cts-serve
+BENCH_OUT_DIR="$out" ./target/release/serve_bench

@@ -34,6 +34,12 @@ echo "==> fault-injection suite (explicit)"
 cargo test --offline --test fault_injection -- --nocapture
 cargo test --offline -p cts-nn --test run_state
 
+echo "==> compiled-plan parity gate"
+# The tape-free ExecPlan forward must stay bit-identical to the tape
+# forward (randomized genotypes/batch sizes, live-weight tracking) and
+# allocate nothing at steady state (tests/compiled_parity.rs).
+cargo test --offline --test compiled_parity
+
 echo "==> allocation-regression gate"
 # A steady-state supernet train step must stay within the pinned
 # system-allocator budget (tests/alloc_budget.rs); catches per-step Vec

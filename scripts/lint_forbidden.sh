@@ -18,6 +18,10 @@
 #      `crates/bench/src` (and the vendored compat shims): product crates
 #      must read wall-clock through `cts_obs::{timer, Stopwatch}` so the
 #      metrics-off path stays free of clock syscalls.
+#   5. `cts_autograd` (the tape) must never be referenced inside
+#      `crates/runtime/src`: compiled plans are tape-free by construction,
+#      and the parity guarantee depends on the runtime never re-entering
+#      autograd.
 #
 # Exits non-zero with a `file:line` listing on any finding.
 set -euo pipefail
@@ -48,6 +52,8 @@ while IFS= read -r f; do
             if (FILENAME !~ /^crates\/(obs|bench)\/src\// && FILENAME !~ /^compat\// \
                 && line ~ /(^|[^a-zA-Z_])Instant([^a-zA-Z_]|$)/)
                 printf "%s:%d: Instant outside cts-obs/cts-bench (use cts_obs timers)\n", FILENAME, NR
+            if (FILENAME ~ /^crates\/runtime\/src\// && line ~ /cts_autograd/)
+                printf "%s:%d: cts_autograd referenced inside cts-runtime (plans are tape-free)\n", FILENAME, NR
         }
     ' "$f" >>"$findings"
 done < <(find crates/*/src compat/*/src src -name '*.rs' ! -name '*_tests.rs' | sort)

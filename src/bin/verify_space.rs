@@ -7,9 +7,11 @@
 //!
 //! 1. runs `cts-verify` pre-flight (shape inference + gradient
 //!    reachability + structure) — no tensors allocated;
-//! 2. smoke-trains every *accepted* candidate for one step and
+//! 2. smoke-trains every *accepted* candidate for one step,
 //!    cross-checks the static edge-liveness verdict against the autograd
-//!    tape (`Tape::reachable_params`) and the actual gradients;
+//!    tape (`Tape::reachable_params`) and the actual gradients, and
+//!    proves the compiled tape-free plan (`cts-runtime`) bit-identical
+//!    to the tape forward;
 //! 3. for candidates rejected as gradient-starved or identically zero,
 //!    builds the model anyway and proves the rejection correct: the
 //!    starved parameters really receive an exactly-zero gradient.
@@ -176,6 +178,35 @@ fn smoke_candidate(
 
         let params = model.parameters();
         let mut problems = Vec::new();
+        // Accepted candidates must also compile to a tape-free plan whose
+        // forward is bit-identical to the tape forward (epsilon 0).
+        if report.is_ok() {
+            match model.compiled_plan() {
+                Ok(plan) => {
+                    let compiled = plan.run(x);
+                    let tape_out = pred.value();
+                    if compiled.shape() != tape_out.shape() {
+                        problems.push(format!(
+                            "compiled shape {:?} != tape shape {:?}",
+                            compiled.shape(),
+                            tape_out.shape()
+                        ));
+                    } else if let Some(i) = compiled
+                        .data()
+                        .iter()
+                        .zip(tape_out.data().iter())
+                        .position(|(a, b)| a.to_bits() != b.to_bits())
+                    {
+                        problems.push(format!(
+                            "compiled forward diverges from tape at scalar {i}: {} vs {}",
+                            compiled.data()[i],
+                            tape_out.data()[i]
+                        ));
+                    }
+                }
+                Err(e) => problems.push(format!("accepted candidate failed to compile: {e}")),
+            }
+        }
         for (i, block) in genotype.blocks.iter().enumerate() {
             for (k, (_, _, op)) in block.edges.iter().enumerate() {
                 if !op.is_parametric() {

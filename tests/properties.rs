@@ -27,7 +27,7 @@ proptest! {
         let windows = build_windows(&data, 8, 8);
         let mut rng = SmallRng::seed_from_u64(seed);
         let supernet = SupernetModel::new(&mut rng, &cfg, &spec, &data.graph, &windows.scaler);
-        let g = derive_genotype(&supernet);
+        let g = derive_genotype(&supernet).expect("finite snapshot derives");
         prop_assert!(g.validate().is_ok(), "{:?}", g.validate());
         prop_assert_eq!(g.b(), b);
         // derived blocks never contain the zero op
@@ -53,7 +53,7 @@ proptest! {
         let windows = build_windows(&data, 8, 8);
         let mut rng = SmallRng::seed_from_u64(seed);
         let supernet = SupernetModel::new(&mut rng, &cfg, &spec, &data.graph, &windows.scaler);
-        let g = derive_genotype(&supernet);
+        let g = derive_genotype(&supernet).expect("finite snapshot derives");
         let parsed = Genotype::from_text(&g.to_text()).unwrap();
         prop_assert_eq!(parsed, g);
     }

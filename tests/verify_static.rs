@@ -32,7 +32,7 @@ proptest! {
         let windows = build_windows(&data, 8, 8);
         let mut rng = SmallRng::seed_from_u64(seed);
         let supernet = SupernetModel::new(&mut rng, &cfg, &spec, &data.graph, &windows.scaler);
-        let genotype = derive_genotype(&supernet);
+        let genotype = derive_genotype(&supernet).expect("finite snapshot derives");
 
         // 1. pre-flight accepts every derived genotype…
         let report = preflight(&cfg, &genotype, &spec, &data.graph)
