@@ -1,14 +1,17 @@
 //! Observability smoke run: a tiny two-epoch joint search with metrics
-//! forced on, emitting the structured JSONL run log. Pipe the result
-//! through the `report` binary (`cts-obs`) to get the human summary and
-//! `BENCH_obs.json`.
+//! forced on, emitting the structured JSONL run log — including one
+//! `regime` row per adversarial data regime (clean baseline, sensor
+//! dropout, missing spans, regime shift) evaluating the derived model's
+//! robustness. Pipe the result through the `report` binary (`cts-obs`)
+//! to get the human summary and `BENCH_obs.json`.
 //!
 //! The log path follows the usual resolution: `$CTS_RUN_LOG` if set, else
 //! `cts_run.jsonl` in the working directory. `scripts/bench.sh` runs this
 //! with `CTS_RUN_LOG` pointed into the bench output directory.
 
-use cts_bench::{prepare, ExpContext};
-use cts_data::DatasetSpec;
+use cts_bench::{prepare, window, ExpContext};
+use cts_data::{apply_regime, batches_from_windows, DatasetSpec, Regime};
+use cts_obs::runlog::Value;
 
 fn main() {
     // Force metrics on regardless of CTS_METRICS so the smoke run always
@@ -23,7 +26,7 @@ fn main() {
     let p = prepare(&ctx, &DatasetSpec::metr_la());
     let cfg = ctx.search_config();
 
-    let (genotype, _model, stats) =
+    let (genotype, model, stats) =
         match autocts::joint_search(&cfg, &p.spec, &p.data.graph, &p.windows) {
             Ok(r) => r,
             Err(e) => {
@@ -31,6 +34,32 @@ fn main() {
                 std::process::exit(1);
             }
         };
+
+    // Robustness rows: evaluate the searched model under each adversarial
+    // regime (ROADMAP 5(c)) on the same window grid and emit per-regime
+    // masked metrics for the report's `regime.*` BENCH rows.
+    for regime in Regime::standard_suite() {
+        let corrupted = apply_regime(&p.data, &regime, 17);
+        let w = window(&ctx, &corrupted);
+        let batches = batches_from_windows(&w.test, cfg.batch_size);
+        let (overall, _) = autocts::eval::evaluate_model(&model, &batches, p.spec.null_value);
+        cts_obs::runlog::emit(
+            "regime",
+            &[
+                ("name", Value::Str(regime.name())),
+                ("mae", Value::F64(overall.mae as f64)),
+                ("rmse", Value::F64(overall.rmse as f64)),
+                ("mape", Value::F64(overall.mape as f64)),
+            ],
+        );
+        println!(
+            "obs_smoke: regime {:<14} mae {:.4} rmse {:.4} mape {:.4}",
+            regime.name(),
+            overall.mae,
+            overall.rmse,
+            overall.mape
+        );
+    }
     cts_obs::runlog::flush();
 
     println!(

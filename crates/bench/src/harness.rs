@@ -184,24 +184,32 @@ pub fn prepare(ctx: &ExpContext, spec: &DatasetSpec) -> Prepared {
         scaled.input_len = scaled.input_len.min(ctx.singlestep_input);
     }
     let data = generate(&scaled, ctx.seed ^ fp);
-    // Single-step tasks have long inputs: thin the window grid harder.
-    let (stride, cap) = match scaled.task {
-        Task::MultiStep => {
-            let stride = (scaled.max_windows() / (4 * ctx.window_cap)).max(1);
-            (stride, ctx.window_cap)
-        }
-        Task::SingleStep { .. } => {
-            let cap = (ctx.window_cap / 2).max(8);
-            let stride = (scaled.max_windows() / (4 * cap)).max(1);
-            (stride, cap)
-        }
-    };
-    let windows = build_windows(&data, stride, cap);
+    let windows = window(ctx, &data);
     Prepared {
         spec: scaled,
         data,
         windows,
     }
+}
+
+/// Window a dataset exactly as [`prepare`] does — exposed so robustness
+/// probes can re-window an adversarially corrupted copy of the same data
+/// on the same grid.
+pub fn window(ctx: &ExpContext, data: &CtsData) -> SplitWindows {
+    let spec = &data.spec;
+    // Single-step tasks have long inputs: thin the window grid harder.
+    let (stride, cap) = match spec.task {
+        Task::MultiStep => {
+            let stride = (spec.max_windows() / (4 * ctx.window_cap)).max(1);
+            (stride, ctx.window_cap)
+        }
+        Task::SingleStep { .. } => {
+            let cap = (ctx.window_cap / 2).max(8);
+            let stride = (spec.max_windows() / (4 * cap)).max(1);
+            (stride, cap)
+        }
+    };
+    build_windows(data, stride, cap)
 }
 
 /// All seven human-designed baseline names, in the tables' order.

@@ -16,7 +16,7 @@ mod singleop;
 
 pub use harness::{
     autocts_search_and_eval, autostg_config, build_baseline, prepare, print_table, run_baseline,
-    ExpContext, Prepared, BASELINE_NAMES,
+    window, ExpContext, Prepared, BASELINE_NAMES,
 };
 pub use macro_only::{macro_only_search_and_eval, MacroOnlyModel};
 pub use singleop::{train_single_op_model, SingleOpModel};

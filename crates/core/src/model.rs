@@ -465,16 +465,20 @@ impl Forecaster for DerivedModel {
     }
 
     fn forward_inference(&self, x: &Tensor) -> Tensor {
-        match self.compiled_plan() {
-            Ok(plan) => plan.run(x),
-            // A genotype that defeats compilation still forecasts; the tape
-            // path is the always-correct fallback.
-            Err(_) => {
-                let tape = Tape::new();
-                let xv = tape.constant(x.clone());
-                self.forward(&tape, &xv).value()
+        if let Ok(plan) = self.compiled_plan() {
+            if let Ok(y) = plan.try_run(x) {
+                return y;
             }
+            // A plan run can only fail under an injected fault or a bad
+            // shape; either way the tape answers and the degradation is
+            // counted, mirroring the serving ladder's last rung.
+            cts_obs::serve::record_degraded_tape();
         }
+        // A genotype that defeats compilation still forecasts; the tape
+        // path is the always-correct fallback.
+        let tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        self.forward(&tape, &xv).value()
     }
 
     fn parameters(&self) -> Vec<Parameter> {

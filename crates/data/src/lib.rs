@@ -15,6 +15,7 @@
 
 mod batch;
 pub mod export;
+mod masking;
 mod metrics;
 mod scaler;
 mod spec;
@@ -22,10 +23,11 @@ mod synth;
 mod window;
 
 pub use batch::{batches_from_windows, shuffle_in_place, shuffle_windows, Batches};
+pub use masking::{is_missing, mask_non_finite, missing_fraction, NULL_TOL};
 pub use metrics::{
     corr_metric, horizon_slice, masked_mae, masked_mape, masked_rmse, rrse_metric, EvalMetrics,
 };
 pub use scaler::Scaler;
 pub use spec::{DatasetSpec, SynthKind, Task};
-pub use synth::{generate, CtsData};
+pub use synth::{apply_regime, generate, CtsData, Regime};
 pub use window::{build_windows, SplitWindows, Window};

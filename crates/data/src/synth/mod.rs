@@ -1,8 +1,11 @@
 //! Synthetic correlated-time-series generators (dataset substitutes).
 
+mod adversarial;
 mod common;
 mod energy;
 mod traffic;
+
+pub use adversarial::{apply_regime, Regime};
 
 use crate::{DatasetSpec, SynthKind};
 use cts_graph::SensorGraph;

@@ -22,15 +22,34 @@ pub struct FaultPlan {
     /// Overwrite gradients with NaN right after backward at this global
     /// step, before the watchdog's health check.
     pub nan_grad_at_step: Option<u64>,
+    /// Serving path: make compiled-plan execution fail (as if a kernel
+    /// aborted) at this 0-indexed plan run on the current thread.
+    /// One-shot, like the training triggers.
+    pub fail_plan_run_at: Option<u64>,
+    /// Serving path: fail the next N plan runs unconditionally — used to
+    /// exhaust the solo-retry budget and force deeper ladder rungs.
+    pub fail_next_plan_runs: u64,
+    /// Serving path: poison the output of this 0-indexed plan run with a
+    /// NaN (a numerically-broken batch that execution itself survives).
+    pub nan_output_at_run: Option<u64>,
 }
 
 thread_local! {
     static PLAN: RefCell<FaultPlan> = RefCell::new(FaultPlan::default());
+    /// Plan runs observed on this thread since the last [`arm`].
+    static PLAN_RUNS: RefCell<u64> = const { RefCell::new(0) };
+    /// Largest row count any single plan run received since [`arm`] —
+    /// lets tests prove no coalesced batch ever exceeded the cap.
+    static MAX_BATCH_ROWS: RefCell<usize> = const { RefCell::new(0) };
 }
 
-/// Arm a fault plan for this thread. Replaces any previous plan.
+/// Arm a fault plan for this thread. Replaces any previous plan and
+/// zeroes the plan-run counter/stats so run indices are relative to the
+/// arming point.
 pub fn arm(plan: FaultPlan) {
     PLAN.with(|p| *p.borrow_mut() = plan);
+    PLAN_RUNS.with(|r| *r.borrow_mut() = 0);
+    MAX_BATCH_ROWS.with(|m| *m.borrow_mut() = 0);
 }
 
 /// Clear all pending faults on this thread.
@@ -64,6 +83,64 @@ pub fn take_nan_grad(step: u64) -> bool {
     })
 }
 
+/// Verdict for one compiled-plan execution, from [`next_plan_run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeFault {
+    /// Run normally.
+    None,
+    /// Fail this run as if a kernel aborted mid-execution.
+    FailRun,
+    /// Run normally but poison the output with a NaN afterwards.
+    NanOutput,
+}
+
+/// Serving-path hook, called once at the top of every compiled-plan
+/// execution with the number of request rows in the batch. Advances the
+/// per-thread run counter, records the largest batch seen, and returns
+/// the fault (if any) scheduled for this run index. Inert in production:
+/// two thread-local bumps and a read.
+pub fn next_plan_run(rows: usize) -> ServeFault {
+    let run = PLAN_RUNS.with(|r| {
+        let mut r = r.borrow_mut();
+        let cur = *r;
+        *r += 1;
+        cur
+    });
+    MAX_BATCH_ROWS.with(|m| {
+        let mut m = m.borrow_mut();
+        if rows > *m {
+            *m = rows;
+        }
+    });
+    PLAN.with(|p| {
+        let mut plan = p.borrow_mut();
+        if plan.fail_plan_run_at == Some(run) {
+            plan.fail_plan_run_at = None;
+            return ServeFault::FailRun;
+        }
+        if plan.fail_next_plan_runs > 0 {
+            plan.fail_next_plan_runs -= 1;
+            return ServeFault::FailRun;
+        }
+        if plan.nan_output_at_run == Some(run) {
+            plan.nan_output_at_run = None;
+            return ServeFault::NanOutput;
+        }
+        ServeFault::None
+    })
+}
+
+/// Plan runs observed on this thread since the last [`arm`].
+pub fn plan_runs() -> u64 {
+    PLAN_RUNS.with(|r| *r.borrow())
+}
+
+/// Largest per-run row count observed on this thread since the last
+/// [`arm`] — the proptest witness that batching respects `max_batch`.
+pub fn max_batch_rows() -> usize {
+    MAX_BATCH_ROWS.with(|m| *m.borrow())
+}
+
 /// Overwrite the first gradient buffer's leading element with NaN —
 /// exactly the kind of single poisoned value a watchdog must catch
 /// before it reaches the optimizer.
@@ -82,12 +159,48 @@ mod tests {
 
     #[test]
     fn triggers_are_one_shot() {
-        arm(FaultPlan { abort_at_step: Some(3), nan_grad_at_step: Some(5) });
+        arm(FaultPlan {
+            abort_at_step: Some(3),
+            nan_grad_at_step: Some(5),
+            ..FaultPlan::default()
+        });
         assert!(!take_abort(2));
         assert!(take_abort(3));
         assert!(!take_abort(3), "abort re-fired");
         assert!(take_nan_grad(5));
         assert!(!take_nan_grad(5), "nan re-fired");
+        disarm();
+    }
+
+    #[test]
+    fn plan_run_faults_fire_by_index_and_once() {
+        arm(FaultPlan {
+            fail_plan_run_at: Some(1),
+            nan_output_at_run: Some(2),
+            ..FaultPlan::default()
+        });
+        assert_eq!(next_plan_run(4), ServeFault::None);
+        assert_eq!(next_plan_run(2), ServeFault::FailRun);
+        assert_eq!(next_plan_run(8), ServeFault::NanOutput);
+        assert_eq!(next_plan_run(1), ServeFault::None);
+        assert_eq!(plan_runs(), 4);
+        assert_eq!(max_batch_rows(), 8);
+        // Re-arming zeroes the counter and stats.
+        arm(FaultPlan::default());
+        assert_eq!(plan_runs(), 0);
+        assert_eq!(max_batch_rows(), 0);
+        disarm();
+    }
+
+    #[test]
+    fn fail_next_runs_exhausts_then_clears() {
+        arm(FaultPlan {
+            fail_next_plan_runs: 2,
+            ..FaultPlan::default()
+        });
+        assert_eq!(next_plan_run(1), ServeFault::FailRun);
+        assert_eq!(next_plan_run(1), ServeFault::FailRun);
+        assert_eq!(next_plan_run(1), ServeFault::None);
         disarm();
     }
 

@@ -588,7 +588,7 @@ mod tests {
         .unwrap();
 
         // Kill mid-epoch 4 (6 batches/epoch -> step 27 is inside epoch 4).
-        fault::arm(fault::FaultPlan { abort_at_step: Some(27), nan_grad_at_step: None });
+        fault::arm(fault::FaultPlan { abort_at_step: Some(27), ..fault::FaultPlan::default() });
         let err = train_full(&tiny_model(3), &batches, None, &cfg).unwrap_err();
         fault::disarm();
         assert!(matches!(err, TrainError::Interrupted { .. }), "{err}");
@@ -629,7 +629,7 @@ mod tests {
 
         // Kill at step 9: the last mid-epoch checkpoint landed at step 8,
         // two batches into epoch 1, so the resume loses exactly one step.
-        fault::arm(fault::FaultPlan { abort_at_step: Some(9), nan_grad_at_step: None });
+        fault::arm(fault::FaultPlan { abort_at_step: Some(9), ..fault::FaultPlan::default() });
         let err = train_full(&tiny_model(3), &batches, None, &cfg).unwrap_err();
         fault::disarm();
         assert!(matches!(err, TrainError::Interrupted { .. }), "{err}");
@@ -660,7 +660,7 @@ mod tests {
             loss: LossKind::Mse,
             ..Default::default()
         };
-        fault::arm(fault::FaultPlan { abort_at_step: None, nan_grad_at_step: Some(9) });
+        fault::arm(fault::FaultPlan { nan_grad_at_step: Some(9), ..fault::FaultPlan::default() });
         let report = train_full(&tiny_model(5), &batches, None, &cfg).unwrap();
         fault::disarm();
         assert_eq!(report.rollbacks, 1);

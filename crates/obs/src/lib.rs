@@ -38,6 +38,7 @@
 
 pub mod report;
 pub mod runlog;
+pub mod serve;
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::OnceLock;

@@ -239,11 +239,28 @@ pub struct PhaseRow {
     pub ns: u64,
 }
 
+/// Per-regime evaluation metrics from the `regime` events (adversarial
+/// robustness rows: sensor dropout, missing spans, regime shift, …).
+#[derive(Clone, Debug, Default)]
+pub struct RegimeRow {
+    /// Regime name (`clean`, `sensor_dropout`, …).
+    pub name: String,
+    /// Masked MAE under the regime.
+    pub mae: Option<f64>,
+    /// Masked RMSE under the regime.
+    pub rmse: Option<f64>,
+    /// Masked MAPE under the regime.
+    pub mape: Option<f64>,
+}
+
 /// The folded summary of one run log.
 #[derive(Clone, Debug, Default)]
 pub struct Summary {
     /// Per-epoch roll-ups, in emission order.
     pub epochs: Vec<EpochRow>,
+    /// Per-regime robustness metrics, in emission order (last value per
+    /// regime name wins).
+    pub regimes: Vec<RegimeRow>,
     /// Per-kernel cumulative counters (last seen), sorted by time desc.
     pub kernels: Vec<KernelRow>,
     /// Per-phase cumulative counters (last seen), in emission order.
@@ -370,6 +387,23 @@ pub fn summarize(text: &str) -> Summary {
                 sum.tape_peak_nodes = u(&ev, "peak_nodes");
                 sum.tape_peak_grad_scalars = u(&ev, "peak_grad_scalars");
             }
+            "regime" => {
+                let name = s(&ev, "name");
+                let row = match sum.regimes.iter_mut().find(|r| r.name == name) {
+                    Some(row) => row,
+                    None => {
+                        sum.regimes.push(RegimeRow {
+                            name: name.to_owned(),
+                            ..RegimeRow::default()
+                        });
+                        // invariant: just pushed, so last() exists
+                        sum.regimes.last_mut().unwrap()
+                    }
+                };
+                row.mae = f(&ev, "mae");
+                row.rmse = f(&ev, "rmse");
+                row.mape = f(&ev, "mape");
+            }
             "watchdog" => sum.watchdog_events += 1,
             "warn" => sum.warnings += 1,
             _ => {}
@@ -458,6 +492,19 @@ pub fn render_text(sum: &Summary) -> String {
             );
         }
     }
+    if !sum.regimes.is_empty() {
+        let _ = writeln!(w, "adversarial regimes (masked metrics):");
+        for r in &sum.regimes {
+            let _ = writeln!(
+                w,
+                "  {:<28} mae {:>10}  rmse {:>10}  mape {:>10}",
+                r.name,
+                fmt_opt(r.mae),
+                fmt_opt(r.rmse),
+                fmt_opt(r.mape),
+            );
+        }
+    }
     if sum.arena_hits + sum.arena_misses > 0 {
         let _ = writeln!(
             w,
@@ -516,6 +563,19 @@ pub fn render_bench_json(sum: &Summary) -> String {
         rows.push(format!(
             "    {{\"op\": \"phase.{}\", \"calls\": {}, \"ns\": {}}}",
             p.name, p.calls, p.ns
+        ));
+    }
+    let opt_num = |x: Option<f64>| match x {
+        Some(v) if v.is_finite() => format!("{v}"),
+        _ => "null".to_owned(),
+    };
+    for r in &sum.regimes {
+        rows.push(format!(
+            "    {{\"op\": \"regime.{}\", \"mae\": {}, \"rmse\": {}, \"mape\": {}}}",
+            r.name,
+            opt_num(r.mae),
+            opt_num(r.rmse),
+            opt_num(r.mape)
         ));
     }
     out.push_str(&rows.join(",\n"));
@@ -589,6 +649,8 @@ mod tests {
             "{\"event\":\"pool\",\"epoch\":1,\"workers\":4,\"dispatches\":33,\"nested_serial\":2,\"wakes\":99,\"parks\":101}\n",
             "{\"event\":\"tape\",\"epoch\":1,\"backwards\":12,\"nodes\":480,\"peak_nodes\":40,\"peak_grad_scalars\":7}\n",
             "{\"event\":\"watchdog\",\"epoch\":1,\"reason\":\"nan\"}\n",
+            "{\"event\":\"regime\",\"name\":\"clean\",\"mae\":1.5,\"rmse\":2.5,\"mape\":0.1}\n",
+            "{\"event\":\"regime\",\"name\":\"sensor_dropout\",\"mae\":2.0,\"rmse\":3.0,\"mape\":0.2}\n",
             "{\"event\":\"epoch\",\"epo",  // torn final line
         );
         let sum = summarize(log);
@@ -607,8 +669,13 @@ mod tests {
         let text = render_text(&sum);
         assert!(text.contains("matmul"));
         assert!(text.contains("hit-rate 90.00%"));
+        assert_eq!(sum.regimes.len(), 2);
+        assert_eq!(sum.regimes[1].name, "sensor_dropout");
+        assert_eq!(sum.regimes[1].mae, Some(2.0));
+        assert!(text.contains("sensor_dropout"));
         let json = render_bench_json(&sum);
         assert!(json.contains("\"op\": \"kernel.matmul\""));
+        assert!(json.contains("\"op\": \"regime.sensor_dropout\", \"mae\": 2, \"rmse\": 3"));
         assert!(json.contains("\"tau_last\": 4"));
         assert!(json.starts_with("{\n  \"rows\": [\n"));
     }

@@ -1,0 +1,123 @@
+//! Serving-path degradation counters.
+//!
+//! The fault-tolerant request path in `cts-runtime`/`cts-serve` reports
+//! every admission rejection, shed, quarantine, retry, degradation step,
+//! and canary verdict here, so chaos tests and `BENCH_serve.json` can
+//! prove the ladder actually fired instead of inferring it from timing.
+//! Like every other counter block in this crate, recording is a relaxed
+//! atomic increment — always on, never a clock read or an allocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! serve_counters {
+    ($($(#[$doc:meta])* $name:ident => $record:ident),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[allow(non_upper_case_globals)]
+            static $name: AtomicU64 = AtomicU64::new(0);
+
+            $(#[$doc])*
+            pub fn $record() {
+                $name.fetch_add(1, Ordering::Relaxed);
+            }
+        )+
+
+        /// Point-in-time copy of every serving counter.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        #[allow(non_snake_case, missing_docs)]
+        pub struct ServeCounters {
+            $(pub $name: u64,)+
+        }
+
+        /// Copy out the current counters.
+        pub fn snapshot() -> ServeCounters {
+            ServeCounters {
+                $($name: $name.load(Ordering::Relaxed),)+
+            }
+        }
+
+        /// Zero every serving counter (tests, bench warm-up boundaries).
+        pub fn reset() {
+            $($name.store(0, Ordering::Relaxed);)+
+        }
+
+        /// The counters as stable `(name, value)` pairs, in declaration
+        /// order — the serialization the serve bench and run log use.
+        pub fn rows() -> Vec<(&'static str, u64)> {
+            vec![$((stringify!($name), $name.load(Ordering::Relaxed)),)+]
+        }
+    };
+}
+
+serve_counters! {
+    /// Requests offered to `MicroBatcher::submit`.
+    submitted => record_submitted,
+    /// Requests that passed admission and entered the pending queue.
+    admitted => record_admitted,
+    /// Requests rejected at admission for a shape mismatch.
+    rejected_shape => record_rejected_shape,
+    /// Requests rejected at admission for unmaskable non-finite input.
+    rejected_non_finite => record_rejected_non_finite,
+    /// Requests rejected at admission for exceeding the missing-value cap.
+    rejected_missing => record_rejected_missing,
+    /// Windows whose non-finite entries were masked to the null sentinel.
+    masked_windows => record_masked_window,
+    /// Requests shed at submit because the pending queue was full.
+    queue_shed => record_queue_shed,
+    /// Requests shed at flush because their deadline had expired.
+    deadline_shed => record_deadline_shed,
+    /// Oversize requests split into multiple sub-batches.
+    oversize_split => record_oversize_split,
+    /// Coalesced batch executions that failed outright.
+    batch_failures => record_batch_failure,
+    /// Batch or solo outputs found non-finite (poisoned).
+    poisoned_outputs => record_poisoned_output,
+    /// Requests quarantined out of a failing batch for solo re-run.
+    quarantined => record_quarantined,
+    /// Solo re-run retry attempts (beyond the first solo attempt).
+    solo_retries => record_solo_retry,
+    /// Requests answered by a successful solo re-run (ladder step 2).
+    degraded_solo => record_degraded_solo,
+    /// Requests answered by the tape fallback (ladder step 3).
+    degraded_tape => record_degraded_tape,
+    /// Requests that exhausted the ladder and returned a typed error.
+    failed_requests => record_failed_request,
+    /// Plans admitted by the registry canary gate.
+    canary_pass => record_canary_pass,
+    /// Plans rejected (and rolled back) by the registry canary gate.
+    canary_fail => record_canary_fail,
+}
+
+/// Emit one flat `serve` event with every counter into the run log (no-op
+/// while metrics are off, like every [`crate::runlog`] write).
+pub fn emit_row() {
+    let pairs = rows();
+    let fields: Vec<(&str, crate::runlog::Value<'_>)> = pairs
+        .iter()
+        .map(|(k, v)| (*k, crate::runlog::Value::U64(*v)))
+        .collect();
+    crate::runlog::emit("serve", &fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_record_snapshot_reset() {
+        reset();
+        record_submitted();
+        record_submitted();
+        record_quarantined();
+        record_canary_fail();
+        let s = snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.quarantined, 1);
+        assert_eq!(s.canary_fail, 1);
+        assert_eq!(s.degraded_tape, 0);
+        let rows = rows();
+        assert_eq!(rows.iter().find(|(k, _)| *k == "submitted"), Some(&("submitted", 2)));
+        reset();
+        assert_eq!(snapshot(), ServeCounters::default());
+    }
+}

@@ -15,8 +15,12 @@
 //! through without recompilation.
 //!
 //! On top of the plan sit the serving pieces: a [`PlanRegistry`] keyed by
-//! model id and a [`MicroBatcher`] that coalesces concurrent sensor streams
-//! into one batched forward.
+//! model id (with a canary gate that parity-checks new plans against a
+//! tape reference before admission) and a [`MicroBatcher`] that coalesces
+//! concurrent sensor streams into one batched forward behind admission
+//! control, bounded queues, and a degradation ladder. The whole request
+//! path is panic-free: every failure is a typed [`ServeError`], and every
+//! shed/quarantine/degrade event is counted through `cts-obs`.
 //!
 //! This crate deliberately does **not** depend on `cts-autograd`; the lint
 //! suite rejects any `Tape` import here so the tape-free property is
@@ -25,10 +29,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod admission;
 mod batcher;
+mod error;
 mod plan;
 mod registry;
 
-pub use batcher::MicroBatcher;
+pub use admission::{AdmissionPolicy, AdmissionReport};
+pub use batcher::{MicroBatcher, TapeFallback};
+pub use error::ServeError;
 pub use plan::{BlockPlan, ExecPlan, PlanError, PlanSpec};
 pub use registry::PlanRegistry;

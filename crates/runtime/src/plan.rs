@@ -1,5 +1,6 @@
 //! Genotype → flat execution plan compilation and the tape-free interpreter.
 
+use crate::error::ServeError;
 use cts_nn::Linear;
 use cts_ops::{GraphContext, OpKind, ShapeCtx, ShapeIssue, StOperator};
 use cts_tensor::sym::{eval_shape, format_shape, SymDim};
@@ -108,8 +109,8 @@ enum Step {
 
 /// A compiled, tape-free forward program for one derived architecture.
 ///
-/// Built once by [`ExecPlan::compile`]; [`ExecPlan::run`] then executes the
-/// flat step list with no graph construction, no `Rc` tape nodes, and —
+/// Built once by [`ExecPlan::compile`]; [`ExecPlan::try_run`] then executes
+/// the flat step list with no graph construction, no `Rc` tape nodes, and —
 /// after [`ExecPlan::prewarm`] — no heap allocation: every intermediate
 /// cycles through the tensor arena.
 pub struct ExecPlan {
@@ -309,17 +310,30 @@ impl ExecPlan {
     /// Execute the plan on a batch `x` of shape `[B, N, T, F]`, producing
     /// `[B, N, Q]` in the data's original units — bit-identical to the tape
     /// forward of the model the plan was compiled from.
-    pub fn run(&self, x: &Tensor) -> Tensor {
+    ///
+    /// This is the serving path: shape violations come back as a typed
+    /// [`ServeError`] instead of a panic, and the `cts_nn::fault` serving
+    /// hooks can make a run fail or poison its output for chaos tests.
+    ///
+    /// # Errors
+    /// [`ServeError::BadShape`] for a non-`[B, N, T, F]` input;
+    /// [`ServeError::PlanExec`] when execution aborts (only under an armed
+    /// fault plan — real kernels are total functions of finite input).
+    pub fn try_run(&self, x: &Tensor) -> Result<Tensor, ServeError> {
         let s = x.shape();
-        assert_eq!(s.len(), 4, "plan input must be [B, N, T, F], got rank {}", s.len());
-        assert_eq!(
-            &s[1..],
-            [self.nodes, self.input_len, self.features],
-            "plan compiled for [B, {}, {}, {}], got {s:?}",
-            self.nodes,
-            self.input_len,
-            self.features
-        );
+        if s.len() != 4 || s[1..] != [self.nodes, self.input_len, self.features] {
+            return Err(ServeError::BadShape {
+                got: s.to_vec(),
+                want: [self.nodes, self.input_len, self.features],
+            });
+        }
+        let fault = cts_nn::fault::next_plan_run(s[0]);
+        if fault == cts_nn::fault::ServeFault::FailRun {
+            return Err(ServeError::PlanExec {
+                attempts: 1,
+                cause: "injected plan-execution fault".into(),
+            });
+        }
         let mut slots = self.slots.borrow_mut();
         slots[0] = Some(self.embed.forward_eval(x));
         for step in &self.steps {
@@ -359,15 +373,22 @@ impl ExecPlan {
         let (b, n) = (merged.shape()[0], merged.shape()[1]);
         let flat = ops::relu(merged).reshaped([b, n, self.input_len * self.d_model]);
         let out = self.output.forward_eval(&flat);
-        ops::add_scalar(&ops::scale(&out, self.out_scale), self.out_shift)
+        let mut y = ops::add_scalar(&ops::scale(&out, self.out_scale), self.out_shift);
+        if fault == cts_nn::fault::ServeFault::NanOutput {
+            if let Some(v) = y.data_mut().first_mut() {
+                *v = f32::NAN;
+            }
+        }
+        Ok(y)
     }
 
-    /// Prime the tensor arena for batch size `batch` so subsequent [`run`]
-    /// calls allocate nothing: seeds the arena with every slot-sized buffer,
-    /// then performs two warm-up forwards to let op-internal scratch
-    /// (attention score matrices, RNN state) reach steady state.
+    /// Prime the tensor arena for batch size `batch` so subsequent
+    /// [`try_run`] calls allocate nothing: seeds the arena with every
+    /// slot-sized buffer, then performs two warm-up forwards to let
+    /// op-internal scratch (attention score matrices, RNN state) reach
+    /// steady state.
     ///
-    /// [`run`]: Self::run
+    /// [`try_run`]: Self::try_run
     pub fn prewarm(&self, batch: usize) {
         let lens: Vec<usize> = self
             .slot_shapes
@@ -377,8 +398,10 @@ impl ExecPlan {
             .collect();
         arena::prewarm(&lens);
         let x = Tensor::zeros([batch, self.nodes, self.input_len, self.features]);
-        let _ = self.run(&x);
-        let _ = self.run(&x);
+        // The input is built to the plan's own dims, so warm-up runs can
+        // only fail under an armed fault plan; ignore those.
+        let _ = self.try_run(&x);
+        let _ = self.try_run(&x);
     }
 
     /// Number of records in the flat program (diagnostics / reports).
@@ -445,10 +468,10 @@ mod tests {
         let plan = ExecPlan::compile(tiny_spec(&mut rng, OpKind::Gdcc)).unwrap();
         assert_eq!(plan.num_steps(), 3); // two edges + residual
         let x = init::uniform(&mut rng, [2, 3, 5, 2], -1.0, 1.0);
-        let y = plan.run(&x);
+        let y = plan.try_run(&x).unwrap();
         assert_eq!(y.shape(), &[2, 3, 6]);
         // Deterministic: same input, same bits.
-        let y2 = plan.run(&x);
+        let y2 = plan.try_run(&x).unwrap();
         assert!(y.approx_eq(&y2, 0.0));
     }
 
@@ -458,8 +481,44 @@ mod tests {
         let plan = ExecPlan::compile(tiny_spec(&mut rng, OpKind::Dgcn)).unwrap();
         for b in [1usize, 2, 7] {
             let x = init::uniform(&mut rng, [b, 3, 5, 2], -1.0, 1.0);
-            assert_eq!(plan.run(&x).shape(), &[b, 3, 6]);
+            assert_eq!(plan.try_run(&x).unwrap().shape(), &[b, 3, 6]);
         }
+    }
+
+    #[test]
+    fn bad_input_shape_is_a_typed_error_not_a_panic() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let plan = ExecPlan::compile(tiny_spec(&mut rng, OpKind::Gdcc)).unwrap();
+        let wrong_rank = Tensor::zeros([3, 5, 2]);
+        assert!(matches!(
+            plan.try_run(&wrong_rank),
+            Err(ServeError::BadShape { .. })
+        ));
+        let wrong_dims = Tensor::zeros([1, 3, 7, 2]);
+        let err = plan.try_run(&wrong_dims).unwrap_err();
+        assert!(err.to_string().contains("[B, 3, 5, 2]"), "{err}");
+    }
+
+    #[test]
+    fn fault_hooks_fail_or_poison_a_run() {
+        use cts_nn::fault;
+        let mut rng = SmallRng::seed_from_u64(7);
+        let plan = ExecPlan::compile(tiny_spec(&mut rng, OpKind::Gdcc)).unwrap();
+        let x = init::uniform(&mut rng, [1, 3, 5, 2], -1.0, 1.0);
+        fault::arm(fault::FaultPlan {
+            fail_plan_run_at: Some(0),
+            nan_output_at_run: Some(1),
+            ..fault::FaultPlan::default()
+        });
+        assert!(matches!(
+            plan.try_run(&x),
+            Err(ServeError::PlanExec { .. })
+        ));
+        let poisoned = plan.try_run(&x).unwrap();
+        assert!(poisoned.data()[0].is_nan(), "output not poisoned");
+        let clean = plan.try_run(&x).unwrap();
+        assert!(!clean.has_non_finite(), "fault was not one-shot");
+        fault::disarm();
     }
 
     #[test]
@@ -504,7 +563,7 @@ mod tests {
         plan.prewarm(2);
         arena::reset_stats();
         let x = init::uniform(&mut rng, [2, 3, 5, 2], -1.0, 1.0);
-        let _ = plan.run(&x);
+        let _ = plan.try_run(&x).unwrap();
         assert_eq!(arena::stats().misses, 0, "steady-state run hit the allocator");
     }
 }

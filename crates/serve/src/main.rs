@@ -1,20 +1,29 @@
-//! `serve_bench`: latency benchmark of the forecast-serving layer.
+//! `serve_bench`: latency benchmark of the fault-tolerant serving layer.
 //!
 //! Builds a smoke-scale [`DerivedModel`], compiles it to a tape-free
-//! [`cts_runtime::ExecPlan`], registers it in a [`PlanRegistry`], and
-//! drives `SERVE_STREAMS` concurrent sensor streams through a
-//! [`MicroBatcher`] for `SERVE_ROUNDS` rounds. Each round submits one
-//! window per stream and flushes once; the flush wall-time is the
-//! serving latency sample.
+//! [`cts_runtime::ExecPlan`], admits it through the [`PlanRegistry`]
+//! canary gate (parity vs the tape on a probe window), and drives
+//! `SERVE_STREAMS` concurrent sensor streams through a [`MicroBatcher`]
+//! for `SERVE_ROUNDS` rounds. Each round submits one window per stream
+//! and flushes once; the flush wall-time is the serving latency sample.
+//! After measurement, a chaos round exercises every degradation-ladder
+//! rung (admission reject, deadline shed, batch failure → quarantine →
+//! solo re-run) so the counters in the report are exercised end to end.
 //!
 //! Emits `BENCH_serve.json` (override the directory with
 //! `BENCH_OUT_DIR`): p50/p99 flush latency, compiled and tape
-//! milliseconds per window, and the tape-vs-compiled `speedup` column.
+//! milliseconds per window, the tape-vs-compiled `speedup` column, and
+//! every `cts_obs::serve` degradation counter.
 //!
 //! Knobs (environment):
-//! * `SERVE_STREAMS` — concurrent streams per round (default 8)
-//! * `SERVE_ROUNDS`  — measured rounds (default 200)
-//! * `SERVE_BATCH`   — micro-batcher window cap (default = streams)
+//! * `SERVE_STREAMS`     — concurrent streams per round (default 8)
+//! * `SERVE_ROUNDS`      — measured rounds (default 200)
+//! * `SERVE_BATCH`       — micro-batcher window cap (default = streams)
+//! * `SERVE_QUEUE`       — pending-queue bound (default 1024)
+//! * `SERVE_DEADLINE_MS` — per-request deadline budget (default: none)
+//! * `SERVE_MISSING_CAP` — per-window missing-fraction cap (default 1.0)
+//! * `SERVE_RETRIES`     — solo re-run retries per quarantined request
+//!   (default 1)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,10 +31,10 @@
 use autocts::{BlockGenotype, DerivedModel, Genotype, SearchConfig};
 use cts_autograd::Tape;
 use cts_data::{batches_from_windows, build_windows, generate, DatasetSpec};
-use cts_nn::Forecaster;
+use cts_nn::{fault, Forecaster};
 use cts_obs::Stopwatch;
 use cts_ops::OpKind;
-use cts_runtime::{MicroBatcher, PlanRegistry};
+use cts_runtime::{AdmissionPolicy, MicroBatcher, PlanRegistry};
 use cts_tensor::Tensor;
 use rand::{rngs::SmallRng, SeedableRng};
 use std::rc::Rc;
@@ -38,6 +47,10 @@ fn env_usize(key: &str, default: usize) -> usize {
         .max(1)
 }
 
+fn env_f64(key: &str) -> Option<f64> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
 /// Nearest-rank percentile of an ascending-sorted sample.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
@@ -47,10 +60,18 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+fn fail(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::other(msg.into())
+}
+
 fn main() -> std::io::Result<()> {
     let streams = env_usize("SERVE_STREAMS", 8);
     let rounds = env_usize("SERVE_ROUNDS", 200);
     let max_batch = env_usize("SERVE_BATCH", streams);
+    let queue_limit = env_usize("SERVE_QUEUE", 1024);
+    let deadline_ms = env_f64("SERVE_DEADLINE_MS");
+    let missing_cap = env_f64("SERVE_MISSING_CAP").unwrap_or(1.0) as f32;
+    let retries = env_usize("SERVE_RETRIES", 1);
     let out_dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".into());
 
     // Smoke-scale derived model, same scale as the verify-space sweep:
@@ -79,49 +100,99 @@ fn main() -> std::io::Result<()> {
         backbone: vec![0, 1],
     };
     let mut rng = SmallRng::seed_from_u64(7);
-    let model = DerivedModel::new(&mut rng, &cfg, &genotype, &spec, &data.graph, &windows.scaler);
+    let model = Rc::new(DerivedModel::new(
+        &mut rng,
+        &cfg,
+        &genotype,
+        &spec,
+        &data.graph,
+        &windows.scaler,
+    ));
 
     let plan = model
         .compiled_plan()
-        .map_err(|e| std::io::Error::other(e.to_string()))?;
-    let mut registry = PlanRegistry::new();
-    registry.insert("autocts-smoke", Rc::clone(&plan));
-    println!(
-        "serve_bench: {} plan(s) registered ({}), {streams} stream(s), \
-         {rounds} round(s), max_batch {max_batch}",
-        registry.len(),
-        registry.ids().join(", ")
-    );
+        .map_err(|e| fail(e.to_string()))?;
 
     // One live window per stream, cycled from the test split.
     let test_batches = batches_from_windows(&windows.test, 1);
-    assert!(!test_batches.is_empty(), "test split produced no windows");
+    if test_batches.is_empty() {
+        return Err(fail("test split produced no windows"));
+    }
     let stream_windows: Vec<Tensor> = (0..streams)
         .map(|s| test_batches[s % test_batches.len()].0.clone())
         .collect();
 
+    // Counters cover everything from the canary gate on (warm-up traffic
+    // included — it is real traffic through the real path).
+    cts_obs::serve::reset();
+
+    // Canary gate: the plan must match the tape bit for bit on a probe
+    // window before it may serve.
+    let probe = &stream_windows[0];
+    let reference = {
+        let tape = Tape::new();
+        let xv = tape.constant(probe.clone());
+        model.forward(&tape, &xv).value()
+    };
+    let mut registry = PlanRegistry::new();
+    registry
+        .admit("autocts-smoke", Rc::clone(&plan), probe, &reference, 0.0)
+        .map_err(|e| fail(format!("canary gate rejected the plan: {e}")))?;
+    println!(
+        "serve_bench: {} plan(s) admitted ({}), {streams} stream(s), \
+         {rounds} round(s), max_batch {max_batch}, queue {queue_limit}, \
+         retries {retries}",
+        registry.len(),
+        registry.ids().join(", ")
+    );
+
+    // The serving batcher: admission from the dataset's null sentinel,
+    // bounded queue, and the model's tape forward as the last ladder rung.
+    let fallback_model = Rc::clone(&model);
+    let admission = AdmissionPolicy::new(spec.null_value, missing_cap)
+        .map_err(|e| fail(e.to_string()))?;
+    let mut batcher = MicroBatcher::new(Rc::clone(&plan), max_batch)
+        .map_err(|e| fail(e.to_string()))?
+        .with_queue_limit(queue_limit)
+        .map_err(|e| fail(e.to_string()))?
+        .with_admission(admission)
+        .with_retries(retries)
+        .with_tape_fallback(Box::new(move |x| {
+            let tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            Some(fallback_model.forward(&tape, &xv).value())
+        }));
+
     // Warm-up: pre-size the arena for the coalesced batch and run the
     // steady-state shapes once so measured rounds never allocate.
     plan.prewarm(streams.min(max_batch));
-    let mut batcher = MicroBatcher::new(Rc::clone(&plan), max_batch);
     for _ in 0..3 {
         for w in &stream_windows {
-            batcher.submit(w.clone());
+            batcher.submit(w.clone()).map_err(|e| fail(e.to_string()))?;
         }
         let _ = batcher.flush();
     }
 
     // Measured rounds: one flush latency sample per round.
     let mut flush_ms = Vec::with_capacity(rounds);
+    let mut served = 0usize;
     let total = Stopwatch::start();
     for _ in 0..rounds {
         for w in &stream_windows {
-            batcher.submit(w.clone());
+            batcher
+                .submit_with_deadline(w.clone(), deadline_ms)
+                .map_err(|e| fail(e.to_string()))?;
         }
         let sw = Stopwatch::start();
         let out = batcher.flush();
         flush_ms.push(sw.elapsed_ms());
-        assert_eq!(out.len(), streams);
+        if out.len() != streams {
+            return Err(fail(format!(
+                "flush answered {} of {streams} requests",
+                out.len()
+            )));
+        }
+        served += out.iter().filter(|r| r.is_ok()).count();
     }
     let compiled_secs = total.elapsed_secs();
     let compiled_ms_per_window = compiled_secs * 1e3 / (rounds * streams) as f64;
@@ -144,6 +215,26 @@ fn main() -> std::io::Result<()> {
     let tape_ms_per_window = tape_sw.elapsed_secs() * 1e3 / (tape_rounds * streams) as f64;
     let speedup = tape_ms_per_window / compiled_ms_per_window;
 
+    // Chaos round (after measurement so it cannot skew latency): one
+    // malformed request, one expired deadline, and one injected batch
+    // failure whose quarantined request recovers solo.
+    let _ = batcher.submit(Tensor::zeros([1, 2, 3, 4])); // rejected: shape
+    let mut poisoned = stream_windows[0].clone();
+    poisoned.data_mut()[0] = f32::NAN; // masked into the null sentinel
+    let _ = batcher.submit(poisoned);
+    let _ = batcher.submit_with_deadline(stream_windows[0].clone(), Some(-1.0));
+    let _ = batcher.submit(stream_windows[0].clone());
+    fault::arm(fault::FaultPlan {
+        fail_plan_run_at: Some(0),
+        ..fault::FaultPlan::default()
+    });
+    let chaos_out = batcher.flush();
+    fault::disarm();
+    let chaos_recovered = chaos_out.iter().filter(|r| r.is_ok()).count();
+
+    let counters = cts_obs::serve::rows();
+    cts_obs::serve::emit_row();
+
     println!(
         "  flush latency: p50 {p50:.3} ms, p99 {p99:.3} ms \
          ({streams} windows per flush)"
@@ -152,17 +243,35 @@ fn main() -> std::io::Result<()> {
         "  per-window: compiled {compiled_ms_per_window:.4} ms, \
          tape {tape_ms_per_window:.4} ms, speedup {speedup:.2}x"
     );
+    println!(
+        "  served {served}/{} measured requests; chaos round recovered \
+         {chaos_recovered}/{} submissions",
+        rounds * streams,
+        chaos_out.len()
+    );
+    let counter_line: Vec<String> = counters
+        .iter()
+        .filter(|(_, v)| *v > 0)
+        .map(|(k, v)| format!("{k} {v}"))
+        .collect();
+    println!("  degradation counters: {}", counter_line.join(", "));
 
+    let counter_json: Vec<String> = counters
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect();
     let json = format!(
         "{{\n  \"rows\": [\n    {{\"streams\": {streams}, \"max_batch\": {max_batch}, \
          \"rounds\": {rounds}, \"p50_ms\": {p50:.6}, \"p99_ms\": {p99:.6}, \
          \"compiled_ms_per_window\": {compiled_ms_per_window:.6}, \
          \"tape_ms_per_window\": {tape_ms_per_window:.6}, \
          \"speedup\": {speedup:.4}}}\n  ],\n  \"summary\": {{\"model\": \"{}\", \
-         \"plans_registered\": {}, \"windows_served\": {}, \"speedup\": {speedup:.4}}}\n}}\n",
+         \"plans_registered\": {}, \"windows_served\": {served}, \
+         \"chaos_recovered\": {chaos_recovered}, \"speedup\": {speedup:.4}}},\n  \
+         \"serve_counters\": {{{}}}\n}}\n",
         genotype.to_text(),
         registry.len(),
-        rounds * streams
+        counter_json.join(", ")
     );
     let path = format!("{out_dir}/BENCH_serve.json");
     std::fs::write(&path, json)?;

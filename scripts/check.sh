@@ -13,7 +13,7 @@ bash scripts/lint_forbidden.sh
 echo "==> no ignored recovery tests"
 # The fault-tolerance suites must always run: an #[ignore] on any of them
 # would let a broken resume/watchdog path slip through the gate.
-if grep -n '#\[ignore' tests/fault_injection.rs crates/nn/tests/run_state.rs 2>/dev/null; then
+if grep -n '#\[ignore' tests/fault_injection.rs tests/serve_fault.rs crates/nn/tests/run_state.rs 2>/dev/null; then
   echo "error: recovery tests must not be #[ignore]d" >&2
   exit 1
 fi
@@ -33,6 +33,12 @@ cargo test -q --workspace --offline
 echo "==> fault-injection suite (explicit)"
 cargo test --offline --test fault_injection -- --nocapture
 cargo test --offline -p cts-nn --test run_state
+
+echo "==> serving chaos suite"
+# The request path must degrade, never panic: typed errors, batch
+# isolation under injected faults, oversize splitting under the cap,
+# canary-gate rollback, and the packing proptests (tests/serve_fault.rs).
+cargo test --offline --test serve_fault
 
 echo "==> compiled-plan parity gate"
 # The tape-free ExecPlan forward must stay bit-identical to the tape

@@ -22,6 +22,12 @@
 #      `crates/runtime/src`: compiled plans are tape-free by construction,
 #      and the parity guarantee depends on the runtime never re-entering
 #      autograd.
+#   6. The serving request path (`crates/runtime/src`, `crates/serve/src`)
+#      must never panic on request data: `assert!`/`assert_eq!`/
+#      `assert_ne!`/`debug_assert*`/`panic!`/`.unwrap()` are forbidden
+#      there — failures must surface as typed `ServeError`s. Annotated
+#      `.expect(` with `// invariant:` stays allowed (rule 1) for
+#      conditions the code itself makes impossible.
 #
 # Exits non-zero with a `file:line` listing on any finding.
 set -euo pipefail
@@ -54,6 +60,9 @@ while IFS= read -r f; do
                 printf "%s:%d: Instant outside cts-obs/cts-bench (use cts_obs timers)\n", FILENAME, NR
             if (FILENAME ~ /^crates\/runtime\/src\// && line ~ /cts_autograd/)
                 printf "%s:%d: cts_autograd referenced inside cts-runtime (plans are tape-free)\n", FILENAME, NR
+            if (FILENAME ~ /^crates\/(runtime|serve)\/src\// \
+                && line ~ /(^|[^a-zA-Z_!])(assert|assert_eq|assert_ne|debug_assert|debug_assert_eq|debug_assert_ne|panic)!|\.unwrap\(\)/)
+                printf "%s:%d: panic path in serving code (return a typed ServeError)\n", FILENAME, NR
         }
     ' "$f" >>"$findings"
 done < <(find crates/*/src compat/*/src src -name '*.rs' ! -name '*_tests.rs' | sort)

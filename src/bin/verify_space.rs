@@ -181,9 +181,10 @@ fn smoke_candidate(
         // Accepted candidates must also compile to a tape-free plan whose
         // forward is bit-identical to the tape forward (epsilon 0).
         if report.is_ok() {
-            match model.compiled_plan() {
-                Ok(plan) => {
-                    let compiled = plan.run(x);
+            match model.compiled_plan().map_err(|e| e.to_string()).and_then(
+                |plan| plan.try_run(x).map_err(|e| e.to_string()),
+            ) {
+                Ok(compiled) => {
                     let tape_out = pred.value();
                     if compiled.shape() != tape_out.shape() {
                         problems.push(format!(
@@ -204,7 +205,7 @@ fn smoke_candidate(
                         ));
                     }
                 }
-                Err(e) => problems.push(format!("accepted candidate failed to compile: {e}")),
+                Err(e) => problems.push(format!("accepted candidate failed to compile/run: {e}")),
             }
         }
         for (i, block) in genotype.blocks.iter().enumerate() {

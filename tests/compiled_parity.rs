@@ -98,7 +98,7 @@ fn compiled_forward_is_bit_identical_to_tape() {
         let tape = Tape::new();
         let tape_out = model.forward(&tape, &tape.constant(x.clone())).value();
         let plan = model.compiled_plan().expect("every structural genotype compiles");
-        let compiled = plan.run(x);
+        let compiled = plan.try_run(x).expect("parity fixture input matches plan dims");
 
         assert_eq!(
             compiled.shape(),
@@ -142,7 +142,7 @@ fn compiled_plan_tracks_retrained_weights() {
     let (x, _) = &batches[0];
 
     let plan = model.compiled_plan().expect("compiles");
-    let before = plan.run(x);
+    let before = plan.try_run(x).expect("parity fixture input matches plan dims");
 
     // Perturb a weight in place, as an optimizer step would.
     let params = model.parameters();
@@ -152,7 +152,7 @@ fn compiled_plan_tracks_retrained_weights() {
 
     let tape = Tape::new();
     let tape_out = model.forward(&tape, &tape.constant(x.clone())).value();
-    let after = plan.run(x);
+    let after = plan.try_run(x).expect("parity fixture input matches plan dims");
     assert!(
         before.data().iter().zip(after.data()).any(|(a, b)| a != b),
         "weight perturbation did not reach the compiled plan"
@@ -191,14 +191,14 @@ fn steady_state_compiled_forward_allocates_nothing() {
     let plan = model.compiled_plan().expect("compiles");
     plan.prewarm(x.shape()[0]);
     for _ in 0..3 {
-        let _ = plan.run(x);
+        let _ = plan.try_run(x).expect("parity fixture input matches plan dims");
     }
 
     cts_tensor::arena::reset_stats();
     ALLOCS.store(0, Ordering::Relaxed);
     BYTES.store(0, Ordering::Relaxed);
     ON.store(1, Ordering::Relaxed);
-    let out = plan.run(x);
+    let out = plan.try_run(x).expect("parity fixture input matches plan dims");
     ON.store(0, Ordering::Relaxed);
     drop(out);
 

@@ -52,7 +52,7 @@ fn killed_search_resumes_bit_identically() {
     let cfg = small_cfg().with_checkpoint(CheckpointConfig::new(&ckpt));
     fault::arm(fault::FaultPlan {
         abort_at_step: Some((steps_per_epoch + 1) as u64),
-        nan_grad_at_step: None,
+        ..fault::FaultPlan::default()
     });
     let err = match joint_search(&cfg, &spec, &data.graph, &windows) {
         Err(e) => e,
@@ -120,7 +120,7 @@ fn killed_retraining_resumes_bit_identically() {
     let auto_ck = AutoCts::new(small_cfg().with_checkpoint(CheckpointConfig::new(&base_ckpt)));
     fault::arm(fault::FaultPlan {
         abort_at_step: Some(steps_per_epoch + 1),
-        nan_grad_at_step: None,
+        ..fault::FaultPlan::default()
     });
     let err = match auto_ck.try_evaluate(&genotype, &spec, &data.graph, &windows, epochs) {
         Err(e) => e,
@@ -181,8 +181,8 @@ fn invalid_genotype_is_rejected_before_retraining() {
 fn search_watchdog_recovers_from_nan_gradients() {
     let (spec, data, windows) = fixture();
     fault::arm(fault::FaultPlan {
-        abort_at_step: None,
         nan_grad_at_step: Some(3),
+        ..fault::FaultPlan::default()
     });
     let (genotype, _, stats) =
         joint_search(&small_cfg(), &spec, &data.graph, &windows).unwrap();
