@@ -60,6 +60,17 @@ pub struct SearchConfig {
     /// objective. 0 disables (the paper's setting); positive values steer
     /// `α` toward cheaper operators.
     pub cost_penalty: f32,
+    /// Static-cost budget: reject any genotype whose most expensive single
+    /// analyzer step exceeds this many FLOPs at `batch_size` (None
+    /// disables). Enforced at pre-flight, before any tensor is allocated.
+    pub max_flops_per_step: Option<u64>,
+    /// Static-cost budget: reject any genotype whose predicted peak
+    /// resident arena bytes at `batch_size` exceed this (None disables).
+    pub max_peak_bytes: Option<u64>,
+    /// Static-cost budget: reject any genotype whose predicted forward
+    /// latency (default calibration) exceeds this many milliseconds at
+    /// `batch_size` (None disables).
+    pub max_latency_ms: Option<f32>,
     /// RNG seed controlling initialisation and batch order.
     pub seed: u64,
     /// Epoch-boundary run-state persistence for the search (None
@@ -94,6 +105,9 @@ impl Default for SearchConfig {
             gcn_k: 2,
             adaptive_emb: 8,
             cost_penalty: 0.0,
+            max_flops_per_step: None,
+            max_peak_bytes: None,
+            max_latency_ms: None,
             seed: 1,
             checkpoint: None,
             watchdog: WatchdogConfig::default(),
@@ -128,6 +142,28 @@ impl SearchConfig {
     /// Enable efficiency-aware search with penalty weight `lambda`.
     pub fn with_cost_penalty(mut self, lambda: f32) -> Self {
         self.cost_penalty = lambda;
+        self
+    }
+
+    /// Cap the statically priced per-step FLOPs of every candidate; a
+    /// genotype whose priciest analyzer step exceeds `flops` is rejected
+    /// at pre-flight with a typed finding naming that step.
+    pub fn with_max_flops_per_step(mut self, flops: u64) -> Self {
+        self.max_flops_per_step = Some(flops);
+        self
+    }
+
+    /// Cap the statically predicted peak resident arena bytes of every
+    /// candidate at `batch_size`.
+    pub fn with_max_peak_bytes(mut self, bytes: u64) -> Self {
+        self.max_peak_bytes = Some(bytes);
+        self
+    }
+
+    /// Cap the statically predicted forward latency (default calibration)
+    /// of every candidate at `batch_size`.
+    pub fn with_max_latency_ms(mut self, ms: f32) -> Self {
+        self.max_latency_ms = Some(ms);
         self
     }
 

@@ -12,7 +12,9 @@
 use crate::{Genotype, SearchConfig};
 use cts_data::DatasetSpec;
 use cts_graph::SensorGraph;
-use cts_verify::{ArchSpec, BlockSpec, ModelDims, VerifyError, VerifyReport};
+use cts_verify::{
+    ArchSpec, BlockSpec, CostBudgets, LatencyModel, ModelDims, VerifyError, VerifyReport,
+};
 
 /// Describe a candidate architecture to the analyzer: genotype topology
 /// plus the concrete dims the model would be instantiated with.
@@ -29,6 +31,11 @@ pub fn arch_spec(
             horizon: spec.output_len,
             d_model: cfg.d_model,
             num_nodes: Some(graph.n()),
+            gcn_k: cfg.gcn_k,
+            // Mirrors `make_context` in model.rs: a graph with no usable
+            // adjacency (all-zero weights) gets a learned adaptive one.
+            adaptive: graph.adjacency().sum() <= 0.0,
+            adaptive_emb: cfg.adaptive_emb,
         },
         blocks: genotype
             .blocks
@@ -39,17 +46,41 @@ pub fn arch_spec(
     }
 }
 
+/// The static-cost budgets configured on `cfg`, in analyzer form.
+pub fn cost_budgets(cfg: &SearchConfig) -> CostBudgets {
+    CostBudgets {
+        max_flops_per_step: cfg.max_flops_per_step,
+        max_peak_bytes: cfg.max_peak_bytes,
+        max_latency_ms: cfg.max_latency_ms,
+    }
+}
+
 /// Statically verify a genotype against the config/dataset it would be
 /// instantiated with. `Ok` carries the full report (inferred merged shape,
 /// edge liveness, warnings); `Err` means at least one error-severity
 /// finding.
+///
+/// When any cost budget is set on `cfg`, the genotype is additionally
+/// priced by [`cts_verify::analyze_cost`] at `cfg.batch_size` and
+/// over-budget candidates are rejected with `OverBudget` findings naming
+/// the offending step — all before a single tensor is allocated.
 pub fn preflight(
     cfg: &SearchConfig,
     genotype: &Genotype,
     spec: &DatasetSpec,
     graph: &SensorGraph,
 ) -> Result<VerifyReport, VerifyError> {
-    cts_verify::check_genotype(&arch_spec(cfg, genotype, spec, graph))
+    let arch = arch_spec(cfg, genotype, spec, graph);
+    let mut report = cts_verify::check_genotype(&arch)?;
+    let budgets = cost_budgets(cfg);
+    if !budgets.is_unbounded() {
+        let cost = cts_verify::analyze_cost(&arch, cfg.batch_size)?;
+        cts_verify::check_budgets(&mut report, &cost, &budgets, &LatencyModel::default());
+        if !report.is_ok() {
+            return Err(VerifyError { report });
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -88,6 +119,31 @@ mod tests {
             format_shape(&merged),
             format!("[B, {}, {}, {}]", graph.n(), spec.input_len, cfg.d_model)
         );
+    }
+
+    #[test]
+    fn over_budget_genotype_is_rejected_with_named_step() {
+        let (mut cfg, spec, graph) = fixture();
+        // 1 FLOP per step: everything blows the budget; the finding must
+        // name a concrete analyzer step.
+        cfg.max_flops_per_step = Some(1);
+        let err = preflight(&cfg, &genotype(), &spec, &graph).unwrap_err();
+        let over: Vec<_> = err
+            .report
+            .errors()
+            .filter(|f| f.kind == cts_verify::FindingKind::OverBudget)
+            .collect();
+        assert!(!over.is_empty(), "{err}");
+        assert!(
+            over.iter().any(|f| f.site.contains("block0")),
+            "no finding names a block step: {err}"
+        );
+
+        // Generous budgets pass the same genotype untouched.
+        cfg.max_flops_per_step = Some(u64::MAX);
+        cfg.max_peak_bytes = Some(u64::MAX);
+        cfg.max_latency_ms = Some(f32::MAX);
+        preflight(&cfg, &genotype(), &spec, &graph).expect("generous budgets accept");
     }
 
     #[test]

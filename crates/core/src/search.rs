@@ -50,9 +50,15 @@ pub struct SearchStats {
     pub secs: f64,
     /// Number of (Θ, w) step pairs executed.
     pub steps: usize,
-    /// Estimated peak memory of the search in MB (parameters + optimiser
-    /// state + activations of one forward/backward).
+    /// Estimated peak memory of the search in MB: the liveness-based
+    /// arena-residency bound of [`crate::stats::search_memory_estimate`]
+    /// (parameters + optimiser state + peak live activations, slot-padded,
+    /// floored at the derived plan's static peak).
     pub memory_mb: f64,
+    /// The pre-cost-model flat heuristic for the same quantity, kept so
+    /// historical run reports stay comparable.
+    #[deprecated(note = "flat heuristic that ignores arena slot padding; use memory_mb")]
+    pub memory_mb_heuristic: f64,
     /// Final temperature at derivation time.
     pub final_tau: f32,
     /// Mean pseudo-validation loss of the last epoch.
@@ -581,10 +587,22 @@ pub fn joint_search(
         let _span = cts_obs::span(cts_obs::Phase::Derive);
         model.derive()?
     };
+    // Static plan peak of the derived architecture (liveness analysis in
+    // cts-verify) floors the activation term of the memory estimate. A
+    // derived genotype always passes validation, but fall back to 0 rather
+    // than fail the whole search over a cost-model refusal.
+    let plan_peak = cts_verify::analyze_cost(
+        &crate::preflight::arch_spec(cfg, &genotype, spec, graph),
+        cfg.batch_size,
+    )
+    .map_or(0, |c| c.peak_bytes);
+    let mem = crate::stats::search_memory_estimate(&model, memory_scalars, plan_peak);
+    #[allow(deprecated)]
     let stats = SearchStats {
         secs: secs_before + started.elapsed_secs(),
         steps,
-        memory_mb: crate::stats::search_memory_mb(&model, memory_scalars),
+        memory_mb: mem.peak_mb,
+        memory_mb_heuristic: mem.heuristic_mb,
         final_tau: model.tau(),
         final_val_loss,
         rollbacks,

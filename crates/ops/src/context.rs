@@ -119,6 +119,13 @@ impl GraphContext {
         self.adaptive.is_some()
     }
 
+    /// Embedding width of the adaptive adjacency factors, when present —
+    /// the `emb_dim` passed to [`Self::with_adaptive`]. Static cost
+    /// analysis prices the per-eval `softmax(relu(E₁·E₂))` from this.
+    pub fn adaptive_emb_dim(&self) -> Option<usize> {
+        self.adaptive.as_ref().map(|(e1, _)| e1.value().shape()[1])
+    }
+
     /// True when the context carries usable spatial structure (either a
     /// non-empty predefined graph or adaptive embeddings).
     pub fn has_spatial_signal(&self) -> bool {

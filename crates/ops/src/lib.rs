@@ -15,6 +15,7 @@
 mod attention_ops;
 mod basic;
 mod context;
+mod cost;
 mod gcn_ops;
 mod kinds;
 mod meta;
@@ -25,6 +26,7 @@ mod taxonomy;
 pub use attention_ops::{InformerSOp, InformerTOp, TransformerSOp, TransformerTOp};
 pub use basic::{Conv1dOp, GdccOp, IdentityOp, ZeroOp};
 pub use context::{node_mix, node_mix_eval, GraphContext};
+pub use cost::{arena_bytes, informer_u, CostCtx, OpCost, Trace, BYTES_PER_ELEM};
 pub use gcn_ops::{ChebGcnOp, DgcnOp};
 pub use kinds::{OpFamily, OpKind};
 pub use meta::{ShapeCtx, ShapeIssue};

@@ -2,7 +2,7 @@
 
 use crate::error::ServeError;
 use cts_nn::Linear;
-use cts_ops::{GraphContext, OpKind, ShapeCtx, ShapeIssue, StOperator};
+use cts_ops::{CostCtx, GraphContext, OpCost, OpKind, ShapeCtx, ShapeIssue, StOperator, Trace};
 use cts_tensor::sym::{eval_shape, format_shape, SymDim};
 use cts_tensor::{arena, ops, Tensor};
 use std::cell::RefCell;
@@ -127,6 +127,8 @@ pub struct ExecPlan {
     d_model: usize,
     nodes: usize,
     features: usize,
+    /// `input_len · d_model`, overflow-checked once at compile time.
+    flat_width: usize,
     /// Reusable workspace: one cell per slot, kept warm across runs so
     /// dropped intermediates recycle straight into the arena.
     slots: RefCell<Vec<Option<Tensor>>>,
@@ -158,11 +160,19 @@ impl ExecPlan {
                 spec.d_model
             )));
         }
-        if spec.output.d_in() != spec.input_len * spec.d_model {
+        let flat_width = spec
+            .input_len
+            .checked_mul(spec.d_model)
+            .ok_or_else(|| {
+                PlanError::Invalid(format!(
+                    "input_len {} × d_model {} overflows the flattened head width",
+                    spec.input_len, spec.d_model
+                ))
+            })?;
+        if spec.output.d_in() != flat_width {
             return Err(PlanError::Invalid(format!(
-                "output layer reads {} features, backbone produces {}",
+                "output layer reads {} features, backbone produces {flat_width}",
                 spec.output.d_in(),
-                spec.input_len * spec.d_model
             )));
         }
 
@@ -303,6 +313,7 @@ impl ExecPlan {
             d_model: spec.d_model,
             nodes: spec.nodes,
             features: spec.features,
+            flat_width,
             slots: RefCell::new((0..num_slots).map(|_| None).collect()),
         })
     }
@@ -371,7 +382,7 @@ impl ExecPlan {
         // Projection epilogue, mirroring Scaffold::project kernel for kernel:
         // relu → flatten [B,N,T·D] → output linear → inverse-scaler affine.
         let (b, n) = (merged.shape()[0], merged.shape()[1]);
-        let flat = ops::relu(merged).reshaped([b, n, self.input_len * self.d_model]);
+        let flat = ops::relu(merged).reshaped([b, n, self.flat_width]);
         let out = self.output.forward_eval(&flat);
         let mut y = ops::add_scalar(&ops::scale(&out, self.out_scale), self.out_shift);
         if fault == cts_nn::fault::ServeFault::NanOutput {
@@ -402,6 +413,80 @@ impl ExecPlan {
         // only fail under an armed fault plan; ignore those.
         let _ = self.try_run(&x);
         let _ = self.try_run(&x);
+    }
+
+    /// Price one `try_run` at batch size `batch` without executing it,
+    /// walking the compiled step list through the per-op `OpKind::cost`
+    /// contract (embedding and projection epilogue included).
+    ///
+    /// The `flops`/`bytes`/`kernel_calls` fields are exact against the
+    /// instrumented kernel meter for the same batch; `scratch_bytes` is an
+    /// arena-aligned upper bound. Pure metadata — no tensors touched.
+    pub fn static_cost(&self, batch: usize) -> OpCost {
+        let cctx = CostCtx {
+            batch,
+            nodes: self.nodes,
+            width: self.d_model,
+            graph_nodes: Some(self.nodes),
+            gcn_k: self.ctx.k(),
+            adaptive: self.ctx.has_adaptive(),
+            adaptive_emb: self.ctx.adaptive_emb_dim().unwrap_or(0),
+        };
+        let l_elems = [batch, self.nodes, self.input_len, self.d_model]
+            .iter()
+            .fold(1u64, |acc, &d| acc.saturating_mul(d as u64));
+        let rows = (batch as u64)
+            .saturating_mul(self.nodes as u64)
+            .saturating_mul(self.input_len as u64);
+
+        // Embedding: Linear(features → d_model) over B·N·T positions.
+        let mut embed = Trace::new();
+        embed.linear(rows, self.features as u64, self.d_model as u64, true);
+        let mut total = embed.finish();
+        total.param_count = (self.features as u64)
+            .saturating_mul(self.d_model as u64)
+            .saturating_add(self.d_model as u64);
+
+        for step in &self.steps {
+            match step {
+                Step::Op {
+                    op,
+                    src,
+                    accumulate,
+                    ..
+                } => {
+                    let c = op
+                        .kind()
+                        // invariant: compile ran infer_shape on this exact slot list
+                        .cost(&self.slot_shapes[*src], &cctx)
+                        .expect("compile validated every step shape");
+                    total = total.saturating_add(&c);
+                    if *accumulate {
+                        let mut fold = Trace::new();
+                        fold.zip_same(l_elems);
+                        total = total.saturating_add(&fold.finish());
+                    }
+                }
+                Step::Add { .. } => {
+                    let mut add = Trace::new();
+                    add.zip_same(l_elems);
+                    total = total.saturating_add(&add.finish());
+                }
+            }
+        }
+
+        // Projection epilogue: relu → flatten (free) → output → affine.
+        let bn = (batch as u64).saturating_mul(self.nodes as u64);
+        let q = self.output.d_out() as u64;
+        let bnq = bn.saturating_mul(q);
+        let mut epi = Trace::new();
+        epi.unary(l_elems); // relu
+        epi.linear(bn, self.flat_width as u64, q, true);
+        epi.unary(bnq); // scale
+        epi.unary(bnq); // add_scalar
+        let mut epi_cost = epi.finish();
+        epi_cost.param_count = (self.flat_width as u64).saturating_mul(q).saturating_add(q);
+        total.saturating_add(&epi_cost)
     }
 
     /// Number of records in the flat program (diagnostics / reports).
@@ -554,6 +639,66 @@ mod tests {
         spec.d_model = 8;
         let err = ExecPlan::compile(spec).err().unwrap();
         assert!(matches!(err, PlanError::Invalid(_)), "{err}");
+    }
+
+    /// The static price of a compiled plan must equal, bit for bit, what
+    /// the instrumented kernel meter observes during one `try_run` —
+    /// embedding, every edge (including accumulate folds and zero edges),
+    /// residual/merge adds, and the projection epilogue.
+    #[test]
+    fn static_cost_matches_metered_run_exactly() {
+        use cts_tensor::meter;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let d = 4;
+        let (n, t, f) = (3, 5, 2);
+        let ctx = Rc::new(GraphContext::from_graph(&SensorGraph::identity(n), 2));
+        let mk = |rng: &mut SmallRng, kind: OpKind, name: &str| -> Rc<dyn StOperator> {
+            Rc::from(build_operator(rng, kind, name, d, 2, false))
+        };
+        // Two blocks (merge add), node 2 of block 0 fed by two edges
+        // (accumulate fold), plus a compiled zero edge.
+        let spec = PlanSpec {
+            embed: Rc::new(Linear::new(&mut rng, "embed", f, d, true)),
+            output: Rc::new(Linear::new(&mut rng, "output", t * d, 6, true)),
+            ctx,
+            blocks: vec![
+                BlockPlan {
+                    m: 3,
+                    edges: vec![
+                        (0, 1, mk(&mut rng, OpKind::Gdcc, "g")),
+                        (0, 2, mk(&mut rng, OpKind::Zero, "z")),
+                        (1, 2, mk(&mut rng, OpKind::InformerT, "a")),
+                    ],
+                },
+                BlockPlan {
+                    m: 2,
+                    edges: vec![(0, 1, mk(&mut rng, OpKind::Dgcn, "s"))],
+                },
+            ],
+            backbone: vec![0, 1],
+            out_scale: 2.0,
+            out_shift: 1.0,
+            input_len: t,
+            d_model: d,
+            nodes: n,
+            features: f,
+        };
+        let plan = ExecPlan::compile(spec).unwrap();
+        for batch in [1usize, 3] {
+            let x = init::uniform(&mut rng, [batch, n, t, f], -1.0, 1.0);
+            meter::set_enabled(true);
+            meter::reset();
+            let _ = plan.try_run(&x).unwrap();
+            let got = meter::snapshot();
+            meter::set_enabled(false);
+            let want = plan.static_cost(batch);
+            assert_eq!(want.flops, got.flops, "batch {batch}: flops");
+            assert_eq!(want.bytes_read, got.bytes_read(), "batch {batch}: reads");
+            assert_eq!(want.bytes_written, got.bytes_written(), "batch {batch}: writes");
+            assert_eq!(want.kernel_calls, got.kernel_calls, "batch {batch}: calls");
+            assert!(want.dense_flops > 0 && want.dense_flops <= want.flops);
+            assert!(want.param_count > 0);
+        }
     }
 
     #[test]

@@ -109,6 +109,14 @@ struct ArenaTls {
     stats: ArenaStats,
     class_hits: [u64; N_CLASSES],
     class_misses: [u64; N_CLASSES],
+    // Live-buffer gauge: capacity handed out by `take_raw` and not yet
+    // returned through `recycle`. `live` can only undercount (buffers
+    // built outside the arena still recycle on Tensor drop), never
+    // overcount — which keeps `peak_live` a sound *lower* bound on true
+    // peak residency for the static cost model's `estimate >= measured`
+    // regression gate.
+    live: usize,
+    peak_live: usize,
 }
 
 impl ArenaTls {
@@ -119,6 +127,15 @@ impl ArenaTls {
             stats: ArenaStats::default(),
             class_hits: [0; N_CLASSES],
             class_misses: [0; N_CLASSES],
+            live: 0,
+            peak_live: 0,
+        }
+    }
+
+    fn note_taken(&mut self, cap: usize) {
+        self.live += cap;
+        if self.live > self.peak_live {
+            self.peak_live = self.live;
         }
     }
 }
@@ -192,13 +209,16 @@ fn take_raw(len: usize) -> Vec<f32> {
                 a.stats.hits += 1;
                 a.class_hits[class] += 1;
                 a.stats.resident_floats = a.resident as u64;
+                a.note_taken(buf.capacity());
                 buf.clear();
                 return buf;
             }
             a.class_misses[class] += 1;
         }
         a.stats.misses += 1;
-        Vec::with_capacity(len.max(1).next_power_of_two())
+        let cap = len.max(1).next_power_of_two();
+        a.note_taken(cap);
+        Vec::with_capacity(cap)
     })
 }
 
@@ -260,6 +280,10 @@ pub fn recycle(mut buf: Vec<f32>) {
     let class = class_for_capacity(cap);
     ARENA.with(|a| {
         let mut a = a.borrow_mut();
+        // Gauge first: the buffer stops being live whether or not the
+        // free list accepts it. Saturating because buffers created
+        // outside `take_raw` (e.g. `Tensor::from_vec`) also land here.
+        a.live = a.live.saturating_sub(cap);
         if class >= N_CLASSES
             || a.bins[class].len() >= PER_CLASS
             || a.resident + cap > MAX_RESIDENT_FLOATS
@@ -285,6 +309,29 @@ pub fn recycle(mut buf: Vec<f32>) {
 /// This thread's arena counters.
 pub fn stats() -> ArenaStats {
     ARENA.with(|a| a.borrow().stats)
+}
+
+/// `(live, peak_live)` floats currently handed out by `take_raw` and not
+/// yet recycled on this thread, and the high-water mark since the last
+/// [`reset_live_peak`]. Measured in *actual capacity* (rounded
+/// power-of-two class sizes), the same ledger unit as `resident_floats`.
+/// The static cost model's peak-bytes regression gate compares its
+/// estimate against `peak_live × 4` bytes.
+pub fn live_stats() -> (usize, usize) {
+    ARENA.with(|a| {
+        let a = a.borrow();
+        (a.live, a.peak_live)
+    })
+}
+
+/// Reset this thread's live high-water mark to the current live gauge
+/// (the gauge itself is preserved — buffers taken before the reset still
+/// count as live until recycled).
+pub fn reset_live_peak() {
+    ARENA.with(|a| {
+        let mut a = a.borrow_mut();
+        a.peak_live = a.live;
+    });
 }
 
 /// Per-class gauges for this thread, skipping classes with no activity

@@ -20,6 +20,7 @@ mod tensor;
 
 pub mod arena;
 pub mod init;
+pub mod meter;
 pub mod metrics;
 pub mod ops;
 pub mod parallel;

@@ -18,6 +18,7 @@
 //! is gone; see `zero_times_nan_propagates` below.
 
 use crate::arena;
+use crate::meter;
 use crate::parallel;
 use crate::Tensor;
 
@@ -28,6 +29,7 @@ use crate::Tensor;
 ///
 /// Returns `[B, N, T, D_out]`.
 pub fn temporal_conv(x: &Tensor, w: &Tensor, dilation: usize) -> Tensor {
+    meter::add_reads(x.len() + w.len());
     let (b, n, t, din) = dims4(x);
     let (k, wdin, dout) = dims3(w);
     assert_eq!(din, wdin, "temporal_conv channel mismatch");
@@ -70,6 +72,7 @@ pub fn temporal_conv(x: &Tensor, w: &Tensor, dilation: usize) -> Tensor {
 
 /// ∂temporal_conv/∂x.
 pub fn temporal_conv_grad_x(grad: &Tensor, w: &Tensor, x_shape: &[usize], dilation: usize) -> Tensor {
+    meter::add_reads(grad.len() + w.len());
     let (b, n, t, din) = (x_shape[0], x_shape[1], x_shape[2], x_shape[3]);
     let (k, _, dout) = dims3(w);
     let mut gx = arena::take_zeroed(b * n * t * din);
@@ -112,6 +115,7 @@ pub fn temporal_conv_grad_x(grad: &Tensor, w: &Tensor, x_shape: &[usize], dilati
 
 /// ∂temporal_conv/∂w.
 pub fn temporal_conv_grad_w(grad: &Tensor, x: &Tensor, w_shape: &[usize], dilation: usize) -> Tensor {
+    meter::add_reads(grad.len() + x.len());
     let (b, n, t, din) = dims4(x);
     let (k, _, dout) = (w_shape[0], w_shape[1], w_shape[2]);
     let gd = grad.data();

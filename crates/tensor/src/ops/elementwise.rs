@@ -8,6 +8,7 @@
 //! serial path.
 
 use crate::arena;
+use crate::meter;
 use crate::parallel;
 use crate::shape::{broadcast_shapes, numel, strides_for, unravel, Shape};
 use crate::Tensor;
@@ -26,6 +27,7 @@ fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Shape {
 
 /// Elementwise binary op with NumPy broadcasting.
 fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+    meter::add_reads(a.len() + b.len());
     if a.shape() == b.shape() {
         // Fast path: identical shapes, one flat parallel zip.
         let (ad, bd) = (a.data(), b.data());
@@ -73,6 +75,7 @@ fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> 
 
 /// Elementwise unary map, parallel over flat ranges.
 fn unary(a: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+    meter::add_reads(a.len());
     let ad = a.data();
     let mut data = arena::take_zeroed(ad.len());
     parallel::for_units(&parallel::kernels::EW_UNARY, &mut data, 1, ad.len(), |start, chunk| {
@@ -86,6 +89,7 @@ fn unary(a: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
 /// Exact-shape zip of two buffers (used by saved-value gradient kernels).
 fn zip_exact(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
     debug_assert_eq!(a.len(), b.len(), "zip_exact length mismatch");
+    meter::add_reads(a.len() + b.len());
     let (ad, bd) = (a.data(), b.data());
     let mut data = arena::take_zeroed(ad.len());
     parallel::for_units(&parallel::kernels::EW_ZIP_EXACT, &mut data, 1, ad.len(), |start, chunk| {
@@ -109,6 +113,7 @@ pub fn reduce_to_shape(grad: &Tensor, target_shape: &[usize]) -> Tensor {
     if grad.shape() == target_shape {
         return grad.clone();
     }
+    meter::add_reads(grad.len());
     let gshape = grad.shape();
     let g_str = strides_for(gshape);
     let offset = gshape.len() - target_shape.len();

@@ -29,6 +29,7 @@
 //! seed kernel's `a == 0.0` fast-out silently masked them).
 
 use crate::arena;
+use crate::meter;
 use crate::parallel;
 use crate::shape::{broadcast_shapes, numel, ravel_broadcast, unravel};
 use crate::Tensor;
@@ -54,6 +55,7 @@ thread_local! {
 /// weight `[k, n]` multiplies a batch `[B, T, m, k]` directly.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert!(a.rank() >= 2 && b.rank() >= 2, "matmul needs rank >= 2");
+    meter::add_reads(a.len() + b.len());
     let (m, ka) = (a.shape()[a.rank() - 2], a.shape()[a.rank() - 1]);
     let (kb, n) = (b.shape()[b.rank() - 2], b.shape()[b.rank() - 1]);
     assert_eq!(ka, kb, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
@@ -199,6 +201,7 @@ pub fn transpose_last2(a: &Tensor) -> Tensor {
     if mat == 0 {
         return Tensor::from_vec(out_shape, out);
     }
+    meter::add_reads(a.len());
     parallel::for_units(&parallel::kernels::TRANSPOSE, &mut out, mat, a.len(), |b0, chunk| {
         for (bb, dst) in chunk.chunks_mut(mat).enumerate() {
             let src = &data[(b0 + bb) * mat..(b0 + bb + 1) * mat];
@@ -237,6 +240,7 @@ fn transpose_tile(src: &[f32], dst: &mut [f32], m: usize, n: usize) {
 /// `matmul(a, transpose_last2(b))`.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     assert!(a.rank() >= 2 && b.rank() >= 2, "matmul_nt needs rank >= 2");
+    meter::add_reads(a.len() + b.len());
     let (m, ka) = (a.shape()[a.rank() - 2], a.shape()[a.rank() - 1]);
     let (n, kb) = (b.shape()[b.rank() - 2], b.shape()[b.rank() - 1]);
     assert_eq!(ka, kb, "matmul_nt inner dims: {:?} x {:?}", a.shape(), b.shape());
@@ -334,6 +338,7 @@ fn nt_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
 /// `matmul(transpose_last2(a), g)`, so the result is bit-identical to it.
 pub fn matmul_tn(a: &Tensor, g: &Tensor) -> Tensor {
     assert!(a.rank() >= 2 && g.rank() >= 2, "matmul_tn needs rank >= 2");
+    meter::add_reads(a.len() + g.len());
     let (ma, kd) = (a.shape()[a.rank() - 2], a.shape()[a.rank() - 1]);
     let (mg, n) = (g.shape()[g.rank() - 2], g.shape()[g.rank() - 1]);
     assert_eq!(ma, mg, "matmul_tn outer dims: {:?} x {:?}", a.shape(), g.shape());

@@ -7,6 +7,7 @@
 //! identical to the serial kernel (bit-exact at any thread count).
 
 use crate::arena;
+use crate::meter;
 use crate::parallel;
 use crate::shape::Shape;
 use crate::Tensor;
@@ -42,6 +43,7 @@ fn split_at_axis(shape: &[usize], axis: usize) -> (usize, usize, usize) {
 
 /// Sum over one axis.
 pub fn sum_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
+    meter::add_reads(a.len());
     let (outer, len, inner) = split_at_axis(a.shape(), axis);
     let mut out = arena::take_zeroed(outer * inner);
     let data = a.data();
@@ -72,6 +74,7 @@ pub fn mean_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
 
 /// ∂sum_axis/∂a: upstream grad broadcast back along `axis`.
 pub fn sum_axis_grad(grad: &Tensor, a_shape: &[usize], axis: usize) -> Tensor {
+    meter::add_reads(grad.len());
     let (outer, len, inner) = split_at_axis(a_shape, axis);
     let mut out = arena::take_zeroed(outer * len * inner);
     let g = grad.data();
@@ -122,6 +125,7 @@ pub fn mean_all_grad(grad: &Tensor, a_shape: &[usize]) -> Tensor {
 /// Maximum over one axis (non-differentiable helper for e.g. Informer's
 /// sparsity measurement; used on detached values only).
 pub fn max_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
+    meter::add_reads(a.len());
     let (outer, len, inner) = split_at_axis(a.shape(), axis);
     let mut out = arena::take_filled(outer * inner, f32::NEG_INFINITY);
     let data = a.data();
@@ -148,6 +152,7 @@ pub fn broadcast_to(a: &Tensor, target: &[usize]) -> Tensor {
     if a.shape() == target {
         return a.clone();
     }
+    meter::add_reads(a.len());
     let n = numel(target);
     let mut out = arena::take_zeroed(n);
     let data = a.data();

@@ -6,11 +6,13 @@
 //! thread count.
 
 use crate::arena;
+use crate::meter;
 use crate::parallel;
 use crate::Tensor;
 
 /// Numerically stable softmax over the last axis.
 pub fn softmax_last(a: &Tensor) -> Tensor {
+    meter::add_reads(a.len());
     let r = a.rank();
     let n = a.shape()[r - 1];
     let mut out = arena::take_zeroed(a.len());
@@ -41,6 +43,7 @@ pub fn softmax_last(a: &Tensor) -> Tensor {
 
 /// ∂softmax/∂a given the saved output `y`: `y ⊙ (g − Σ g⊙y)` per row.
 pub fn softmax_last_grad(grad: &Tensor, y: &Tensor) -> Tensor {
+    meter::add_reads(grad.len() + y.len());
     let r = y.rank();
     let n = y.shape()[r - 1];
     let mut out = arena::take_zeroed(y.len());
@@ -63,6 +66,7 @@ pub fn softmax_last_grad(grad: &Tensor, y: &Tensor) -> Tensor {
 
 /// Log-sum-exp over the last axis (stable), used by some losses.
 pub fn logsumexp_last(a: &Tensor) -> Tensor {
+    meter::add_reads(a.len());
     let r = a.rank();
     let n = a.shape()[r - 1];
     let rows = a.len() / n.max(1);

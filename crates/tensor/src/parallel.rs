@@ -392,6 +392,7 @@ where
             f(0, out);
         }
         spec.stats.record(t, units as u64, false);
+        crate::meter::add_exec(work, out.len());
         return;
     }
     // Deal out contiguous chunks (deterministic: depends only on units
@@ -418,6 +419,7 @@ where
         }
     });
     spec.stats.record(t, units as u64, true);
+    crate::meter::add_exec(work, units * unit_len);
 }
 
 /// Parallel accumulation: each worker owns a zeroed `acc_len` buffer, calls
@@ -447,6 +449,7 @@ where
             f(u, &mut acc);
         }
         spec.stats.record(t, units as u64, false);
+        crate::meter::add_exec(work, acc_len);
         return acc;
     }
     // Accumulators are allocated (from the caller's arena) and summed on
@@ -490,6 +493,7 @@ where
         arena::recycle(p);
     }
     spec.stats.record(t, units as u64, true);
+    crate::meter::add_exec(work, acc_len);
     acc
 }
 

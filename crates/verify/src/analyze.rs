@@ -379,6 +379,9 @@ mod tests {
             horizon: 12,
             d_model: 8,
             num_nodes: Some(5),
+            gcn_k: 2,
+            adaptive: false,
+            adaptive_emb: 0,
         }
     }
 

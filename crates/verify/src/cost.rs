@@ -1,0 +1,667 @@
+//! Whole-architecture static resource analysis: FLOPs, bytes, peak arena
+//! residency, and predicted latency for a candidate genotype — without
+//! building or running a model.
+//!
+//! [`analyze_cost`] replays the exact step-emission order of
+//! `cts_runtime::ExecPlan::compile` (embedding, per-block edges in genotype
+//! order with accumulate folds, block residual, skip merge, projection
+//! epilogue), pricing each step through the per-op [`OpKind::cost`]
+//! contract. The per-step `flops`/`bytes` are **exact** against the
+//! instrumented kernel meter; two peak-memory estimates come out of the
+//! same walk:
+//!
+//! * `peak_bytes` — *plan-faithful*: workspace slots fill in emission order
+//!   and are never freed mid-run (matching `ExecPlan`'s persistent slots),
+//!   plus each step's transient scratch upper bound. This is the number to
+//!   compare against observed arena residency: it must never under-count.
+//! * `ideal_peak_bytes` — the liveness-interval lower target: slots are
+//!   freed immediately after their last use. The gap between the two is
+//!   the headroom a smarter slot allocator could reclaim.
+//!
+//! [`LatencyModel`] converts a cost into predicted nanoseconds with three
+//! coefficients (dense flops, light flops, per-dispatch overhead), either
+//! default (conservative scalar-CPU constants) or fitted in-process by
+//! [`LatencyModel::calibrate`] from timed probe kernels.
+//!
+//! [`check_budgets`] turns a [`CostReport`] plus [`CostBudgets`] into
+//! [`FindingKind::OverBudget`] findings naming the offending step — the
+//! search pre-flight rejects over-budget genotypes before training spends
+//! a single step on them.
+//!
+//! This file is under the `lint_forbidden.sh` checked-arithmetic rule:
+//! every integer size/count product or sum must go through
+//! `saturating_*`/`checked_*` (floating-point latency math is exempt).
+
+use crate::check_genotype;
+use crate::finding::{FindingKind, VerifyReport};
+use crate::spec::ArchSpec;
+use crate::VerifyError;
+use cts_ops::{arena_bytes, CostCtx, OpCost, OpKind, ShapeIssue, Trace};
+use cts_tensor::sym::SymDim;
+
+/// One priced record of the flat forward program.
+#[derive(Clone, Debug)]
+pub struct StepCost {
+    /// Where: `"embed"`, `"block0.e2"`, `"block1 residual"`,
+    /// `"merge block2"`, `"output head"`.
+    pub site: String,
+    /// The operator kind, for op-edge steps.
+    pub kind: Option<OpKind>,
+    /// Exact flops/bytes plus scratch upper bound for this step (edge steps
+    /// that accumulate into an already-written node include the fold add).
+    pub cost: OpCost,
+    /// Workspace slots this step reads.
+    pub srcs: Vec<usize>,
+    /// Workspace slot this step writes.
+    pub dst: usize,
+    /// True when `dst` is written for the first time (resident set grows).
+    pub new_slot: bool,
+}
+
+/// The priced architecture: per-step costs, totals, and both peak models.
+#[derive(Clone, Debug)]
+pub struct CostReport {
+    /// Every step in `ExecPlan` emission order.
+    pub steps: Vec<StepCost>,
+    /// Field-wise total over all steps (params: embedding, every operator
+    /// instance, and the output head).
+    pub total: OpCost,
+    /// Arena-aligned bytes of one `[B, N, T, D]` workspace slot.
+    pub slot_bytes: u64,
+    /// Number of workspace slots the plan would allocate.
+    pub num_slots: usize,
+    /// Plan-faithful peak resident bytes (slots persist; never under-counts
+    /// observed arena residency).
+    pub peak_bytes: u64,
+    /// The step at which the plan-faithful walk peaked.
+    pub peak_site: String,
+    /// Liveness-interval peak (slots freed after last use) — the lower
+    /// target an ideal slot allocator could reach.
+    pub ideal_peak_bytes: u64,
+}
+
+impl CostReport {
+    /// Predicted wall-clock for one forward pass under `model`.
+    pub fn predicted_ns(&self, model: &LatencyModel) -> f64 {
+        model.predict_ns(&self.total)
+    }
+
+    /// The most FLOP-expensive step, when any exist.
+    pub fn max_flops_step(&self) -> Option<&StepCost> {
+        self.steps.iter().max_by_key(|s| s.cost.flops)
+    }
+}
+
+/// Resource ceilings the pre-flight enforces; `None` disables a check.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CostBudgets {
+    /// Reject when any single step exceeds this many FLOPs.
+    pub max_flops_per_step: Option<u64>,
+    /// Reject when the plan-faithful peak residency exceeds this.
+    pub max_peak_bytes: Option<u64>,
+    /// Reject when predicted forward latency exceeds this.
+    pub max_latency_ms: Option<f32>,
+}
+
+impl CostBudgets {
+    /// True when every ceiling is disabled (pre-flight can skip pricing).
+    pub fn is_unbounded(&self) -> bool {
+        self.max_flops_per_step.is_none()
+            && self.max_peak_bytes.is_none()
+            && self.max_latency_ms.is_none()
+    }
+}
+
+/// Three-coefficient latency model: `ns = dense·c_d ⊕ light·c_l ⊕ calls·c_k`.
+///
+/// Dense flops (matmul/conv class) stream through cache-friendly inner
+/// loops; "light" flops (element-wise, reductions, softmax) are memory
+/// bound and cost more per flop; every kernel dispatch pays a fixed
+/// pool/arena overhead.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyModel {
+    /// Nanoseconds per dense (matmul/conv) flop.
+    pub dense_ns_per_flop: f64,
+    /// Nanoseconds per non-dense flop.
+    pub light_ns_per_flop: f64,
+    /// Fixed nanoseconds per kernel dispatch.
+    pub dispatch_ns: f64,
+}
+
+impl Default for LatencyModel {
+    /// Conservative scalar-CPU defaults (≈3 GFLOP/s dense, ≈0.8 GFLOP/s
+    /// element-wise, ≈2 µs per dispatch) for budget pre-flights run before
+    /// any calibration data exists.
+    fn default() -> Self {
+        Self {
+            dense_ns_per_flop: 0.35,
+            light_ns_per_flop: 1.25,
+            dispatch_ns: 2_000.0,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Predicted nanoseconds for `cost`.
+    pub fn predict_ns(&self, cost: &OpCost) -> f64 {
+        let dense = cost.dense_flops as f64;
+        let light = cost.flops.saturating_sub(cost.dense_flops) as f64;
+        let calls = cost.kernel_calls as f64;
+        // f64 ns model, not buffer-size arithmetic
+        dense * self.dense_ns_per_flop + light * self.light_ns_per_flop + calls * self.dispatch_ns // f64
+    }
+
+    /// Fit the three coefficients from timed probe kernels run in-process:
+    /// a dense matmul prices `dense_ns_per_flop`, an element-wise chain
+    /// prices `light_ns_per_flop`, and a burst of tiny ops prices
+    /// `dispatch_ns` (solved sequentially, each already-known term
+    /// subtracted out). Takes a few milliseconds; results are clamped to
+    /// sane positive ranges so a noisy timer can never produce a zero or
+    /// negative coefficient.
+    pub fn calibrate() -> Self {
+        use cts_obs::Stopwatch;
+        use cts_tensor::{ops, Tensor};
+
+        let median = |mut v: Vec<f64>| -> f64 {
+            // invariant: samples are elapsed-time ratios, always finite
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+            v[v.len() / 2]
+        };
+
+        // Dense: [64,64]·[64,64] matmul, 2·64³ flops per call.
+        let a = Tensor::full(vec![64, 64], 1.01f32);
+        let b = Tensor::full(vec![64, 64], 0.99f32);
+        let dense_flops_per_call = 2.0f64 * 64.0 * 64.0 * 64.0;
+        let mut dense_samples = Vec::new();
+        for _ in 0..9 {
+            let t0 = Stopwatch::start();
+            let y = ops::matmul(&a, &b);
+            let dt = t0.elapsed_secs() * 1e9; // f64 seconds -> ns
+            assert!(!y.is_empty());
+            dense_samples.push(dt / dense_flops_per_call);
+        }
+        let dense = median(dense_samples).clamp(0.01, 100.0);
+
+        // Light: relu over 1<<16 elements, 1 flop per element.
+        let big = Tensor::full(vec![1usize << 16], -0.5f32);
+        let light_flops_per_call = (1u64 << 16) as f64;
+        let mut light_samples = Vec::new();
+        for _ in 0..9 {
+            let t0 = Stopwatch::start();
+            let y = ops::relu(&big);
+            let dt = t0.elapsed_secs() * 1e9; // f64 seconds -> ns
+            assert!(!y.is_empty());
+            light_samples.push(dt / light_flops_per_call);
+        }
+        let light = median(light_samples).clamp(0.01, 100.0);
+
+        // Dispatch: 64 tiny unary calls; subtract the (known) light cost.
+        let tiny = Tensor::full(vec![8usize], 1.0f32);
+        let mut disp_samples = Vec::new();
+        for _ in 0..9 {
+            let t0 = Stopwatch::start();
+            for _ in 0..64 {
+                let y = ops::relu(&tiny);
+                assert!(!y.is_empty());
+            }
+            let dt = t0.elapsed_secs() * 1e9; // f64 seconds -> ns
+            let per_call = dt / 64.0 - 8.0 * light; // f64 timing residual
+            disp_samples.push(per_call);
+        }
+        let dispatch = median(disp_samples).clamp(10.0, 1_000_000.0);
+
+        Self {
+            dense_ns_per_flop: dense,
+            light_ns_per_flop: light,
+            dispatch_ns: dispatch,
+        }
+    }
+}
+
+fn issue_kind(issue: &ShapeIssue) -> FindingKind {
+    match issue {
+        ShapeIssue::Rank { .. } => FindingKind::RankError,
+        ShapeIssue::Channel { .. } => FindingKind::ChannelMismatch,
+        ShapeIssue::Nodes { .. } => FindingKind::NodeCountMismatch,
+    }
+}
+
+/// Price a validated architecture for batch size `batch`.
+///
+/// The walk mirrors `ExecPlan::compile`'s emission order exactly, so the
+/// per-step flops/bytes match what the instrumented meter observes during
+/// one `ExecPlan::try_run` of the same genotype, bit for bit. When
+/// `dims.num_nodes` is `None` the node dim prices as 1 — callers that want
+/// node-count scaling must bind it.
+///
+/// # Errors
+/// [`VerifyError`] when the genotype fails validation ([`check_genotype`])
+/// or any edge's cost rule rejects its input shape.
+pub fn analyze_cost(spec: &ArchSpec, batch: usize) -> Result<CostReport, VerifyError> {
+    check_genotype(spec)?;
+    let dims = &spec.dims;
+    let nodes = dims.num_nodes.unwrap_or(1);
+    let cctx = CostCtx {
+        batch,
+        nodes,
+        width: dims.d_model,
+        graph_nodes: dims.num_nodes,
+        gcn_k: dims.gcn_k,
+        adaptive: dims.adaptive,
+        adaptive_emb: dims.adaptive_emb,
+    };
+    let node_dim = match dims.num_nodes {
+        Some(n) => SymDim::Const(n),
+        None => SymDim::Sym("N"),
+    };
+    let bntd = vec![
+        SymDim::Sym("B"),
+        node_dim,
+        SymDim::Const(dims.input_len),
+        SymDim::Const(dims.d_model),
+    ];
+    let l_elems = [batch, nodes, dims.input_len, dims.d_model]
+        .iter()
+        .fold(1u64, |acc, &d| acc.saturating_mul(d as u64));
+    let slot_bytes = arena_bytes(l_elems);
+
+    let mut report = VerifyReport::default();
+    let mut steps: Vec<StepCost> = Vec::new();
+
+    // Slot 0: the embedding output, Linear(features → d_model) over B·N·T.
+    let rows = (batch as u64)
+        .saturating_mul(nodes as u64)
+        .saturating_mul(dims.input_len as u64);
+    let mut tr = Trace::new();
+    tr.linear(rows, dims.features as u64, dims.d_model as u64, true);
+    let mut embed_cost = tr.finish();
+    embed_cost.param_count = (dims.features as u64)
+        .saturating_mul(dims.d_model as u64)
+        .saturating_add(dims.d_model as u64);
+    steps.push(StepCost {
+        site: "embed".into(),
+        kind: None,
+        cost: embed_cost,
+        srcs: Vec::new(),
+        dst: 0,
+        new_slot: true,
+    });
+
+    let mut next_slot = 1usize;
+    let mut source_slots = vec![0usize];
+    let mut block_out_slots = Vec::with_capacity(spec.blocks.len());
+    for (bi, block) in spec.blocks.iter().enumerate() {
+        let input_slot = source_slots[spec.backbone[bi]];
+        let mut node_slots = vec![input_slot];
+        for j in 1..block.m {
+            let dst = next_slot;
+            next_slot = next_slot.saturating_add(1);
+            let mut first = true;
+            for (ei, (from, to, op)) in block.edges.iter().enumerate() {
+                if *to != j {
+                    continue;
+                }
+                let site = format!("block{bi}.e{ei}");
+                match op.cost(&bntd, &cctx) {
+                    Ok(edge_cost) => {
+                        let cost = if first {
+                            edge_cost
+                        } else {
+                            // Accumulate fold: acc = ops::add(acc, y).
+                            let mut fold = Trace::new();
+                            fold.zip_same(l_elems);
+                            edge_cost.saturating_add(&fold.finish())
+                        };
+                        steps.push(StepCost {
+                            site,
+                            kind: Some(*op),
+                            cost,
+                            srcs: vec![node_slots[*from]],
+                            dst,
+                            new_slot: first,
+                        });
+                    }
+                    Err(issue) => {
+                        report.error(
+                            issue_kind(&issue),
+                            site,
+                            format!(
+                                "edge e{ei} ({from}→{to}, {op}) of block{bi} cannot be priced: {issue}"
+                            ),
+                        );
+                    }
+                }
+                first = false;
+            }
+            node_slots.push(dst);
+        }
+        // Block residual: resid = block_out ⊕ block_in.
+        // invariant: check_genotype rejected m < 2 before pricing
+        let out_slot = *node_slots.last().expect("m ≥ 2 checked");
+        let dst = next_slot;
+        next_slot = next_slot.saturating_add(1);
+        let mut resid = Trace::new();
+        resid.zip_same(l_elems);
+        steps.push(StepCost {
+            site: format!("block{bi} residual"),
+            kind: None,
+            cost: resid.finish(),
+            srcs: vec![out_slot, input_slot],
+            dst,
+            new_slot: true,
+        });
+        source_slots.push(dst);
+        block_out_slots.push(dst);
+    }
+
+    // Skip-merge fold over block outputs, in block order.
+    let mut merged = block_out_slots[0];
+    for (bi, &next) in block_out_slots.iter().enumerate().skip(1) {
+        let dst = next_slot;
+        next_slot = next_slot.saturating_add(1);
+        let mut fold = Trace::new();
+        fold.zip_same(l_elems);
+        steps.push(StepCost {
+            site: format!("merge block{bi}"),
+            kind: None,
+            cost: fold.finish(),
+            srcs: vec![merged, next],
+            dst,
+            new_slot: true,
+        });
+        merged = dst;
+    }
+
+    // Projection epilogue: relu → flatten → output linear → affine.
+    let bn = (batch as u64).saturating_mul(nodes as u64);
+    let bnq = bn.saturating_mul(dims.horizon as u64);
+    let flat_width = (dims.input_len as u64).saturating_mul(dims.d_model as u64);
+    let mut epi = Trace::new();
+    epi.unary(l_elems); // relu (reshaped view is free)
+    epi.linear(bn, flat_width, dims.horizon as u64, true);
+    epi.unary(bnq); // scale
+    epi.unary(bnq); // add_scalar
+    let mut epi_cost = epi.finish();
+    epi_cost.param_count = flat_width
+        .saturating_mul(dims.horizon as u64)
+        .saturating_add(dims.horizon as u64);
+    steps.push(StepCost {
+        site: "output head".into(),
+        kind: None,
+        cost: epi_cost,
+        srcs: vec![merged],
+        dst: merged,
+        new_slot: false,
+    });
+
+    if !report.is_ok() {
+        return Err(VerifyError { report });
+    }
+
+    // Plan-faithful peak: slots persist once filled; each step's transient
+    // scratch rides on top of the resident set at that moment.
+    let mut filled = vec![false; next_slot];
+    let mut resident = 0u64;
+    let mut peak = 0u64;
+    let mut peak_site = String::new();
+    for s in &steps {
+        let candidate = resident.saturating_add(s.cost.scratch_bytes);
+        if candidate > peak {
+            peak = candidate;
+            peak_site = s.site.clone();
+        }
+        if s.new_slot && !filled[s.dst] {
+            filled[s.dst] = true;
+            resident = resident.saturating_add(slot_bytes);
+        }
+    }
+
+    // Ideal liveness-interval peak: free every slot after its last read.
+    let mut last_use = vec![usize::MAX; next_slot];
+    for (i, s) in steps.iter().enumerate() {
+        for &src in &s.srcs {
+            last_use[src] = i;
+        }
+    }
+    let mut live = vec![false; next_slot];
+    let mut live_bytes = 0u64;
+    let mut ideal = 0u64;
+    for (i, s) in steps.iter().enumerate() {
+        if s.new_slot && !live[s.dst] {
+            live[s.dst] = true;
+            live_bytes = live_bytes.saturating_add(slot_bytes);
+        }
+        let candidate = live_bytes.saturating_add(s.cost.scratch_bytes);
+        if candidate > ideal {
+            ideal = candidate;
+        }
+        for &src in &s.srcs {
+            if live[src] && last_use[src] == i {
+                live[src] = false;
+                live_bytes = live_bytes.saturating_sub(slot_bytes);
+            }
+        }
+    }
+
+    let total = steps
+        .iter()
+        .fold(OpCost::default(), |acc, s| acc.saturating_add(&s.cost));
+    Ok(CostReport {
+        steps,
+        total,
+        slot_bytes,
+        num_slots: next_slot,
+        peak_bytes: peak,
+        peak_site,
+        ideal_peak_bytes: ideal,
+    })
+}
+
+/// Check a priced architecture against resource budgets, recording an
+/// [`FindingKind::OverBudget`] error finding (naming the offending step)
+/// for every exceeded ceiling.
+pub fn check_budgets(
+    report: &mut VerifyReport,
+    cost: &CostReport,
+    budgets: &CostBudgets,
+    model: &LatencyModel,
+) {
+    if let Some(cap) = budgets.max_flops_per_step {
+        for s in cost.steps.iter().filter(|s| s.cost.flops > cap) {
+            let opname = s
+                .kind
+                .map_or_else(|| "fixed stage".to_string(), |k| k.to_string());
+            report.error(
+                FindingKind::OverBudget,
+                s.site.clone(),
+                format!(
+                    "step {site} ({opname}) needs {flops} FLOPs, over the {cap} per-step budget",
+                    site = s.site,
+                    flops = s.cost.flops,
+                ),
+            );
+        }
+    }
+    if let Some(cap) = budgets.max_peak_bytes {
+        if cost.peak_bytes > cap {
+            report.error(
+                FindingKind::OverBudget,
+                cost.peak_site.clone(),
+                format!(
+                    "peak resident estimate {peak} bytes (at {site}) exceeds the {cap}-byte arena budget",
+                    peak = cost.peak_bytes,
+                    site = cost.peak_site,
+                ),
+            );
+        }
+    }
+    if let Some(cap_ms) = budgets.max_latency_ms {
+        let ns = cost.predicted_ns(model);
+        let cap_ns = f64::from(cap_ms) * 1.0e6;
+        if ns > cap_ns {
+            let worst = cost
+                .max_flops_step()
+                .map_or_else(|| "?".to_string(), |s| s.site.clone());
+            report.error(
+                FindingKind::OverBudget,
+                "model",
+                format!(
+                    "predicted forward latency {ms:.3} ms exceeds the {cap_ms} ms budget (heaviest step: {worst})",
+                    ms = ns / 1.0e6,
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{BlockSpec, ModelDims};
+
+    fn dims() -> ModelDims {
+        ModelDims {
+            features: 2,
+            input_len: 12,
+            horizon: 12,
+            d_model: 8,
+            num_nodes: Some(5),
+            gcn_k: 2,
+            adaptive: false,
+            adaptive_emb: 0,
+        }
+    }
+
+    fn healthy_block() -> BlockSpec {
+        BlockSpec {
+            m: 3,
+            edges: vec![
+                (0, 1, OpKind::Gdcc),
+                (0, 2, OpKind::InformerS),
+                (1, 2, OpKind::Identity),
+            ],
+        }
+    }
+
+    fn arch(blocks: Vec<BlockSpec>, backbone: Vec<usize>) -> ArchSpec {
+        ArchSpec {
+            dims: dims(),
+            blocks,
+            backbone,
+        }
+    }
+
+    #[test]
+    fn prices_a_healthy_architecture() {
+        let spec = arch(vec![healthy_block(), healthy_block()], vec![0, 1]);
+        let report = analyze_cost(&spec, 4).expect("healthy arch prices");
+        // embed + 2×(3 edges + residual) + 1 merge + output head = 11 steps.
+        assert_eq!(report.steps.len(), 11);
+        assert!(report.total.flops > 0);
+        assert!(report.total.param_count > 0);
+        assert!(report.total.bytes_read > 0);
+        assert!(report.peak_bytes >= report.ideal_peak_bytes);
+        assert!(report.peak_bytes >= report.slot_bytes);
+        assert!(!report.peak_site.is_empty());
+        assert!(report.total.dense_flops <= report.total.flops);
+    }
+
+    #[test]
+    fn cost_grows_with_batch() {
+        let spec = arch(vec![healthy_block()], vec![0]);
+        let small = analyze_cost(&spec, 1).unwrap();
+        let big = analyze_cost(&spec, 8).unwrap();
+        assert!(big.total.flops > small.total.flops);
+        assert!(big.peak_bytes > small.peak_bytes);
+        // Parameters are batch-independent.
+        assert_eq!(big.total.param_count, small.total.param_count);
+    }
+
+    #[test]
+    fn invalid_genotype_is_rejected_before_pricing() {
+        let broken = BlockSpec {
+            m: 3,
+            edges: vec![(0, 1, OpKind::Gdcc)], // node 2 dangling
+        };
+        let err = analyze_cost(&arch(vec![broken], vec![0]), 1).unwrap_err();
+        assert!(!err.report.is_ok());
+    }
+
+    #[test]
+    fn per_step_flops_budget_names_the_offending_edge() {
+        let spec = arch(vec![healthy_block()], vec![0]);
+        let cost = analyze_cost(&spec, 4).unwrap();
+        let heavy = cost.max_flops_step().unwrap();
+        let budgets = CostBudgets {
+            max_flops_per_step: Some(heavy.cost.flops.saturating_sub(1)),
+            ..CostBudgets::default()
+        };
+        let mut report = VerifyReport::default();
+        check_budgets(&mut report, &cost, &budgets, &LatencyModel::default());
+        let f = report
+            .errors()
+            .find(|f| f.kind == FindingKind::OverBudget)
+            .expect("over-budget finding");
+        assert_eq!(f.site, heavy.site);
+        assert!(f.message.contains("FLOPs"), "{}", f.message);
+    }
+
+    #[test]
+    fn peak_and_latency_budgets_fire() {
+        let spec = arch(vec![healthy_block()], vec![0]);
+        let cost = analyze_cost(&spec, 4).unwrap();
+        let budgets = CostBudgets {
+            max_peak_bytes: Some(1),
+            max_latency_ms: Some(0.0),
+            ..CostBudgets::default()
+        };
+        let mut report = VerifyReport::default();
+        check_budgets(&mut report, &cost, &budgets, &LatencyModel::default());
+        let over: Vec<_> = report
+            .errors()
+            .filter(|f| f.kind == FindingKind::OverBudget)
+            .collect();
+        assert_eq!(over.len(), 2, "{over:?}");
+        // Generous budgets pass clean.
+        let mut ok = VerifyReport::default();
+        check_budgets(
+            &mut ok,
+            &cost,
+            &CostBudgets {
+                max_flops_per_step: Some(u64::MAX),
+                max_peak_bytes: Some(u64::MAX),
+                max_latency_ms: Some(f32::MAX),
+            },
+            &LatencyModel::default(),
+        );
+        assert!(ok.is_ok(), "{:?}", ok.findings);
+    }
+
+    #[test]
+    fn latency_model_orders_architectures_sensibly() {
+        let small = analyze_cost(&arch(vec![healthy_block()], vec![0]), 1).unwrap();
+        let large =
+            analyze_cost(&arch(vec![healthy_block(), healthy_block()], vec![0, 1]), 1).unwrap();
+        let m = LatencyModel::default();
+        assert!(large.predicted_ns(&m) > small.predicted_ns(&m));
+        assert!(small.predicted_ns(&m) > 0.0);
+    }
+
+    #[test]
+    fn calibration_produces_sane_coefficients() {
+        let m = LatencyModel::calibrate();
+        assert!(m.dense_ns_per_flop > 0.0 && m.dense_ns_per_flop.is_finite());
+        assert!(m.light_ns_per_flop > 0.0 && m.light_ns_per_flop.is_finite());
+        assert!(m.dispatch_ns > 0.0 && m.dispatch_ns.is_finite());
+    }
+
+    #[test]
+    fn unbounded_budgets_detected() {
+        assert!(CostBudgets::default().is_unbounded());
+        assert!(!CostBudgets {
+            max_peak_bytes: Some(1),
+            ..CostBudgets::default()
+        }
+        .is_unbounded());
+    }
+}

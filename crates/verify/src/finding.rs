@@ -45,6 +45,10 @@ pub enum FindingKind {
     /// A kernel registry invariant is violated (duplicate name, empty
     /// registry): the determinism audit cannot vouch for the build.
     NonDeterministicKernel,
+    /// The statically priced cost of the architecture exceeds a configured
+    /// resource budget (per-step FLOPs, peak arena bytes, or predicted
+    /// latency); the finding names the offending step.
+    OverBudget,
 }
 
 /// One analyzer finding: what, where, how severe, and a human-readable

@@ -30,18 +30,20 @@
 #![warn(missing_docs)]
 
 mod analyze;
+mod cost;
 mod determinism;
 mod finding;
 mod spec;
 
 pub use analyze::{validate_block, validate_genotype};
+pub use cost::{analyze_cost, check_budgets, CostBudgets, CostReport, LatencyModel, StepCost};
 pub use determinism::{audit_determinism, DeterminismReport, KernelEntry};
 pub use finding::{Finding, FindingKind, Severity, VerifyError, VerifyReport};
 pub use spec::{ArchSpec, BlockSpec, ModelDims};
 
-// Re-exported so downstream callers can name the shape-fn types without
-// depending on cts-ops directly.
-pub use cts_ops::{OpKind, ShapeCtx, ShapeIssue};
+// Re-exported so downstream callers can name the shape-fn and cost-fn
+// types without depending on cts-ops directly.
+pub use cts_ops::{CostCtx, OpCost, OpKind, ShapeCtx, ShapeIssue};
 
 /// Validate and convert to a `Result`: `Ok(report)` when no error-severity
 /// finding was recorded, `Err(VerifyError)` otherwise (warnings ride along

@@ -22,6 +22,16 @@ pub struct ModelDims {
     /// Node count `N` of the sensor graph; `None` leaves it symbolic
     /// (spatial ops then accept any node dim).
     pub num_nodes: Option<usize>,
+    /// Diffusion / Chebyshev order `K` of the GCN-family operators (sizes
+    /// their weight stacks; the cost pass prices `K` propagation rounds).
+    pub gcn_k: usize,
+    /// Whether the graph context learns an adaptive adjacency (DGCN then
+    /// carries adaptive-direction weights and re-derives the support each
+    /// forward).
+    pub adaptive: bool,
+    /// Embedding width of the adaptive adjacency factors (ignored unless
+    /// `adaptive`).
+    pub adaptive_emb: usize,
 }
 
 /// One ST-block's DAG: `m` latent nodes and operator-labelled edges

@@ -15,6 +15,9 @@ fn dims() -> ModelDims {
         horizon: 12,
         d_model: 8,
         num_nodes: Some(5),
+        gcn_k: 2,
+        adaptive: false,
+        adaptive_emb: 0,
     }
 }
 

@@ -6,6 +6,9 @@
 #                           phase breakdown, arena/pool/tape counters
 #   BENCH_serve.json        serving latency: p50/p99 micro-batched flush,
 #                           compiled-vs-tape ms/window + speedup
+#   BENCH_cost.json         static cost model audit: per-family predicted
+#                           vs measured flops/bytes (exactness booleans)
+#                           and latency ratios under both calibrations
 #   cts_run.jsonl           the raw structured run log behind BENCH_obs.json
 #
 # Usage: scripts/bench.sh
@@ -15,7 +18,7 @@ cd "$(dirname "$0")/.."
 
 out="${BENCH_OUT_DIR:-.}"
 
-cargo build --release --offline -p cts-bench --bin bench_json --bin obs_smoke
+cargo build --release --offline -p cts-bench --bin bench_json --bin obs_smoke --bin bench_cost
 cargo build --release --offline -p cts-obs --bin report
 ./target/release/bench_json "$@"
 
@@ -24,3 +27,5 @@ CTS_RUN_LOG="$out/cts_run.jsonl" ./target/release/obs_smoke
 
 cargo build --release --offline -p cts-serve
 BENCH_OUT_DIR="$out" ./target/release/serve_bench
+
+BENCH_OUT_DIR="$out" ./target/release/bench_cost

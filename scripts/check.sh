@@ -27,6 +27,12 @@ echo "==> static analyzer sweep over the discrete space"
 # positive/negative exits non-zero.
 ./target/release/verify_space
 
+echo "==> static cost model gate"
+# bench_cost prices every operator family statically and re-counts it
+# under the kernel meter: flops/bytes must match bit for bit, and the
+# row-fitted latency model must land inside a 3x band on every family.
+BENCH_OUT_DIR=target ./target/release/bench_cost --gate
+
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace --offline
 

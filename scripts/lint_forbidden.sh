@@ -28,6 +28,12 @@
 #      there — failures must surface as typed `ServeError`s. Annotated
 #      `.expect(` with `// invariant:` stays allowed (rule 1) for
 #      conditions the code itself makes impossible.
+#   7. The cost model (`crates/verify/src/cost.rs`) and the plan compiler
+#      (`crates/runtime/src/plan.rs`) size buffers in u64/usize; bare
+#      ` * ` / ` + ` there must be `checked_*`/`saturating_*` instead —
+#      an overflow in a size computation silently prices a genotype
+#      wrong. Float lines are exempt when marked `f32`/`f64` on the
+#      line (comment counts).
 #
 # Exits non-zero with a `file:line` listing on any finding.
 set -euo pipefail
@@ -60,6 +66,9 @@ while IFS= read -r f; do
                 printf "%s:%d: Instant outside cts-obs/cts-bench (use cts_obs timers)\n", FILENAME, NR
             if (FILENAME ~ /^crates\/runtime\/src\// && line ~ /cts_autograd/)
                 printf "%s:%d: cts_autograd referenced inside cts-runtime (plans are tape-free)\n", FILENAME, NR
+            if ((FILENAME ~ /crates\/verify\/src\/cost\.rs$/ || FILENAME ~ /crates\/runtime\/src\/plan\.rs$/) \
+                && $0 !~ /f32|f64/ && line ~ / \* | \+ /)
+                printf "%s:%d: bare size arithmetic in cost model (use checked_/saturating_, or mark f64)\n", FILENAME, NR
             if (FILENAME ~ /^crates\/(runtime|serve)\/src\// \
                 && line ~ /(^|[^a-zA-Z_!])(assert|assert_eq|assert_ne|debug_assert|debug_assert_eq|debug_assert_ne|panic)!|\.unwrap\(\)/)
                 printf "%s:%d: panic path in serving code (return a typed ServeError)\n", FILENAME, NR
