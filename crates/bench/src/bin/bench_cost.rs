@@ -20,8 +20,13 @@
 //! measured family rows. `--gate` holds every refit ratio inside a
 //! generous 3x band — i.e. it tests that dense-flops/light-flops/calls
 //! explain real forward latency at all — and fails on any exactness
-//! miss. Probe-calibration drift beyond 10x is `verify_space`'s alarm,
-//! not this gate's.
+//! miss. `--gate` also compares the compiled-in `LatencyModel::default()`
+//! flop coefficients against the refit: if a kernel-speed change (e.g.
+//! the SIMD microkernels) moves real throughput more than 3x away from
+//! the shipped defaults, the gate fails until the defaults are
+//! re-calibrated (dispatch overhead is host-scheduling noise and is
+//! excluded). Probe-calibration drift beyond 10x is `verify_space`'s
+//! alarm, not this gate's.
 
 use autocts::preflight::arch_spec;
 use autocts::{BlockGenotype, DerivedModel, Genotype, SearchConfig};
@@ -255,7 +260,13 @@ fn main() {
             )
         })
         .collect();
-    let mut body = String::from("{\n  \"rows\": [\n");
+    let par = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut body = format!(
+        "{{\n  \"host\": {{\"available_parallelism\": {par}, \"simd_detected\": \"{}\", \
+         \"simd_active\": \"{}\"}},\n  \"rows\": [\n",
+        cts_tensor::simd::detected_name(),
+        cts_tensor::simd::level_name()
+    );
     body.push_str(&json_rows.join(",\n"));
     body.push_str(&format!(
         "\n  ],\n  \"calibration_probe\": {{\"dense_ns_per_flop\": {:.4}, \
@@ -296,9 +307,31 @@ fn main() {
             eprintln!("GATE: worst fitted latency ratio {worst_ratio:.2} outside the 3x band");
             bad = true;
         }
+        // Stale-default detection: the shipped coefficients back every
+        // pre-calibration budget pre-flight, so a kernel-speed change that
+        // moves real flop throughput 3x away from them must refresh
+        // `LatencyModel::default()` (dispatch excluded — it tracks the host
+        // scheduler, not kernel code).
+        let shipped = LatencyModel::default();
+        let band = |fit: f64, def: f64, name: &str| -> bool {
+            let q = fit / def.max(1e-12);
+            let q = q.max(1.0 / q.max(1e-12));
+            if q > 3.0 {
+                eprintln!(
+                    "GATE: {name} refit {fit:.4} ns/flop is {q:.2}x away from the shipped \
+                     default {def:.4} — re-calibrate LatencyModel::default()"
+                );
+            }
+            q > 3.0
+        };
+        bad |= band(fitted.dense_ns_per_flop, shipped.dense_ns_per_flop, "dense_ns_per_flop");
+        bad |= band(fitted.light_ns_per_flop, shipped.light_ns_per_flop, "light_ns_per_flop");
         if bad {
             std::process::exit(1);
         }
-        println!("gate: flops/bytes exact on every family, fitted latency inside the 3x band");
+        println!(
+            "gate: flops/bytes exact on every family, fitted latency inside the 3x band, \
+             shipped defaults within 3x of refit"
+        );
     }
 }

@@ -6,8 +6,19 @@
 //! the two axes the worker-pool + arena work optimises. Rows cover the
 //! persistent-pool dispatcher against the legacy spawn-per-kernel
 //! baseline (`Dispatch::Spawn`) at 1/2/4 workers, and the arena on/off.
+//!
+//! Every row also carries a `simd` column (`"avx2"` / `"sse2"` /
+//! `"scalar"`); `BENCH_ops.json` additionally runs the per-kernel cases
+//! once more with `cts_tensor::simd` forced to the scalar path so the
+//! vector speedup is a recorded scalar-vs-simd row pair, and both files
+//! open with a `host` header (available parallelism + detected SIMD).
+//! Two regressions are *asserted* in-process, not just recorded:
+//! `matmul_nt` must stay within 1.3× of `matmul` (the packed-B fix), and
+//! on hosts where AVX2 is detected the vectorized matmul must beat the
+//! forced-scalar path by ≥ 1.5×.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -16,6 +27,7 @@ use cts_bench::{prepare, ExpContext};
 use cts_data::{batches_from_windows, DatasetSpec};
 use cts_nn::{Adam, Forecaster, LossKind, Optimizer};
 use cts_tensor::parallel::{set_dispatch, set_num_threads, Dispatch};
+use cts_tensor::simd::{self, SimdLevel};
 use cts_tensor::{arena, init, ops, Tensor};
 use rand::{rngs::SmallRng, SeedableRng};
 
@@ -91,15 +103,37 @@ fn row_json(
 ) -> String {
     format!(
         "    {{\"op\": \"{op}\", \"shape\": \"{shape}\", \"threads\": {threads}, \
-         \"dispatch\": \"{dispatch}\", \"arena\": {arena_on}, \"ns_per_iter\": {}, \
-         \"allocs_per_iter\": {}, \"bytes_per_iter\": {}}}",
-        m.ns_per_iter, m.allocs_per_iter, m.bytes_per_iter
+         \"dispatch\": \"{dispatch}\", \"arena\": {arena_on}, \"simd\": \"{}\", \
+         \"ns_per_iter\": {}, \"allocs_per_iter\": {}, \"bytes_per_iter\": {}}}",
+        simd::level_name(),
+        m.ns_per_iter,
+        m.allocs_per_iter,
+        m.bytes_per_iter
+    )
+}
+
+/// The `host` header object shared by every `BENCH_*.json` this binary
+/// writes: how many hardware threads the box offers and which SIMD level
+/// `cts_tensor::simd` detected, so numbers from different machines are
+/// never compared blind.
+fn host_json() -> String {
+    let par = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    format!(
+        "  \"host\": {{\"available_parallelism\": {par}, \"simd_detected\": \"{}\", \
+         \"simd_active\": \"{}\"}}",
+        simd::detected_name(),
+        simd::level_name()
     )
 }
 
 /// Per-kernel rows: the projection/attention shapes the supernet is built
-/// from, at every (threads, dispatch) combination.
-fn bench_ops() -> Vec<String> {
+/// from, at every (threads, dispatch) combination, plus a forced-scalar
+/// pass at (threads=1, pool) so each kernel has a scalar-vs-simd row pair.
+///
+/// Asserts (rather than merely records) the two perf contracts of the
+/// SIMD work: `matmul_nt` within 1.3× of `matmul`, and vectorized matmul
+/// ≥ 1.5× over forced-scalar when AVX2 is available.
+fn bench_ops() -> (Vec<String>, String) {
     let mut rng = SmallRng::seed_from_u64(0);
     let a = init::uniform(&mut rng, [8, 16, 48, 64], -1.0, 1.0);
     let w = init::uniform(&mut rng, [64, 64], -1.0, 1.0);
@@ -137,6 +171,9 @@ fn bench_ops() -> Vec<String> {
     ];
 
     let mut rows = Vec::new();
+    // ns/iter at (threads=1, pool), keyed by (op, simd level name) — the
+    // config the speedup assertions below read from.
+    let mut t1_pool: HashMap<(String, &'static str), u64> = HashMap::new();
     for &threads in &[1usize, 2, 4] {
         for &d in &[Dispatch::Pool, Dispatch::Spawn] {
             set_num_threads(threads);
@@ -145,13 +182,65 @@ fn bench_ops() -> Vec<String> {
                 let m = measure(5, 20, || {
                     std::hint::black_box(f());
                 });
+                if threads == 1 && d == Dispatch::Pool {
+                    t1_pool.insert((op.to_string(), simd::level_name()), m.ns_per_iter);
+                }
                 rows.push(row_json(op, shape, threads, dispatch_name(d), arena::enabled(), &m));
             }
         }
     }
+
+    // Forced-scalar reference pass. Safe to flip mid-process: every kernel
+    // is bit-identical across levels, so only timing changes.
+    let active = simd::level_name();
+    if simd::active() {
+        simd::set_level(Some(SimdLevel::Scalar));
+        set_num_threads(1);
+        set_dispatch(Some(Dispatch::Pool));
+        for (op, shape, f) in &cases {
+            let m = measure(5, 20, || {
+                std::hint::black_box(f());
+            });
+            t1_pool.insert((op.to_string(), simd::level_name()), m.ns_per_iter);
+            rows.push(row_json(op, shape, 1, dispatch_name(Dispatch::Pool), arena::enabled(), &m));
+        }
+        simd::set_level(None);
+    }
     set_dispatch(None);
     set_num_threads(0);
-    rows
+
+    let ns = |op: &str, lvl: &'static str| -> f64 {
+        t1_pool.get(&(op.to_string(), lvl)).copied().unwrap_or(0).max(1) as f64
+    };
+    let speedup = |op: &str| ns(op, "scalar") / ns(op, active);
+    let nt_ratio = ns("matmul.nt", active) / ns("matmul", active);
+    let (mm, ew, sm, rd) = (
+        speedup("matmul"),
+        speedup("elementwise.add"),
+        speedup("softmax.last"),
+        speedup("elementwise.reduce_to_shape"),
+    );
+    let summary = format!(
+        "  \"summary\": {{\"simd_active\": \"{active}\", \
+         \"ratio_matmul_nt_vs_matmul_t1_pool\": {nt_ratio:.3}, \
+         \"speedup_simd_vs_scalar_t1_pool\": {{\"matmul\": {mm:.3}, \
+         \"elementwise.add\": {ew:.3}, \"softmax.last\": {sm:.3}, \
+         \"elementwise.reduce_to_shape\": {rd:.3}}}}}"
+    );
+
+    // The packed-B fix for matmul_nt: the pre-fix ratio was ~2.1×; hold the
+    // line at 1.3× so the regression cannot silently return.
+    assert!(
+        nt_ratio <= 1.3,
+        "matmul_nt regressed: {nt_ratio:.3}x matmul at threads=1/pool (budget 1.3x)"
+    );
+    if simd::detected() == SimdLevel::Avx2 && simd::active() {
+        assert!(
+            mm >= 1.5,
+            "vectorized matmul only {mm:.3}x over forced-scalar on an AVX2 host (need 1.5x)"
+        );
+    }
+    (rows, summary)
 }
 
 /// One bi-level search step (Θ update + w update) on the default-scale
@@ -256,7 +345,9 @@ fn bench_search_step() -> (Vec<String>, String) {
 }
 
 fn write_json(path: &std::path::Path, rows: &[String], summary: Option<&str>) {
-    let mut body = String::from("{\n  \"rows\": [\n");
+    let mut body = String::from("{\n");
+    body.push_str(&host_json());
+    body.push_str(",\n  \"rows\": [\n");
     body.push_str(&rows.join(",\n"));
     body.push_str("\n  ]");
     if let Some(s) = summary {
@@ -275,8 +366,9 @@ fn main() {
     let out_dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".into());
     let out = std::path::Path::new(&out_dir);
 
-    let ops_rows = bench_ops();
-    write_json(&out.join("BENCH_ops.json"), &ops_rows, None);
+    let (ops_rows, ops_summary) = bench_ops();
+    write_json(&out.join("BENCH_ops.json"), &ops_rows, Some(&ops_summary));
+    println!("{ops_summary}");
 
     let (step_rows, summary) = bench_search_step();
     write_json(&out.join("BENCH_search_step.json"), &step_rows, Some(&summary));

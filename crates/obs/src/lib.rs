@@ -181,6 +181,7 @@ impl Stopwatch {
 pub struct KernelStats {
     calls: AtomicU64,
     parallel_calls: AtomicU64,
+    simd_calls: AtomicU64,
     units: AtomicU64,
     ns: AtomicU64,
 }
@@ -192,6 +193,10 @@ pub struct KernelCounters {
     pub calls: u64,
     /// Invocations that crossed a thread boundary.
     pub parallel_calls: u64,
+    /// Invocations whose inner loops took a vector (SIMD) path. A fraction
+    /// well below `calls` on a SIMD-capable host flags a silent scalar
+    /// fallback.
+    pub simd_calls: u64,
     /// Total work units processed (kernel-specific: rows, matrices, …).
     pub units: u64,
     /// Total nanoseconds inside the kernel (0 unless metrics were on).
@@ -204,6 +209,7 @@ impl KernelStats {
         Self {
             calls: AtomicU64::new(0),
             parallel_calls: AtomicU64::new(0),
+            simd_calls: AtomicU64::new(0),
             units: AtomicU64::new(0),
             ns: AtomicU64::new(0),
         }
@@ -222,11 +228,19 @@ impl KernelStats {
         }
     }
 
+    /// Record that this invocation's inner loops ran on a vector path.
+    /// Called by the op (not the dispatcher) because only the op knows
+    /// whether its hot loops actually route through `cts_tensor::simd`.
+    pub fn record_simd(&self) {
+        self.simd_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy out the current counters.
     pub fn snapshot(&self) -> KernelCounters {
         KernelCounters {
             calls: self.calls.load(Ordering::Relaxed),
             parallel_calls: self.parallel_calls.load(Ordering::Relaxed),
+            simd_calls: self.simd_calls.load(Ordering::Relaxed),
             units: self.units.load(Ordering::Relaxed),
             ns: self.ns.load(Ordering::Relaxed),
         }
@@ -236,6 +250,7 @@ impl KernelStats {
     pub fn reset(&self) {
         self.calls.store(0, Ordering::Relaxed);
         self.parallel_calls.store(0, Ordering::Relaxed);
+        self.simd_calls.store(0, Ordering::Relaxed);
         self.units.store(0, Ordering::Relaxed);
         self.ns.store(0, Ordering::Relaxed);
     }

@@ -222,6 +222,10 @@ pub struct KernelRow {
     pub calls: u64,
     /// Invocations that crossed a thread boundary.
     pub parallel_calls: u64,
+    /// Invocations routed through the vector (SIMD) path. A value far
+    /// below `calls` on a SIMD-capable host flags a silent scalar
+    /// fallback; scalar-only kernels legitimately stay at zero.
+    pub simd_calls: u64,
     /// Work units processed.
     pub units: u64,
     /// Nanoseconds inside the kernel.
@@ -287,6 +291,12 @@ pub struct Summary {
     pub tape_peak_nodes: u64,
     /// Peak live gradient scalars (last seen).
     pub tape_peak_grad_scalars: u64,
+    /// Host hardware parallelism from the `host` row (0 when absent).
+    pub host_parallelism: u64,
+    /// SIMD level detected on the emitting host (empty when absent).
+    pub host_simd_detected: String,
+    /// SIMD level actually active on the emitting host (empty when absent).
+    pub host_simd_active: String,
     /// Watchdog (divergence rollback) events.
     pub watchdog_events: u64,
     /// `warn` events.
@@ -351,8 +361,14 @@ pub fn summarize(text: &str) -> Summary {
                 row.name = name;
                 row.calls = u(&ev, "calls");
                 row.parallel_calls = u(&ev, "parallel_calls");
+                row.simd_calls = u(&ev, "simd_calls");
                 row.units = u(&ev, "units");
                 row.ns = u(&ev, "ns");
+            }
+            "host" => {
+                sum.host_parallelism = u(&ev, "available_parallelism");
+                sum.host_simd_detected = s(&ev, "simd_detected").to_owned();
+                sum.host_simd_active = s(&ev, "simd_active").to_owned();
             }
             "phase" => {
                 let name = s(&ev, "name");
@@ -433,6 +449,13 @@ pub fn render_text(sum: &Summary) -> String {
     // invariant: writing to a String cannot fail
     let w = &mut out;
     let _ = writeln!(w, "run summary: {} epoch(s)", sum.epochs.len());
+    if !sum.host_simd_detected.is_empty() {
+        let _ = writeln!(
+            w,
+            "  host: parallelism {}  simd detected {}  active {}",
+            sum.host_parallelism, sum.host_simd_detected, sum.host_simd_active,
+        );
+    }
     if let (Some(first), Some(last)) = (sum.epochs.first(), sum.epochs.last()) {
         let _ = writeln!(
             w,
@@ -463,12 +486,13 @@ pub fn render_text(sum: &Summary) -> String {
             };
             let _ = writeln!(
                 w,
-                "  {:<28} {:>10.1} ms  {:>5.1}%  calls {:>9}  par {:>9}  units {:>12}",
+                "  {:<28} {:>10.1} ms  {:>5.1}%  calls {:>9}  par {:>9}  simd {:>9}  units {:>12}",
                 k.name,
                 ms(k.ns),
                 share,
                 k.calls,
                 k.parallel_calls,
+                k.simd_calls,
                 k.units
             );
         }
@@ -544,16 +568,26 @@ pub fn render_text(sum: &Summary) -> String {
 /// kernel and per phase), plus a `"summary"` object with the run-level
 /// gauges.
 pub fn render_bench_json(sum: &Summary) -> String {
-    let mut out = String::from("{\n  \"rows\": [\n");
+    let mut out = String::from("{\n");
+    if !sum.host_simd_detected.is_empty() {
+        let _ = writeln!(
+            out,
+            "  \"host\": {{\"available_parallelism\": {}, \"simd_detected\": \"{}\", \
+             \"simd_active\": \"{}\"}},",
+            sum.host_parallelism, sum.host_simd_detected, sum.host_simd_active,
+        );
+    }
+    out.push_str("  \"rows\": [\n");
     let total_ns = sum.kernel_ns_total().max(1);
     let mut rows: Vec<String> = Vec::new();
     for k in &sum.kernels {
         rows.push(format!(
             "    {{\"op\": \"kernel.{}\", \"calls\": {}, \"parallel_calls\": {}, \
-             \"units\": {}, \"ns\": {}, \"time_share\": {:.4}}}",
+             \"simd_calls\": {}, \"units\": {}, \"ns\": {}, \"time_share\": {:.4}}}",
             k.name,
             k.calls,
             k.parallel_calls,
+            k.simd_calls,
             k.units,
             k.ns,
             k.ns as f64 / total_ns as f64
@@ -638,11 +672,12 @@ mod tests {
     fn summarize_folds_cumulative_counters() {
         let log = concat!(
             "{\"event\":\"run_start\",\"kind\":\"joint_search\"}\n",
+            "{\"event\":\"host\",\"available_parallelism\":8,\"simd_detected\":\"avx2\",\"simd_active\":\"avx2\"}\n",
             "{\"event\":\"epoch\",\"epoch\":0,\"kind\":\"joint_search\",\"tau\":5.0,\"val_loss\":0.5,\"alpha_entropy\":2.0}\n",
-            "{\"event\":\"kernel\",\"epoch\":0,\"name\":\"matmul\",\"calls\":10,\"parallel_calls\":4,\"units\":100,\"ns\":3000}\n",
+            "{\"event\":\"kernel\",\"epoch\":0,\"name\":\"matmul\",\"calls\":10,\"parallel_calls\":4,\"simd_calls\":9,\"units\":100,\"ns\":3000}\n",
             "{\"event\":\"phase\",\"epoch\":0,\"name\":\"forward\",\"calls\":8,\"ns\":500}\n",
             "{\"event\":\"epoch\",\"epoch\":1,\"kind\":\"joint_search\",\"tau\":4.0,\"val_loss\":0.4,\"alpha_entropy\":1.5}\n",
-            "{\"event\":\"kernel\",\"epoch\":1,\"name\":\"matmul\",\"calls\":20,\"parallel_calls\":8,\"units\":200,\"ns\":6000}\n",
+            "{\"event\":\"kernel\",\"epoch\":1,\"name\":\"matmul\",\"calls\":20,\"parallel_calls\":8,\"simd_calls\":18,\"units\":200,\"ns\":6000}\n",
             "{\"event\":\"kernel\",\"epoch\":1,\"name\":\"softmax\",\"calls\":5,\"parallel_calls\":0,\"units\":50,\"ns\":2000}\n",
             "{\"event\":\"phase\",\"epoch\":1,\"name\":\"forward\",\"calls\":16,\"ns\":1200}\n",
             "{\"event\":\"arena\",\"epoch\":1,\"hits\":90,\"misses\":10,\"resident_floats\":4096}\n",
@@ -659,6 +694,10 @@ mod tests {
         assert_eq!(sum.kernels.len(), 2);
         assert_eq!(sum.kernels[0].name, "matmul", "sorted by time desc");
         assert_eq!(sum.kernels[0].calls, 20, "last cumulative value wins");
+        assert_eq!(sum.kernels[0].simd_calls, 18);
+        assert_eq!(sum.kernels[1].simd_calls, 0, "absent field defaults to 0");
+        assert_eq!(sum.host_parallelism, 8);
+        assert_eq!(sum.host_simd_detected, "avx2");
         assert_eq!(sum.phases[0].calls, 16);
         assert_eq!(sum.arena_hits, 90);
         assert_eq!(sum.arena_hit_rate(), Some(0.9));
@@ -675,8 +714,10 @@ mod tests {
         assert!(text.contains("sensor_dropout"));
         let json = render_bench_json(&sum);
         assert!(json.contains("\"op\": \"kernel.matmul\""));
+        assert!(json.contains("\"simd_calls\": 18"));
         assert!(json.contains("\"op\": \"regime.sensor_dropout\", \"mae\": 2, \"rmse\": 3"));
         assert!(json.contains("\"tau_last\": 4"));
-        assert!(json.starts_with("{\n  \"rows\": [\n"));
+        assert!(json.contains("\"host\": {\"available_parallelism\": 8, \"simd_detected\": \"avx2\""));
+        assert!(json.starts_with("{\n"));
     }
 }

@@ -260,8 +260,11 @@ fn main() -> std::io::Result<()> {
         .iter()
         .map(|(k, v)| format!("\"{k}\": {v}"))
         .collect();
+    let par = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let json = format!(
-        "{{\n  \"rows\": [\n    {{\"streams\": {streams}, \"max_batch\": {max_batch}, \
+        "{{\n  \"host\": {{\"available_parallelism\": {par}, \
+         \"simd_detected\": \"{simd_detected}\", \"simd_active\": \"{simd_active}\"}},\n  \
+         \"rows\": [\n    {{\"streams\": {streams}, \"max_batch\": {max_batch}, \
          \"rounds\": {rounds}, \"p50_ms\": {p50:.6}, \"p99_ms\": {p99:.6}, \
          \"compiled_ms_per_window\": {compiled_ms_per_window:.6}, \
          \"tape_ms_per_window\": {tape_ms_per_window:.6}, \
@@ -271,7 +274,9 @@ fn main() -> std::io::Result<()> {
          \"serve_counters\": {{{}}}\n}}\n",
         genotype.to_text(),
         registry.len(),
-        counter_json.join(", ")
+        counter_json.join(", "),
+        simd_detected = cts_tensor::simd::detected_name(),
+        simd_active = cts_tensor::simd::level_name(),
     );
     let path = format!("{out_dir}/BENCH_serve.json");
     std::fs::write(&path, json)?;

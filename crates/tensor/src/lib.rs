@@ -9,9 +9,11 @@
 //! `[B, N, T, D]` — batch, node (time series), time step, channel.
 
 #![warn(missing_docs)]
-// `deny` rather than `forbid`: the persistent worker pool (`pool`) is the
-// one module allowed to opt back in (lifetime-erased task pointers), each
-// use carrying a `// SAFETY:` proof checked by scripts/lint_forbidden.sh.
+// `deny` rather than `forbid`: the persistent worker pool (`pool`) and the
+// SIMD microkernels (`simd`) are the only modules allowed to opt back in
+// (lifetime-erased task pointers; `core::arch` intrinsics), each use
+// carrying a `// SAFETY:` proof checked by scripts/lint_forbidden.sh rules
+// 2 and 8.
 #![deny(unsafe_code)]
 
 mod pool;
@@ -24,6 +26,7 @@ pub mod meter;
 pub mod metrics;
 pub mod ops;
 pub mod parallel;
+pub mod simd;
 pub mod sym;
 
 pub use shape::{broadcast_shapes, strides_for, Shape};

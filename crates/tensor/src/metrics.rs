@@ -19,6 +19,7 @@ pub fn emit_epoch_rows(epoch: u64) {
     if !cts_obs::metrics_enabled() {
         return;
     }
+    emit_host_row();
     for (name, c) in parallel::kernel_stats() {
         if c.calls == 0 {
             continue;
@@ -30,6 +31,7 @@ pub fn emit_epoch_rows(epoch: u64) {
                 ("name", Value::Str(name)),
                 ("calls", Value::U64(c.calls)),
                 ("parallel_calls", Value::U64(c.parallel_calls)),
+                ("simd_calls", Value::U64(c.simd_calls)),
                 ("units", Value::U64(c.units)),
                 ("ns", Value::U64(c.ns)),
             ],
@@ -74,6 +76,26 @@ pub fn emit_epoch_rows(epoch: u64) {
             ("busy_ns_total", Value::U64(busy_total)),
         ],
     );
+}
+
+/// Emit one `host` row per process: available hardware parallelism plus
+/// the detected and active SIMD levels. `cts-obs` sits below this crate
+/// and cannot ask [`crate::simd`] itself, so the tensor layer publishes
+/// the facts the `report` summarizer needs to judge whether `simd_calls`
+/// counters reflect a capable host running scalar fallbacks.
+fn emit_host_row() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let par = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        runlog::emit(
+            "host",
+            &[
+                ("available_parallelism", Value::U64(par as u64)),
+                ("simd_detected", Value::Str(crate::simd::detected_name())),
+                ("simd_active", Value::Str(crate::simd::level_name())),
+            ],
+        );
+    });
 }
 
 /// Zero every tensor-layer counter (kernels, arena, pool) — used at run

@@ -58,15 +58,15 @@ pub fn temporal_conv(x: &Tensor, w: &Tensor, dilation: usize) -> Tensor {
                     let xrow = &xd[x_off + src * din..x_off + (src + 1) * din];
                     let wmat = &wd[ki * din * dout..(ki + 1) * din * dout];
                     for (i, &xv) in xrow.iter().enumerate() {
-                        let wrow = &wmat[i * dout..(i + 1) * dout];
-                        for (o, &wv) in orow.iter_mut().zip(wrow.iter()) {
-                            *o += xv * wv;
-                        }
+                        crate::simd::axpy(orow, xv, &wmat[i * dout..(i + 1) * dout]);
                     }
                 }
             }
         }
     });
+    if crate::simd::active() {
+        parallel::kernels::TEMPORAL_CONV.stats.record_simd();
+    }
     Tensor::from_vec([b, n, t, dout], out)
 }
 
@@ -136,14 +136,14 @@ pub fn temporal_conv_grad_w(grad: &Tensor, x: &Tensor, w_shape: &[usize], dilati
                 let xrow = &xd[x_off + src * din..x_off + (src + 1) * din];
                 let wmat = &mut acc[ki * din * dout..(ki + 1) * din * dout];
                 for (i, &xv) in xrow.iter().enumerate() {
-                    let wrow = &mut wmat[i * dout..(i + 1) * dout];
-                    for (wv, &gv) in wrow.iter_mut().zip(grow.iter()) {
-                        *wv += xv * gv;
-                    }
+                    crate::simd::axpy(&mut wmat[i * dout..(i + 1) * dout], xv, grow);
                 }
             }
         }
     });
+    if crate::simd::active() {
+        parallel::kernels::TEMPORAL_CONV_GRAD_W.stats.record_simd();
+    }
     Tensor::from_vec(w_shape, gw)
 }
 

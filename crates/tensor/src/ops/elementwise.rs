@@ -11,6 +11,7 @@ use crate::arena;
 use crate::meter;
 use crate::parallel;
 use crate::shape::{broadcast_shapes, numel, strides_for, unravel, Shape};
+use crate::simd::{self, BinOp, UnOp};
 use crate::Tensor;
 
 /// Per-axis strides of `shape` viewed in the broadcast space `out_shape`
@@ -23,6 +24,27 @@ fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Shape {
         out[offset + i] = if dim == 1 { 0 } else { stride };
     }
     out
+}
+
+/// Arithmetic binary op with NumPy broadcasting, dispatched by [`BinOp`]
+/// descriptor so the same-shape fast path can run the SIMD lanes of
+/// [`simd::binary_map`] (the broadcast odometer path stays scalar — its
+/// strided gathers have no contiguous lanes to load).
+fn zip_arith(a: &Tensor, b: &Tensor, op: BinOp) -> Tensor {
+    if a.shape() == b.shape() {
+        meter::add_reads(a.len() + b.len());
+        let (ad, bd) = (a.data(), b.data());
+        let mut data = arena::take_zeroed(ad.len());
+        parallel::for_units(&parallel::kernels::EW_ZIP, &mut data, 1, ad.len(), |start, chunk| {
+            let end = start + chunk.len();
+            simd::binary_map(op, &ad[start..end], &bd[start..end], chunk);
+        });
+        if simd::active() {
+            parallel::kernels::EW_ZIP.stats.record_simd();
+        }
+        return Tensor::from_vec(a.shape(), data);
+    }
+    zip_broadcast(a, b, |x, y| op.apply(x, y))
 }
 
 /// Elementwise binary op with NumPy broadcasting.
@@ -71,6 +93,23 @@ fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> 
         }
     });
     Tensor::from_vec(out_shape, data)
+}
+
+/// Arithmetic unary map dispatched by [`UnOp`] descriptor through the SIMD
+/// lanes of [`simd::unary_map`]. Transcendental maps (exp, tanh, …) stay on
+/// the closure-based [`unary`]: their libm scalar calls have no bit-exact
+/// vector equivalent.
+fn unary_arith(a: &Tensor, op: UnOp) -> Tensor {
+    meter::add_reads(a.len());
+    let ad = a.data();
+    let mut data = arena::take_zeroed(ad.len());
+    parallel::for_units(&parallel::kernels::EW_UNARY, &mut data, 1, ad.len(), |start, chunk| {
+        simd::unary_map(op, &ad[start..start + chunk.len()], chunk);
+    });
+    if simd::active() {
+        parallel::kernels::EW_UNARY.stats.record_simd();
+    }
+    Tensor::from_vec(a.shape(), data)
 }
 
 /// Elementwise unary map, parallel over flat ranges.
@@ -132,70 +171,104 @@ pub fn reduce_to_shape(grad: &Tensor, target_shape: &[usize]) -> Tensor {
     let n_out = numel(target_shape);
     let gd = grad.data();
     let mut out = arena::take_zeroed(n_out);
+    // Vector groups apply when the grad's last axis is preserved in the
+    // target: then [`simd::LANES`] consecutive target elements have grad
+    // bases `base..base+LANES` (last stride is 1) and share one preimage
+    // walk, so each lane keeps the exact per-element ascending chain.
+    let tr = target_shape.len();
+    let lanes_ok = tr > 0
+        && gshape[gshape.len() - 1] == target_shape[tr - 1]
+        && target_shape[tr - 1] >= simd::LANES
+        && total > 0
+        && reduce_dims.len() <= simd::MAX_RDIMS;
     parallel::for_units(&parallel::kernels::REDUCE_TO_SHAPE, &mut out, 1, grad.len(), |start, chunk| {
         if chunk.is_empty() {
             return;
         }
-        // Target-coordinate odometer carries the grad base offset along;
-        // `r` is the reduced-axes odometer, back at all-zeros after each
-        // full `total`-step cycle.
+        // Target-coordinate odometer carries the grad base offset along.
         let mut tcoords = unravel(start, target_shape);
         let mut base: usize =
             tcoords.iter().enumerate().map(|(i, &c)| c * g_str[offset + i]).sum();
-        let mut r = Shape::zeros(reduce_dims.len());
-        let last = chunk.len() - 1;
-        for (i, o) in chunk.iter_mut().enumerate() {
-            let mut acc = 0.0f32;
-            let mut roff = 0usize;
-            for _ in 0..total {
-                acc += gd[base + roff];
-                for j in (0..reduce_dims.len()).rev() {
-                    let (len, stride) = reduce_dims[j];
-                    r[j] += 1;
-                    roff += stride;
-                    if r[j] < len {
-                        break;
-                    }
-                    r[j] = 0;
-                    roff -= len * stride;
-                }
-            }
-            *o = acc;
-            if i == last {
-                break;
-            }
-            for d in (0..target_shape.len()).rev() {
-                tcoords[d] += 1;
-                base += g_str[offset + d];
+        // Advance the odometer by `step` target elements; `step` never
+        // exceeds what remains in the current last-axis row, so the carry
+        // fires on exact `== dim` boundaries like the single-step walk.
+        let advance = |tcoords: &mut Shape, base: &mut usize, step: usize| {
+            tcoords[tr - 1] += step;
+            *base += step * g_str[offset + tr - 1];
+            let mut d = tr - 1;
+            loop {
                 if tcoords[d] < target_shape[d] {
                     break;
                 }
                 tcoords[d] = 0;
-                base -= g_str[offset + d] * target_shape[d];
+                *base -= g_str[offset + d] * target_shape[d];
+                if d == 0 {
+                    break;
+                }
+                d -= 1;
+                tcoords[d] += 1;
+                *base += g_str[offset + d];
+            }
+        };
+        let n = chunk.len();
+        let mut i = 0;
+        while i < n {
+            let step = if lanes_ok
+                && n - i >= simd::LANES
+                && target_shape[tr - 1] - tcoords[tr - 1] >= simd::LANES
+                && simd::reduce_lanes8(gd, base, &reduce_dims, total, &mut chunk[i..i + simd::LANES])
+            {
+                simd::LANES
+            } else {
+                let mut acc = 0.0f32;
+                let mut roff = 0usize;
+                let mut r = Shape::zeros(reduce_dims.len());
+                for _ in 0..total {
+                    acc += gd[base + roff];
+                    for j in (0..reduce_dims.len()).rev() {
+                        let (len, stride) = reduce_dims[j];
+                        r[j] += 1;
+                        roff += stride;
+                        if r[j] < len {
+                            break;
+                        }
+                        r[j] = 0;
+                        roff -= len * stride;
+                    }
+                }
+                chunk[i] = acc;
+                1
+            };
+            i += step;
+            if i < n {
+                advance(&mut tcoords, &mut base, step);
             }
         }
     });
+    if lanes_ok && simd::active() {
+        parallel::kernels::REDUCE_TO_SHAPE.stats.record_simd();
+    }
     Tensor::from_vec(target_shape, out)
 }
 
 /// `a + b` with broadcasting.
 pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
-    zip_broadcast(a, b, |x, y| x + y)
+    zip_arith(a, b, BinOp::Add)
 }
 
 /// `a - b` with broadcasting.
 pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
-    zip_broadcast(a, b, |x, y| x - y)
+    zip_arith(a, b, BinOp::Sub)
 }
 
 /// `a * b` with broadcasting.
 pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
-    zip_broadcast(a, b, |x, y| x * y)
+    zip_arith(a, b, BinOp::Mul)
 }
 
 /// `a / b` with broadcasting.
 pub fn div(a: &Tensor, b: &Tensor) -> Tensor {
-    zip_broadcast(a, b, |x, y| x / y)
+    zip_arith(a, b, BinOp::Div)
 }
 
 /// ∂(a∘b)/∂a for add/sub: pass-through (sign handled by caller for sub).
@@ -225,22 +298,22 @@ pub fn div_grad_b(grad: &Tensor, a: &Tensor, b: &Tensor) -> Tensor {
 
 /// Elementwise negation.
 pub fn neg(a: &Tensor) -> Tensor {
-    unary(a, |x| -x)
+    unary_arith(a, UnOp::Neg)
 }
 
 /// `a * c` for scalar `c`.
 pub fn scale(a: &Tensor, c: f32) -> Tensor {
-    unary(a, |x| x * c)
+    unary_arith(a, UnOp::Scale(c))
 }
 
 /// `a + c` for scalar `c`.
 pub fn add_scalar(a: &Tensor, c: f32) -> Tensor {
-    unary(a, |x| x + c)
+    unary_arith(a, UnOp::AddScalar(c))
 }
 
-/// Rectified linear unit.
+/// Rectified linear unit (`maxps(x, 0)`: NaN and −0 both map to +0).
 pub fn relu(a: &Tensor) -> Tensor {
-    unary(a, |x| x.max(0.0))
+    unary_arith(a, UnOp::Relu)
 }
 
 /// ∂relu/∂a = grad ⊙ 1[a>0].
@@ -302,7 +375,7 @@ pub fn sqrt_grad(grad: &Tensor, y: &Tensor) -> Tensor {
 
 /// Elementwise absolute value.
 pub fn abs(a: &Tensor) -> Tensor {
-    unary(a, f32::abs)
+    unary_arith(a, UnOp::Abs)
 }
 
 /// ∂|a|/∂a = grad ⊙ sign(a) (sub-gradient 0 at 0).
@@ -320,7 +393,7 @@ pub fn abs_grad(grad: &Tensor, a: &Tensor) -> Tensor {
 
 /// Elementwise square.
 pub fn square(a: &Tensor) -> Tensor {
-    unary(a, |x| x * x)
+    unary_arith(a, UnOp::Square)
 }
 
 /// ∂a²/∂a = 2·grad⊙a.
@@ -350,9 +423,9 @@ pub fn gelu_grad(grad: &Tensor, a: &Tensor) -> Tensor {
     })
 }
 
-/// Clamp every element into `[lo, hi]`.
+/// Clamp every element into `[lo, hi]` (NaN passes through unchanged).
 pub fn clamp(a: &Tensor, lo: f32, hi: f32) -> Tensor {
-    unary(a, |x| x.clamp(lo, hi))
+    unary_arith(a, UnOp::Clamp(lo, hi))
 }
 
 #[cfg(test)]

@@ -9,20 +9,22 @@
 //! kernel calls (pool workers persist), so steady-state matmuls allocate
 //! nothing.
 //!
-//! The innermost loops are a fixed-width microkernel ([`micro_accum`]):
-//! `MR` output columns are held in a register accumulator array while a
-//! block of `k` is streamed through. Crucially the accumulators are loaded
-//! from (and stored back to) the output, never zero-initialised, so each
-//! output element still sees one strictly ascending-`k` addition chain —
-//! results are bit-identical to the naive serial triple loop
-//! (`ops::reference::matmul`) for every block size and thread count.
+//! The innermost loops are the SIMD row-block microkernel
+//! ([`crate::simd::gemm_rowblock`], reached via [`micro_accum`]): a strip of
+//! output columns is held in vector accumulators while a block of `k` is
+//! streamed through. Crucially the accumulators are loaded from (and stored
+//! back to) the output, never zero-initialised, so each output element still
+//! sees one strictly ascending-`k` addition chain — results are
+//! bit-identical to the naive serial triple loop (`ops::reference::matmul`)
+//! for every block size, thread count, and SIMD level.
 //!
-//! The backward products do not materialise transposes: [`matmul_nt`]
-//! (`A·Bᵀ`, for ∂/∂a) reads B's rows as dot-product operands in place, and
-//! [`matmul_tn`] (`Aᵀ·G`, for ∂/∂b) walks A's columns with an axpy loop.
-//! Both reproduce the exact accumulation order of the transpose-then-matmul
-//! composition they replaced, so they are bit-identical to it (asserted in
-//! tests and the parallel-consistency proptests).
+//! The backward products do not materialise full transposes: [`matmul_nt`]
+//! (`A·Bᵀ`, for ∂/∂a) transpose-packs B tiles into the panel and runs the
+//! same microkernel as the forward product, and [`matmul_tn`] (`Aᵀ·G`, for
+//! ∂/∂b) walks A's columns with an axpy loop. Both reproduce the exact
+//! accumulation order of the transpose-then-matmul composition they
+//! replaced, so they are bit-identical to it (asserted in tests and the
+//! parallel-consistency proptests).
 //!
 //! Non-finite values propagate: `0 × NaN = NaN` contributions are *not*
 //! skipped, so a NaN/∞ in either operand always reaches the output (the
@@ -39,15 +41,22 @@ use std::cell::RefCell;
 const KC: usize = 128;
 /// N-dimension block size of the packed kernel (panel is `KC × NC` floats).
 const NC: usize = 64;
-/// Microkernel register width: output columns accumulated per pass.
-const MR: usize = 8;
 
 thread_local! {
     /// Per-thread packed-B panel, reused across gemm calls. Pool workers
     /// persist between kernels, so this is allocated once per thread for
     /// the life of the process instead of once per gemm call.
     static PANEL: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread full `bᵀ` buffer for [`matmul_nt`]'s small-B fast path.
+    static NT_BT: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
+
+/// Largest `bᵀ` (in floats) that [`matmul_nt`] materialises whole per
+/// worker. Below this the transpose is done once per *distinct* B matrix
+/// (typically once, for shared weights) and the product runs the exact
+/// forward [`gemm_rows`] path; above it, B is transpose-packed tile by
+/// tile per batch element instead of held resident.
+const NT_FULL_CAP: usize = 1 << 20;
 
 /// Matrix product over the last two dims: `a: [..., m, k] × b: [..., k, n]`.
 ///
@@ -101,41 +110,24 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
             done += take;
         }
     });
+    if crate::simd::active() {
+        parallel::kernels::MATMUL.stats.record_simd();
+    }
     Tensor::from_vec(out_shape, out)
 }
 
 /// Fixed-width microkernel: `out_row[j] += Σ_kk a_row[kk] · b[kk·ldb + j]`
-/// for every `j`, accumulating `MR` columns at a time in registers.
+/// for every `j`, dispatched to [`crate::simd::gemm_rowblock`] (AVX2 /
+/// SSE2 / scalar).
 ///
 /// Accumulators are *loaded from* `out_row` (never zeroed), so each output
 /// element's addition chain stays strictly ascending in `kk` across calls —
-/// the bit-exactness invariant every caller relies on. The fixed-width
-/// array form gives the autovectorizer independent lanes to vectorise
-/// without reassociating any single element's chain.
+/// the bit-exactness invariant every caller relies on. All dispatch levels
+/// keep one independent vertical accumulator per output column, so they
+/// are bit-identical to each other and to the naive serial loop.
 #[inline]
 fn micro_accum(a_row: &[f32], b: &[f32], ldb: usize, out_row: &mut [f32]) {
-    let nc = out_row.len();
-    let mut j = 0;
-    while j + MR <= nc {
-        let mut acc = [0.0f32; MR];
-        acc.copy_from_slice(&out_row[j..j + MR]);
-        for (kk, &av) in a_row.iter().enumerate() {
-            let b_row = &b[kk * ldb + j..kk * ldb + j + MR];
-            for (t, &bv) in b_row.iter().enumerate() {
-                acc[t] += av * bv;
-            }
-        }
-        out_row[j..j + MR].copy_from_slice(&acc);
-        j += MR;
-    }
-    while j < nc {
-        let mut acc = out_row[j];
-        for (kk, &av) in a_row.iter().enumerate() {
-            acc += av * b[kk * ldb + j];
-        }
-        out_row[j] = acc;
-        j += 1;
-    }
+    crate::simd::gemm_rowblock(a_row, b, ldb, out_row);
 }
 
 /// `out[rows × n] += a[rows × k] · b[k × n]` for one batch element.
@@ -234,10 +226,13 @@ fn transpose_tile(src: &[f32], dst: &mut [f32], m: usize, n: usize) {
 /// Fused `A · Bᵀ`: `a: [..., m, k] × b: [..., n, k] → [..., m, n]` with
 /// `out[i, j] = Σ_k a[i, k] · b[j, k]` (batch dims broadcast).
 ///
-/// This reads B's *rows* as the right-hand operands of plain dot products —
-/// no transpose is materialised — while accumulating each output element in
-/// ascending `k`, so the result is bit-identical to
-/// `matmul(a, transpose_last2(b))`.
+/// Small B matrices (`n·k ≤` [`NT_FULL_CAP`]) are transposed whole into a
+/// per-worker buffer — once per *distinct* B, so a shared weight broadcast
+/// over a big batch transposes exactly once per worker — and then multiply
+/// through the identical [`gemm_rows`] path as the forward product. Larger
+/// B falls back to per-tile transpose-packing ([`nt_rows`]). Both orders
+/// accumulate each output element in strictly ascending `k`, so the result
+/// is bit-identical to `matmul(a, transpose_last2(b))`.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     assert!(a.rank() >= 2 && b.rank() >= 2, "matmul_nt needs rank >= 2");
     meter::add_reads(a.len() + b.len());
@@ -265,68 +260,88 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
             return;
         }
         let rows = chunk.len() / n;
-        let mut done = 0;
-        while done < rows {
-            let row = row0 + done;
-            let bi = row / m;
-            let i0 = row % m;
-            let take = (m - i0).min(rows - done);
-            let coords = unravel(bi, &batch_shape);
-            let a_off = ravel_broadcast(&coords, a_batch) * m * k;
-            let b_off = ravel_broadcast(&coords, b_batch) * n * k;
-            nt_rows(
-                &a_data[a_off + i0 * k..a_off + (i0 + take) * k],
-                &b_data[b_off..b_off + n * k],
-                &mut chunk[done * n..(done + take) * n],
-                k,
-                n,
-            );
-            done += take;
-        }
+        let full = n * k <= NT_FULL_CAP;
+        NT_BT.with(|p| {
+            let mut bt = p.borrow_mut();
+            if full && bt.len() < k * n {
+                bt.resize(k * n, 0.0);
+            }
+            // `usize::MAX` can never be a valid element offset.
+            let mut packed_off = usize::MAX;
+            let mut done = 0;
+            while done < rows {
+                let row = row0 + done;
+                let bi = row / m;
+                let i0 = row % m;
+                let take = (m - i0).min(rows - done);
+                let coords = unravel(bi, &batch_shape);
+                let a_off = ravel_broadcast(&coords, a_batch) * m * k;
+                let b_off = ravel_broadcast(&coords, b_batch) * n * k;
+                let a_rows = &a_data[a_off + i0 * k..a_off + (i0 + take) * k];
+                let out_rows = &mut chunk[done * n..(done + take) * n];
+                if full {
+                    if b_off != packed_off {
+                        transpose_tile(&b_data[b_off..b_off + n * k], &mut bt[..k * n], n, k);
+                        packed_off = b_off;
+                    }
+                    gemm_rows(a_rows, &bt[..k * n], out_rows, k, n);
+                } else {
+                    nt_rows(a_rows, &b_data[b_off..b_off + n * k], out_rows, k, n);
+                }
+                done += take;
+            }
+        });
     });
+    if crate::simd::active() {
+        parallel::kernels::MATMUL_NT.stats.record_simd();
+    }
     Tensor::from_vec(out_shape, out)
 }
 
-/// `out[rows × n] += a[rows × k] · bᵀ` where `b` is `[n × k]` row-major.
+/// `out[rows × n] += a[rows × k] · bᵀ` where `b` is `[n × k]` row-major —
+/// the large-B fallback of [`matmul_nt`] (`n·k >` [`NT_FULL_CAP`]).
 ///
-/// Four dot products are interleaved per pass so one streaming read of
-/// `a_row` feeds four independent accumulators; every accumulator is still
-/// one strictly ascending-`k` chain per output element.
+/// Each `KC × NC` tile of `bᵀ` is transpose-packed into the thread-local
+/// panel (`panel[kk·nc + jj] = b[(j0+jj)·k + k0+kk]`) and then consumed by
+/// the *same* vectorized microkernel as plain [`matmul`]. The seed path
+/// strode `b` row-wise with interleaved dot products — ~2.1× slower at the
+/// bench volume because every output column walked a strided `k`-vector.
+/// Per output element the chain is still strictly ascending in `k` (tiles
+/// advance `k0` outermost), so the result stays bit-identical to
+/// `matmul(a, transpose_last2(b))`.
 fn nt_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
     let rows = out.len() / n;
-    for i in 0..rows {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        let mut j = 0;
-        while j + 4 <= n {
-            let b0 = &b[j * k..(j + 1) * k];
-            let b1 = &b[(j + 1) * k..(j + 2) * k];
-            let b2 = &b[(j + 2) * k..(j + 3) * k];
-            let b3 = &b[(j + 3) * k..(j + 4) * k];
-            let (mut s0, mut s1, mut s2, mut s3) =
-                (out_row[j], out_row[j + 1], out_row[j + 2], out_row[j + 3]);
-            for (kk, &av) in a_row.iter().enumerate() {
-                s0 += av * b0[kk];
-                s1 += av * b1[kk];
-                s2 += av * b2[kk];
-                s3 += av * b3[kk];
-            }
-            out_row[j] = s0;
-            out_row[j + 1] = s1;
-            out_row[j + 2] = s2;
-            out_row[j + 3] = s3;
-            j += 4;
+    PANEL.with(|p| {
+        let mut panel = p.borrow_mut();
+        let need = KC * NC.min(n.max(1));
+        if panel.len() < need {
+            panel.resize(need, 0.0);
         }
-        while j < n {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = out_row[j];
-            for (kk, &av) in a_row.iter().enumerate() {
-                acc += av * b_row[kk];
+        let mut k0 = 0;
+        while k0 < k {
+            let kc = KC.min(k - k0);
+            let mut j0 = 0;
+            while j0 < n {
+                let nc = NC.min(n - j0);
+                for jj in 0..nc {
+                    let src = &b[(j0 + jj) * k + k0..(j0 + jj) * k + k0 + kc];
+                    for (kk, &v) in src.iter().enumerate() {
+                        panel[kk * nc + jj] = v;
+                    }
+                }
+                for i in 0..rows {
+                    micro_accum(
+                        &a[i * k + k0..i * k + k0 + kc],
+                        &panel,
+                        nc,
+                        &mut out[i * n + j0..i * n + j0 + nc],
+                    );
+                }
+                j0 += nc;
             }
-            out_row[j] = acc;
-            j += 1;
+            k0 += kc;
         }
-    }
+    });
 }
 
 /// Fused `Aᵀ · G`: `a: [..., m, k] × g: [..., m, n] → [..., k, n]` with
@@ -384,6 +399,9 @@ pub fn matmul_tn(a: &Tensor, g: &Tensor) -> Tensor {
             done += take;
         }
     });
+    if crate::simd::active() {
+        parallel::kernels::MATMUL_TN.stats.record_simd();
+    }
     Tensor::from_vec(out_shape, out)
 }
 
@@ -396,10 +414,7 @@ fn tn_rows(a: &[f32], g: &[f32], out: &mut [f32], m: usize, kd: usize, n: usize,
         let out_row = &mut out[rr * n..(rr + 1) * n];
         for i in 0..m {
             let av = a[i * kd + r];
-            let g_row = &g[i * n..(i + 1) * n];
-            for (o, &gv) in out_row.iter_mut().zip(g_row.iter()) {
-                *o += av * gv;
-            }
+            crate::simd::axpy(out_row, av, &g[i * n..(i + 1) * n]);
         }
     }
 }
@@ -530,6 +545,20 @@ mod tests {
             assert_eq!(fused.shape(), composed.shape());
             assert_eq!(fused.data(), composed.data(), "m={m} k={k} n={n}");
         }
+    }
+
+    #[test]
+    fn nt_large_b_tile_fallback_bit_exact() {
+        // n·k just over NT_FULL_CAP forces the per-tile transpose-pack
+        // path (`nt_rows`) instead of the whole-bᵀ fast path.
+        let (m, k, n) = (3usize, 1020usize, 1030usize);
+        assert!(n * k > NT_FULL_CAP);
+        let a = t(&[m, k], &(0..m * k).map(|i| ((i * 37) % 19) as f32 - 9.0).collect::<Vec<_>>());
+        let b = t(&[n, k], &(0..n * k).map(|i| ((i * 23) % 17) as f32 - 8.0).collect::<Vec<_>>());
+        let fused = matmul_nt(&a, &b);
+        let composed = matmul(&a, &transpose_last2(&b));
+        assert_eq!(fused.shape(), composed.shape());
+        assert_eq!(fused.data(), composed.data());
     }
 
     #[test]

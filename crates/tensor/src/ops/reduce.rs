@@ -55,12 +55,13 @@ pub fn sum_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
             let o = o0 + oi;
             for l in 0..len {
                 let base = (o * len + l) * inner;
-                for (os, &x) in oslice.iter_mut().zip(data[base..base + inner].iter()) {
-                    *os += x;
-                }
+                crate::simd::accum(oslice, &data[base..base + inner]);
             }
         }
     });
+    if crate::simd::active() {
+        parallel::kernels::REDUCE_SUM_AXIS.stats.record_simd();
+    }
     Tensor::from_vec(reduced_shape(a.shape(), axis, keepdim), out)
 }
 
@@ -137,12 +138,13 @@ pub fn max_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
             let o = o0 + oi;
             for l in 0..len {
                 let base = (o * len + l) * inner;
-                for (os, &x) in oslice.iter_mut().zip(data[base..base + inner].iter()) {
-                    *os = os.max(x);
-                }
+                crate::simd::max_accum(oslice, &data[base..base + inner]);
             }
         }
     });
+    if crate::simd::active() {
+        parallel::kernels::REDUCE_MAX_AXIS.stats.record_simd();
+    }
     Tensor::from_vec(reduced_shape(a.shape(), axis, keepdim), out)
 }
 

@@ -4,6 +4,13 @@
 //! across the scoped-thread pool in [`crate::parallel`]; per-row math is
 //! unchanged from the serial version, keeping results bit-exact at any
 //! thread count.
+//!
+//! SIMD coverage is per pass: the max scan ([`crate::simd::row_max`], a
+//! pinned horizontal-reduce tree whose one reorder artifact — the sign of
+//! an equal-zero maximum — is erased by the `exp(x − m)` that consumes it)
+//! and the `1/z` normalization ([`crate::simd::scale_in_place`]) vectorize;
+//! the exp pass and the running `z` sum stay scalar because a vector unit
+//! would have to reassociate that single sequential addition chain.
 
 use crate::arena;
 use crate::meter;
@@ -25,19 +32,19 @@ pub fn softmax_last(a: &Tensor) -> Tensor {
         for (ri, o) in chunk.chunks_mut(n).enumerate() {
             let base = (start + ri) * n;
             let s = &data[base..base + n];
-            let m = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let m = crate::simd::row_max(s);
             let mut z = 0.0f32;
             for (oi, &x) in o.iter_mut().zip(s.iter()) {
                 let e = (x - m).exp();
                 *oi = e;
                 z += e;
             }
-            let inv = 1.0 / z;
-            for oi in o.iter_mut() {
-                *oi *= inv;
-            }
+            crate::simd::scale_in_place(o, 1.0 / z);
         }
     });
+    if crate::simd::active() {
+        parallel::kernels::SOFTMAX.stats.record_simd();
+    }
     Tensor::from_vec(a.shape(), out)
 }
 
@@ -56,11 +63,12 @@ pub fn softmax_last_grad(grad: &Tensor, y: &Tensor) -> Tensor {
         for (ri, o) in chunk.chunks_mut(n).enumerate() {
             let base = (start + ri) * n;
             let dot: f32 = (0..n).map(|i| g[base + i] * yv[base + i]).sum();
-            for (i, oi) in o.iter_mut().enumerate() {
-                *oi = yv[base + i] * (g[base + i] - dot);
-            }
+            crate::simd::softmax_grad_row(o, &yv[base..base + n], &g[base..base + n], dot);
         }
     });
+    if crate::simd::active() {
+        parallel::kernels::SOFTMAX_GRAD.stats.record_simd();
+    }
     Tensor::from_vec(y.shape(), out)
 }
 

@@ -83,6 +83,40 @@ pub enum Reduction {
     OrderedPartialSums,
 }
 
+/// How a kernel's vector (SIMD) lanes relate to its scalar accumulation
+/// order — the declaration the cts-verify determinism audit checks against
+/// each kernel's lane width.
+///
+/// Every variant is bit-deterministic: `ElementChains` and
+/// `PinnedMaxTree` produce outputs bit-identical to the scalar path at
+/// every SIMD level, thread count, and dispatcher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaneOrder {
+    /// No vector path: the kernel's inner loops are scalar at every SIMD
+    /// level (sequential sums, odometer gathers, pure copies).
+    ScalarOnly,
+    /// Lanes are independent *output elements*; each element keeps its
+    /// scalar ascending addition chain (separate mul + add, never FMA), so
+    /// no cross-lane combine exists and results are bit-identical to
+    /// scalar by construction.
+    ElementChains,
+    /// Per-lane running maxima combined through a fixed pairwise tree
+    /// (softmax max scan). Max is order-insensitive up to the sign of an
+    /// equal-zero result, which the consuming `exp(x − m)` cannot observe.
+    PinnedMaxTree,
+}
+
+/// A kernel's declared SIMD shape: lane width and lane-order contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimdContract {
+    /// f32 lanes the vector path is written for (1 = scalar only). The
+    /// audit requires `ScalarOnly ⇔ width 1` and vectorized kernels to
+    /// match [`crate::simd::LANES`].
+    pub lane_width: usize,
+    /// How lanes relate to the scalar accumulation order.
+    pub order: LaneOrder,
+}
+
 /// Static description of one parallel kernel: its name and the
 /// partition/reduction strategy it is allowed to use.
 ///
@@ -97,6 +131,8 @@ pub struct KernelSpec {
     pub partition: Partition,
     /// Result-combination strategy.
     pub reduction: Reduction,
+    /// Declared SIMD lane width and order (audited by cts-verify).
+    pub simd: SimdContract,
     /// Cumulative invocation/timing counters (observability). Embedded in
     /// the spec so recording needs no lookup; timing is only added when
     /// `cts_obs::metrics_enabled()`.
@@ -105,13 +141,14 @@ pub struct KernelSpec {
 
 /// The closed registry of kernels allowed on the parallel layer.
 pub mod kernels {
-    use super::{KernelSpec, Partition, Reduction};
+    use super::{KernelSpec, LaneOrder, Partition, Reduction, SimdContract};
 
     const fn disjoint(name: &'static str) -> KernelSpec {
         KernelSpec {
             name,
             partition: Partition::ContiguousUnits,
             reduction: Reduction::DisjointWrites,
+            simd: SimdContract { lane_width: 1, order: LaneOrder::ScalarOnly },
             stats: cts_obs::KernelStats::new(),
         }
     }
@@ -121,55 +158,65 @@ pub mod kernels {
             name,
             partition: Partition::ContiguousUnits,
             reduction: Reduction::OrderedPartialSums,
+            simd: SimdContract { lane_width: 1, order: LaneOrder::ScalarOnly },
             stats: cts_obs::KernelStats::new(),
         }
     }
 
+    /// Mark a spec's hot loops as vectorized at [`crate::simd::LANES`]
+    /// width with the given lane-order contract.
+    const fn vectorized(mut spec: KernelSpec, order: LaneOrder) -> KernelSpec {
+        spec.simd = SimdContract { lane_width: crate::simd::LANES, order };
+        spec
+    }
+
     /// Cache-blocked packed-B matrix product (one unit = one output row).
-    pub static MATMUL: KernelSpec = disjoint("matmul");
+    pub static MATMUL: KernelSpec = vectorized(disjoint("matmul"), LaneOrder::ElementChains);
     /// Fused A·Bᵀ product used by `matmul_grad_a` (one unit = one output
     /// row); reads B's rows directly instead of materialising a transpose.
-    pub static MATMUL_NT: KernelSpec = disjoint("matmul.nt");
+    pub static MATMUL_NT: KernelSpec = vectorized(disjoint("matmul.nt"), LaneOrder::ElementChains);
     /// Fused Aᵀ·G product used by `matmul_grad_b` (one unit = one output
     /// row); reads A's columns in place instead of materialising a
     /// transpose.
-    pub static MATMUL_TN: KernelSpec = disjoint("matmul.tn");
+    pub static MATMUL_TN: KernelSpec = vectorized(disjoint("matmul.tn"), LaneOrder::ElementChains);
     /// Tiled last-two-dims transpose (one unit = one matrix).
     pub static TRANSPOSE: KernelSpec = disjoint("matmul.transpose_last2");
     /// Same-shape elementwise zip (one unit = one scalar).
-    pub static EW_ZIP: KernelSpec = disjoint("elementwise.zip");
+    pub static EW_ZIP: KernelSpec = vectorized(disjoint("elementwise.zip"), LaneOrder::ElementChains);
     /// Broadcasting elementwise zip (odometer walk).
     pub static EW_ZIP_BROADCAST: KernelSpec = disjoint("elementwise.zip_broadcast");
     /// Elementwise unary map.
-    pub static EW_UNARY: KernelSpec = disjoint("elementwise.unary");
+    pub static EW_UNARY: KernelSpec = vectorized(disjoint("elementwise.unary"), LaneOrder::ElementChains);
     /// Exact-length zip used by saved-value gradient kernels.
     pub static EW_ZIP_EXACT: KernelSpec = disjoint("elementwise.zip_exact");
     /// Broadcast-gradient reduction: one unit = one *target* element,
     /// each summing its grad preimage in ascending flat order (the same
     /// per-element order as the old serial scatter, so results are
     /// bit-identical to it).
-    pub static REDUCE_TO_SHAPE: KernelSpec = disjoint("elementwise.reduce_to_shape");
+    pub static REDUCE_TO_SHAPE: KernelSpec =
+        vectorized(disjoint("elementwise.reduce_to_shape"), LaneOrder::ElementChains);
     /// Axis sum (one unit = one inner slice).
-    pub static REDUCE_SUM_AXIS: KernelSpec = disjoint("reduce.sum_axis");
+    pub static REDUCE_SUM_AXIS: KernelSpec = vectorized(disjoint("reduce.sum_axis"), LaneOrder::ElementChains);
     /// Axis-sum gradient broadcast-back.
     pub static REDUCE_SUM_AXIS_GRAD: KernelSpec = disjoint("reduce.sum_axis_grad");
     /// Axis max.
-    pub static REDUCE_MAX_AXIS: KernelSpec = disjoint("reduce.max_axis");
+    pub static REDUCE_MAX_AXIS: KernelSpec = vectorized(disjoint("reduce.max_axis"), LaneOrder::ElementChains);
     /// Broadcast materialisation.
     pub static BROADCAST_TO: KernelSpec = disjoint("reduce.broadcast_to");
     /// Softmax forward (one unit = one row).
-    pub static SOFTMAX: KernelSpec = disjoint("softmax.forward");
+    pub static SOFTMAX: KernelSpec = vectorized(disjoint("softmax.forward"), LaneOrder::PinnedMaxTree);
     /// Softmax backward.
-    pub static SOFTMAX_GRAD: KernelSpec = disjoint("softmax.grad");
+    pub static SOFTMAX_GRAD: KernelSpec = vectorized(disjoint("softmax.grad"), LaneOrder::ElementChains);
     /// Log-sum-exp rows.
     pub static LOGSUMEXP: KernelSpec = disjoint("softmax.logsumexp");
     /// Dilated causal temporal convolution (one unit = one series).
-    pub static TEMPORAL_CONV: KernelSpec = disjoint("conv.temporal");
+    pub static TEMPORAL_CONV: KernelSpec = vectorized(disjoint("conv.temporal"), LaneOrder::ElementChains);
     /// Temporal convolution input gradient.
     pub static TEMPORAL_CONV_GRAD_X: KernelSpec = disjoint("conv.temporal_grad_x");
     /// Temporal convolution weight gradient: per-series partial sums,
     /// combined in worker order.
-    pub static TEMPORAL_CONV_GRAD_W: KernelSpec = summed("conv.temporal_grad_w");
+    pub static TEMPORAL_CONV_GRAD_W: KernelSpec =
+        vectorized(summed("conv.temporal_grad_w"), LaneOrder::ElementChains);
 
     /// Every kernel allowed to use [`super::for_units`] /
     /// [`super::partial_sums`]. Keep in sync with the statics above; the
@@ -487,9 +534,9 @@ where
     // share (and one accumulator) exists.
     let mut acc = it.next().expect("at least one partial accumulator");
     for p in it {
-        for (a, &v) in acc.iter_mut().zip(p.iter()) {
-            *a += v;
-        }
+        // Ascending-worker combine; simd::accum keeps one independent
+        // vertical chain per element, so the order is unchanged.
+        crate::simd::accum(&mut acc, &p);
         arena::recycle(p);
     }
     spec.stats.record(t, units as u64, true);
@@ -647,6 +694,7 @@ mod tests {
             name: "rogue",
             partition: Partition::ContiguousUnits,
             reduction: Reduction::DisjointWrites,
+            simd: SimdContract { lane_width: 1, order: LaneOrder::ScalarOnly },
             stats: cts_obs::KernelStats::new(),
         };
         assert!(!kernels::is_registered(&ROGUE));

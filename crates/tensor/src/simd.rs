@@ -1,0 +1,1296 @@
+//! Explicit SIMD microkernels with bit-exact scalar fallbacks.
+//!
+//! Every hot kernel in [`crate::ops`] dispatches its innermost loops
+//! through this module: AVX2 when the host has it, SSE2 otherwise (part
+//! of the x86_64 baseline), and a plain scalar path everywhere else or
+//! when `CTS_SIMD=off` is set. Dispatch is per kernel call, so the branch
+//! is amortized over the whole inner loop, and the selected level is
+//! process-wide ([`level`] / [`set_level`]).
+//!
+//! # Determinism contract
+//!
+//! Every vector kernel here vectorizes **across independent output
+//! elements** (vertical lanes): lane `t` computes output element `j + t`
+//! with the same strictly ascending scalar addition chain the scalar
+//! kernel uses. Multiplies and adds stay separate instructions — never
+//! FMA, which rounds once where mul+add rounds twice — division is IEEE
+//! correctly rounded, and neg/abs are sign-bit operations. No single
+//! element's chain is ever reassociated, so AVX2, SSE2, and scalar
+//! results are bit-identical by construction, not merely close. SSE2
+//! runs the same [`LANES`]-wide layout as two 4-wide halves; because the
+//! lanes are independent elements, the grouping cannot change any bits.
+//!
+//! Where x86 min/max semantics leak (`maxps(a, b)` returns `b` when
+//! either operand is NaN or both compare equal), the scalar forms in
+//! [`UnOp::apply`] and the max kernels are pinned to the *same*
+//! operand order (`if x > acc { x } else { acc }`), so NaN handling and
+//! ±0 ties agree at every level.
+//!
+//! The one cross-lane combine, [`row_max`], reduces per-lane running
+//! maxima through a fixed pairwise tree. Max is order-insensitive except
+//! for the sign of equal zeros (and NaNs are ignored identically at
+//! every level), and its only consumer — the softmax max-shift — feeds
+//! the result into `exp(x - m)`, which cannot observe the sign of a zero
+//! `m`. Sequential sums whose order a vector unit would have to change
+//! (softmax's `z`, dot products, `logsumexp`) stay scalar in the ops
+//! layer; they are not offered here.
+//!
+//! # Why `unsafe` lives here (and why only here)
+//!
+//! `core::arch` loads/stores take raw pointers, and calling a
+//! `#[target_feature]` function requires asserting the feature is
+//! present. Both obligations are discharged locally: every kernel
+//! asserts its slice bounds before touching a pointer, and the AVX2/SSE2
+//! entry points are only reachable through [`level`], which has verified
+//! the host feature. The crate is `deny(unsafe_code)`; this module and
+//! [`crate::pool`] are the only opt-outs, enforced by
+//! `scripts/lint_forbidden.sh` rule 8.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Canonical vector width (f32 lanes) declared by vectorized kernels.
+pub const LANES: usize = 8;
+
+/// Max reduced-axes rank [`reduce_lanes8`] can walk with its fixed-size
+/// odometer (callers fall back to their scalar loop above this).
+pub const MAX_RDIMS: usize = 8;
+
+/// Instruction-set level the kernels dispatch on. Ordered: `Scalar <
+/// Sse2 < Avx2`, so requested levels clamp to the host with `min`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Pure scalar loops (always available; the reference behaviour).
+    Scalar,
+    /// 128-bit SSE2 (x86_64 baseline).
+    Sse2,
+    /// 256-bit AVX2 (runtime-detected).
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Stable lowercase name used in bench/report columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Atomic encoding: 0 = unset, else `enc(level)`.
+const UNSET: u8 = 0;
+
+fn enc(l: SimdLevel) -> u8 {
+    match l {
+        SimdLevel::Scalar => 1,
+        SimdLevel::Sse2 => 2,
+        SimdLevel::Avx2 => 3,
+    }
+}
+
+fn dec(v: u8) -> Option<SimdLevel> {
+    match v {
+        1 => Some(SimdLevel::Scalar),
+        2 => Some(SimdLevel::Sse2),
+        3 => Some(SimdLevel::Avx2),
+        _ => None,
+    }
+}
+
+/// Best level the host supports, independent of `CTS_SIMD` and overrides.
+pub fn detected() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            SimdLevel::Avx2
+        } else {
+            SimdLevel::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        SimdLevel::Scalar
+    }
+}
+
+fn env_level() -> SimdLevel {
+    let host = detected();
+    match std::env::var("CTS_SIMD").as_deref().map(str::trim) {
+        Ok("off") | Ok("scalar") | Ok("0") => SimdLevel::Scalar,
+        Ok("sse2") => SimdLevel::Sse2.min(host),
+        Ok("avx2") => SimdLevel::Avx2.min(host),
+        _ => host,
+    }
+}
+
+static DEFAULT_LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+static OVERRIDE_LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+/// The level kernels currently dispatch on: [`set_level`] override if
+/// set, else the `CTS_SIMD` env knob (`off`/`scalar`, `sse2`, `avx2`;
+/// read once), else the detected host maximum.
+#[inline]
+pub fn level() -> SimdLevel {
+    if let Some(l) = dec(OVERRIDE_LEVEL.load(Ordering::Relaxed)) {
+        return l;
+    }
+    match dec(DEFAULT_LEVEL.load(Ordering::Relaxed)) {
+        Some(l) => l,
+        None => {
+            let l = env_level();
+            DEFAULT_LEVEL.store(enc(l), Ordering::Relaxed);
+            l
+        }
+    }
+}
+
+/// Force a dispatch level process-wide, clamped to what the host
+/// supports; `None` restores the `CTS_SIMD`/auto default. For tests and
+/// benches that compare levels in one process — results are bit-identical
+/// across levels, so flipping this mid-run is always safe.
+pub fn set_level(l: Option<SimdLevel>) {
+    OVERRIDE_LEVEL.store(l.map_or(UNSET, |l| enc(l.min(detected()))), Ordering::Relaxed);
+}
+
+/// True when a vector (non-scalar) path is active.
+#[inline]
+pub fn active() -> bool {
+    level() != SimdLevel::Scalar
+}
+
+/// Name of the active dispatch level (`"avx2"` / `"sse2"` / `"scalar"`).
+pub fn level_name() -> &'static str {
+    level().name()
+}
+
+/// Name of the detected host maximum, ignoring knobs and overrides.
+pub fn detected_name() -> &'static str {
+    detected().name()
+}
+
+// ---------------------------------------------------------------------------
+// Op descriptors
+// ---------------------------------------------------------------------------
+
+/// Elementwise binary ops with a vector path.
+#[derive(Clone, Copy, Debug)]
+pub enum BinOp {
+    /// `x + y`
+    Add,
+    /// `x - y`
+    Sub,
+    /// `x * y`
+    Mul,
+    /// `x / y` (IEEE correctly rounded in both scalar and vector form)
+    Div,
+}
+
+impl BinOp {
+    /// The pinned scalar form (identical to the vector lanes).
+    #[inline(always)]
+    pub fn apply(self, x: f32, y: f32) -> f32 {
+        match self {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Mul => x * y,
+            BinOp::Div => x / y,
+        }
+    }
+}
+
+/// Elementwise unary ops with a vector path.
+#[derive(Clone, Copy, Debug)]
+pub enum UnOp {
+    /// `-x` (sign-bit flip; bitwise identical in scalar and vector form)
+    Neg,
+    /// `|x|` (sign-bit clear)
+    Abs,
+    /// `x * x`
+    Square,
+    /// `maxps(x, 0)`: NaN and −0 both map to +0
+    Relu,
+    /// `x * c`
+    Scale(f32),
+    /// `x + c`
+    AddScalar(f32),
+    /// `minps(hi, maxps(lo, x))`; equal to `f32::clamp` for `lo <= hi`
+    /// non-NaN bounds, NaN `x` passes through
+    Clamp(f32, f32),
+}
+
+impl UnOp {
+    /// The pinned scalar form, written in the exact operand order the
+    /// x86 `maxps`/`minps` instructions evaluate (both return the
+    /// *second* operand on NaN or equality).
+    #[inline(always)]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            UnOp::Neg => -x,
+            UnOp::Abs => x.abs(),
+            UnOp::Square => x * x,
+            UnOp::Relu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.0
+                }
+            }
+            UnOp::Scale(c) => x * c,
+            UnOp::AddScalar(c) => x + c,
+            UnOp::Clamp(lo, hi) => {
+                let t = if lo > x { lo } else { x };
+                if hi < t {
+                    hi
+                } else {
+                    t
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared loop scaffolding
+// ---------------------------------------------------------------------------
+
+/// Row-major odometer over reduced axes `(len, stride)`: runs `$body`
+/// once per preimage step with `$roff` bound to the current flat offset,
+/// visiting offsets in ascending order — the exact per-element walk of
+/// `ops::reduce_to_shape`'s scalar loop.
+macro_rules! preimage_walk {
+    ($dims:expr, $total:expr, $roff:ident, $body:block) => {{
+        let mut r = [0usize; MAX_RDIMS];
+        let mut $roff = 0usize;
+        for _ in 0..$total {
+            $body
+            for j in (0..$dims.len()).rev() {
+                let (len, stride) = $dims[j];
+                r[j] += 1;
+                $roff += stride;
+                if r[j] < len {
+                    break;
+                }
+                r[j] = 0;
+                $roff -= len * stride;
+            }
+        }
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// GEMM row-block microkernel
+// ---------------------------------------------------------------------------
+
+/// `out[j] += Σ_kk a_row[kk] · b[kk·ldb + j]` for every `j`.
+///
+/// The accumulators are loaded from `out` (never zeroed), so each output
+/// element keeps one strictly ascending-`kk` addition chain across calls
+/// — the bit-exactness invariant `ops::matmul` relies on. Requires
+/// `out.len() <= ldb` and `b` to cover `a_row.len()` rows of `ldb`.
+#[inline]
+pub fn gemm_rowblock(a_row: &[f32], b: &[f32], ldb: usize, out: &mut [f32]) {
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: level() == Avx2 only after is_x86_feature_detected!("avx2").
+        SimdLevel::Avx2 => unsafe { x86::gemm_avx2(a_row, b, ldb, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is unconditionally part of the x86_64 baseline.
+        SimdLevel::Sse2 => unsafe { x86::gemm_sse2(a_row, b, ldb, out) },
+        _ => gemm_scalar(a_row, b, ldb, out),
+    }
+}
+
+/// Scalar microkernel: [`LANES`] output columns accumulated per pass in a
+/// fixed-width array (independent lanes for the autovectorizer), then a
+/// per-column tail — per-element chains identical to the vector paths.
+fn gemm_scalar(a_row: &[f32], b: &[f32], ldb: usize, out: &mut [f32]) {
+    let nc = out.len();
+    let mut j = 0;
+    while j + LANES <= nc {
+        let mut acc = [0.0f32; LANES];
+        acc.copy_from_slice(&out[j..j + LANES]);
+        for (kk, &av) in a_row.iter().enumerate() {
+            let b_row = &b[kk * ldb + j..kk * ldb + j + LANES];
+            for (t, &bv) in b_row.iter().enumerate() {
+                acc[t] += av * bv;
+            }
+        }
+        out[j..j + LANES].copy_from_slice(&acc);
+        j += LANES;
+    }
+    while j < nc {
+        let mut acc = out[j];
+        for (kk, &av) in a_row.iter().enumerate() {
+            acc += av * b[kk * ldb + j];
+        }
+        out[j] = acc;
+        j += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise maps
+// ---------------------------------------------------------------------------
+
+/// `out[i] = op(a[i], b[i])` over equal-length slices.
+#[inline]
+pub fn binary_map(op: BinOp, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert!(a.len() == out.len() && b.len() == out.len());
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: level() == Avx2 only after is_x86_feature_detected!("avx2").
+        SimdLevel::Avx2 => unsafe { x86::binary_map_avx2(op, a, b, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is unconditionally part of the x86_64 baseline.
+        SimdLevel::Sse2 => unsafe { x86::binary_map_sse2(op, a, b, out) },
+        _ => {
+            for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+                *o = op.apply(x, y);
+            }
+        }
+    }
+}
+
+/// `out[i] = op(a[i])` over equal-length slices.
+#[inline]
+pub fn unary_map(op: UnOp, a: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), out.len());
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: level() == Avx2 only after is_x86_feature_detected!("avx2").
+        SimdLevel::Avx2 => unsafe { x86::unary_map_avx2(op, a, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is unconditionally part of the x86_64 baseline.
+        SimdLevel::Sse2 => unsafe { x86::unary_map_sse2(op, a, out) },
+        _ => {
+            for (o, &x) in out.iter_mut().zip(a.iter()) {
+                *o = op.apply(x);
+            }
+        }
+    }
+}
+
+/// `data[i] *= c` in place (softmax normalization, `scale_inplace`).
+#[inline]
+pub fn scale_in_place(data: &mut [f32], c: f32) {
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: level() == Avx2 only after is_x86_feature_detected!("avx2").
+        SimdLevel::Avx2 => unsafe { x86::scale_in_place_avx2(data, c) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is unconditionally part of the x86_64 baseline.
+        SimdLevel::Sse2 => unsafe { x86::scale_in_place_sse2(data, c) },
+        _ => {
+            for x in data.iter_mut() {
+                *x *= c;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accumulating updates
+// ---------------------------------------------------------------------------
+
+/// `dst[i] += s * x[i]` (separate mul + add; never fused).
+#[inline]
+pub fn axpy(dst: &mut [f32], s: f32, x: &[f32]) {
+    debug_assert_eq!(dst.len(), x.len());
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: level() == Avx2 only after is_x86_feature_detected!("avx2").
+        SimdLevel::Avx2 => unsafe { x86::axpy_avx2(dst, s, x) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is unconditionally part of the x86_64 baseline.
+        SimdLevel::Sse2 => unsafe { x86::axpy_sse2(dst, s, x) },
+        _ => {
+            for (d, &v) in dst.iter_mut().zip(x.iter()) {
+                *d += s * v;
+            }
+        }
+    }
+}
+
+/// `dst[i] += x[i]`.
+#[inline]
+pub fn accum(dst: &mut [f32], x: &[f32]) {
+    debug_assert_eq!(dst.len(), x.len());
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: level() == Avx2 only after is_x86_feature_detected!("avx2").
+        SimdLevel::Avx2 => unsafe { x86::accum_avx2(dst, x) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is unconditionally part of the x86_64 baseline.
+        SimdLevel::Sse2 => unsafe { x86::accum_sse2(dst, x) },
+        _ => {
+            for (d, &v) in dst.iter_mut().zip(x.iter()) {
+                *d += v;
+            }
+        }
+    }
+}
+
+/// `dst[i] = maxps(x[i], dst[i])` — i.e. `if x > dst { x } else { dst }`,
+/// so a NaN in `x` is ignored and `dst` can never become NaN from one.
+#[inline]
+pub fn max_accum(dst: &mut [f32], x: &[f32]) {
+    debug_assert_eq!(dst.len(), x.len());
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: level() == Avx2 only after is_x86_feature_detected!("avx2").
+        SimdLevel::Avx2 => unsafe { x86::max_accum_avx2(dst, x) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is unconditionally part of the x86_64 baseline.
+        SimdLevel::Sse2 => unsafe { x86::max_accum_sse2(dst, x) },
+        _ => {
+            for (d, &v) in dst.iter_mut().zip(x.iter()) {
+                if v > *d {
+                    *d = v;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Row kernels (softmax)
+// ---------------------------------------------------------------------------
+
+/// Maximum of a row, ignoring NaN, starting from `-∞`.
+///
+/// The vector paths keep [`LANES`] running maxima and combine them
+/// through a fixed low/high pairwise tree; the scalar path folds
+/// sequentially. Max is order-insensitive up to the sign of equal zeros,
+/// which the sole consumer (`exp(x - m)` in softmax) cannot observe — so
+/// all levels are interchangeable bit-for-bit *downstream*.
+#[inline]
+pub fn row_max(x: &[f32]) -> f32 {
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: level() == Avx2 only after is_x86_feature_detected!("avx2").
+        SimdLevel::Avx2 => unsafe { x86::row_max_avx2(x) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is unconditionally part of the x86_64 baseline.
+        SimdLevel::Sse2 => unsafe { x86::row_max_sse2(x) },
+        _ => fold_max(f32::NEG_INFINITY, x),
+    }
+}
+
+/// Pinned sequential max fold: `if v > m { v } else { m }` per element.
+#[inline]
+fn fold_max(init: f32, x: &[f32]) -> f32 {
+    let mut m = init;
+    for &v in x {
+        if v > m {
+            m = v;
+        }
+    }
+    m
+}
+
+/// `out[i] = y[i] * (g[i] - dot)` — the elementwise half of the softmax
+/// backward (the dot product itself stays scalar in the ops layer).
+#[inline]
+pub fn softmax_grad_row(out: &mut [f32], y: &[f32], g: &[f32], dot: f32) {
+    debug_assert!(y.len() == out.len() && g.len() == out.len());
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: level() == Avx2 only after is_x86_feature_detected!("avx2").
+        SimdLevel::Avx2 => unsafe { x86::softmax_grad_row_avx2(out, y, g, dot) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is unconditionally part of the x86_64 baseline.
+        SimdLevel::Sse2 => unsafe { x86::softmax_grad_row_sse2(out, y, g, dot) },
+        _ => {
+            for ((o, &yv), &gv) in out.iter_mut().zip(y.iter()).zip(g.iter()) {
+                *o = yv * (gv - dot);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast-reduce groups
+// ---------------------------------------------------------------------------
+
+/// Sum the broadcast preimages of [`LANES`] *consecutive* target elements
+/// at once: lane `t` accumulates `gd[base + t + roff]` over every reduced
+/// offset `roff`, in the same ascending order as the scalar loop in
+/// `ops::reduce_to_shape` — valid when the grad's last axis is preserved
+/// (stride 1 across the lanes) and all lanes share one preimage walk.
+///
+/// Returns `false` (computing nothing) when the reduced rank exceeds the
+/// fixed odometer capacity; the caller falls back to its scalar loop.
+pub fn reduce_lanes8(gd: &[f32], base: usize, dims: &[(usize, usize)], total: usize, out: &mut [f32]) -> bool {
+    if dims.len() > MAX_RDIMS {
+        return false;
+    }
+    assert_eq!(out.len(), LANES);
+    // Bound every load: the largest preimage offset plus the lane width
+    // must stay inside the grad buffer.
+    let span: usize = dims.iter().map(|&(len, stride)| (len - 1) * stride).sum();
+    assert!(base + span + LANES <= gd.len(), "reduce_lanes8 out of bounds");
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: level() == Avx2 only after is_x86_feature_detected!("avx2");
+        // bounds for every load were asserted above.
+        SimdLevel::Avx2 => unsafe { x86::reduce8_avx2(gd, base, dims, total, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; bounds asserted above.
+        SimdLevel::Sse2 => unsafe { x86::reduce8_sse2(gd, base, dims, total, out) },
+        _ => {
+            let mut acc = [0.0f32; LANES];
+            preimage_walk!(dims, total, roff, {
+                let src = &gd[base + roff..base + roff + LANES];
+                for (a, &v) in acc.iter_mut().zip(src.iter()) {
+                    *a += v;
+                }
+            });
+            out.copy_from_slice(&acc);
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// x86_64 vector implementations
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! AVX2 / SSE2 bodies. Callers (the dispatchers above) guarantee the
+    //! target feature is present; each body asserts its slice bounds
+    //! before the pointer loop, so every load/store below is in bounds.
+    use super::{fold_max, BinOp, UnOp, LANES, MAX_RDIMS};
+    use std::arch::x86_64::*;
+
+    // -- gemm ---------------------------------------------------------------
+
+    // SAFETY: to call, AVX2 must be available on the host.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gemm_avx2(a_row: &[f32], b: &[f32], ldb: usize, out: &mut [f32]) {
+        let (k, n) = (a_row.len(), out.len());
+        assert!(n <= ldb && (k == 0 || b.len() >= (k - 1) * ldb + n));
+        let (bp, op) = (b.as_ptr(), out.as_mut_ptr());
+        let mut j = 0;
+        while j + 16 <= n {
+            let mut acc0 = _mm256_loadu_ps(op.add(j));
+            let mut acc1 = _mm256_loadu_ps(op.add(j + 8));
+            for (kk, &av) in a_row.iter().enumerate() {
+                let va = _mm256_set1_ps(av);
+                let row = bp.add(kk * ldb + j);
+                acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(va, _mm256_loadu_ps(row)));
+                acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(va, _mm256_loadu_ps(row.add(8))));
+            }
+            _mm256_storeu_ps(op.add(j), acc0);
+            _mm256_storeu_ps(op.add(j + 8), acc1);
+            j += 16;
+        }
+        if j + 8 <= n {
+            let mut acc = _mm256_loadu_ps(op.add(j));
+            for (kk, &av) in a_row.iter().enumerate() {
+                let vb = _mm256_loadu_ps(bp.add(kk * ldb + j));
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(av), vb));
+            }
+            _mm256_storeu_ps(op.add(j), acc);
+            j += 8;
+        }
+        gemm_tail(a_row, b, ldb, out, j);
+    }
+
+    // SAFETY: to call, SSE2 is part of the x86_64 baseline.
+    pub unsafe fn gemm_sse2(a_row: &[f32], b: &[f32], ldb: usize, out: &mut [f32]) {
+        let (k, n) = (a_row.len(), out.len());
+        assert!(n <= ldb && (k == 0 || b.len() >= (k - 1) * ldb + n));
+        let (bp, op) = (b.as_ptr(), out.as_mut_ptr());
+        let mut j = 0;
+        while j + 8 <= n {
+            let mut acc0 = _mm_loadu_ps(op.add(j));
+            let mut acc1 = _mm_loadu_ps(op.add(j + 4));
+            for (kk, &av) in a_row.iter().enumerate() {
+                let va = _mm_set1_ps(av);
+                let row = bp.add(kk * ldb + j);
+                acc0 = _mm_add_ps(acc0, _mm_mul_ps(va, _mm_loadu_ps(row)));
+                acc1 = _mm_add_ps(acc1, _mm_mul_ps(va, _mm_loadu_ps(row.add(4))));
+            }
+            _mm_storeu_ps(op.add(j), acc0);
+            _mm_storeu_ps(op.add(j + 4), acc1);
+            j += 8;
+        }
+        if j + 4 <= n {
+            let mut acc = _mm_loadu_ps(op.add(j));
+            for (kk, &av) in a_row.iter().enumerate() {
+                let vb = _mm_loadu_ps(bp.add(kk * ldb + j));
+                acc = _mm_add_ps(acc, _mm_mul_ps(_mm_set1_ps(av), vb));
+            }
+            _mm_storeu_ps(op.add(j), acc);
+            j += 4;
+        }
+        gemm_tail(a_row, b, ldb, out, j);
+    }
+
+    /// Scalar tail columns `j0..` — same per-element chain as the lanes.
+    fn gemm_tail(a_row: &[f32], b: &[f32], ldb: usize, out: &mut [f32], j0: usize) {
+        for j in j0..out.len() {
+            let mut acc = out[j];
+            for (kk, &av) in a_row.iter().enumerate() {
+                acc += av * b[kk * ldb + j];
+            }
+            out[j] = acc;
+        }
+    }
+
+    // -- elementwise maps ---------------------------------------------------
+
+    // SAFETY: to call, AVX2 must be available on the host.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn binary_map_avx2(op: BinOp, a: &[f32], b: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        assert!(a.len() >= n && b.len() >= n);
+        let (ap, bp, op_) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+        macro_rules! lanes8 {
+            ($vop:ident) => {{
+                let mut j = 0;
+                while j + 8 <= n {
+                    let v = $vop(_mm256_loadu_ps(ap.add(j)), _mm256_loadu_ps(bp.add(j)));
+                    _mm256_storeu_ps(op_.add(j), v);
+                    j += 8;
+                }
+                while j < n {
+                    out[j] = op.apply(a[j], b[j]);
+                    j += 1;
+                }
+            }};
+        }
+        match op {
+            BinOp::Add => lanes8!(_mm256_add_ps),
+            BinOp::Sub => lanes8!(_mm256_sub_ps),
+            BinOp::Mul => lanes8!(_mm256_mul_ps),
+            BinOp::Div => lanes8!(_mm256_div_ps),
+        }
+    }
+
+    // SAFETY: to call, SSE2 is part of the x86_64 baseline.
+    pub unsafe fn binary_map_sse2(op: BinOp, a: &[f32], b: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        assert!(a.len() >= n && b.len() >= n);
+        let (ap, bp, op_) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+        macro_rules! lanes4 {
+            ($vop:ident) => {{
+                let mut j = 0;
+                while j + 4 <= n {
+                    let v = $vop(_mm_loadu_ps(ap.add(j)), _mm_loadu_ps(bp.add(j)));
+                    _mm_storeu_ps(op_.add(j), v);
+                    j += 4;
+                }
+                while j < n {
+                    out[j] = op.apply(a[j], b[j]);
+                    j += 1;
+                }
+            }};
+        }
+        match op {
+            BinOp::Add => lanes4!(_mm_add_ps),
+            BinOp::Sub => lanes4!(_mm_sub_ps),
+            BinOp::Mul => lanes4!(_mm_mul_ps),
+            BinOp::Div => lanes4!(_mm_div_ps),
+        }
+    }
+
+    // SAFETY: to call, AVX2 must be available on the host.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn unary_map_avx2(op: UnOp, a: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        assert!(a.len() >= n);
+        let (ap, op_) = (a.as_ptr(), out.as_mut_ptr());
+        macro_rules! lanes8 {
+            ($f:expr) => {{
+                let mut j = 0;
+                while j + 8 <= n {
+                    _mm256_storeu_ps(op_.add(j), $f(_mm256_loadu_ps(ap.add(j))));
+                    j += 8;
+                }
+                while j < n {
+                    out[j] = op.apply(a[j]);
+                    j += 1;
+                }
+            }};
+        }
+        match op {
+            UnOp::Neg => {
+                let sign = _mm256_set1_ps(-0.0);
+                lanes8!(|v| _mm256_xor_ps(v, sign))
+            }
+            UnOp::Abs => {
+                let sign = _mm256_set1_ps(-0.0);
+                lanes8!(|v| _mm256_andnot_ps(sign, v))
+            }
+            UnOp::Square => lanes8!(|v| _mm256_mul_ps(v, v)),
+            UnOp::Relu => {
+                let zero = _mm256_setzero_ps();
+                lanes8!(|v| _mm256_max_ps(v, zero))
+            }
+            UnOp::Scale(c) => {
+                let vc = _mm256_set1_ps(c);
+                lanes8!(|v| _mm256_mul_ps(v, vc))
+            }
+            UnOp::AddScalar(c) => {
+                let vc = _mm256_set1_ps(c);
+                lanes8!(|v| _mm256_add_ps(v, vc))
+            }
+            UnOp::Clamp(lo, hi) => {
+                let (vl, vh) = (_mm256_set1_ps(lo), _mm256_set1_ps(hi));
+                lanes8!(|v| _mm256_min_ps(vh, _mm256_max_ps(vl, v)))
+            }
+        }
+    }
+
+    // SAFETY: to call, SSE2 is part of the x86_64 baseline.
+    pub unsafe fn unary_map_sse2(op: UnOp, a: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        assert!(a.len() >= n);
+        let (ap, op_) = (a.as_ptr(), out.as_mut_ptr());
+        macro_rules! lanes4 {
+            ($f:expr) => {{
+                let mut j = 0;
+                while j + 4 <= n {
+                    _mm_storeu_ps(op_.add(j), $f(_mm_loadu_ps(ap.add(j))));
+                    j += 4;
+                }
+                while j < n {
+                    out[j] = op.apply(a[j]);
+                    j += 1;
+                }
+            }};
+        }
+        match op {
+            UnOp::Neg => {
+                let sign = _mm_set1_ps(-0.0);
+                lanes4!(|v| _mm_xor_ps(v, sign))
+            }
+            UnOp::Abs => {
+                let sign = _mm_set1_ps(-0.0);
+                lanes4!(|v| _mm_andnot_ps(sign, v))
+            }
+            UnOp::Square => lanes4!(|v| _mm_mul_ps(v, v)),
+            UnOp::Relu => {
+                let zero = _mm_setzero_ps();
+                lanes4!(|v| _mm_max_ps(v, zero))
+            }
+            UnOp::Scale(c) => {
+                let vc = _mm_set1_ps(c);
+                lanes4!(|v| _mm_mul_ps(v, vc))
+            }
+            UnOp::AddScalar(c) => {
+                let vc = _mm_set1_ps(c);
+                lanes4!(|v| _mm_add_ps(v, vc))
+            }
+            UnOp::Clamp(lo, hi) => {
+                let (vl, vh) = (_mm_set1_ps(lo), _mm_set1_ps(hi));
+                lanes4!(|v| _mm_min_ps(vh, _mm_max_ps(vl, v)))
+            }
+        }
+    }
+
+    // SAFETY: to call, AVX2 must be available on the host.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale_in_place_avx2(data: &mut [f32], c: f32) {
+        let n = data.len();
+        let dp = data.as_mut_ptr();
+        let vc = _mm256_set1_ps(c);
+        let mut j = 0;
+        while j + 8 <= n {
+            _mm256_storeu_ps(dp.add(j), _mm256_mul_ps(_mm256_loadu_ps(dp.add(j)), vc));
+            j += 8;
+        }
+        while j < n {
+            data[j] *= c;
+            j += 1;
+        }
+    }
+
+    // SAFETY: to call, SSE2 is part of the x86_64 baseline.
+    pub unsafe fn scale_in_place_sse2(data: &mut [f32], c: f32) {
+        let n = data.len();
+        let dp = data.as_mut_ptr();
+        let vc = _mm_set1_ps(c);
+        let mut j = 0;
+        while j + 4 <= n {
+            _mm_storeu_ps(dp.add(j), _mm_mul_ps(_mm_loadu_ps(dp.add(j)), vc));
+            j += 4;
+        }
+        while j < n {
+            data[j] *= c;
+            j += 1;
+        }
+    }
+
+    // -- accumulating updates -----------------------------------------------
+
+    // SAFETY: to call, AVX2 must be available on the host.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy_avx2(dst: &mut [f32], s: f32, x: &[f32]) {
+        let n = dst.len();
+        assert!(x.len() >= n);
+        let (dp, xp) = (dst.as_mut_ptr(), x.as_ptr());
+        let vs = _mm256_set1_ps(s);
+        let mut j = 0;
+        while j + 8 <= n {
+            let d = _mm256_loadu_ps(dp.add(j));
+            let v = _mm256_mul_ps(vs, _mm256_loadu_ps(xp.add(j)));
+            _mm256_storeu_ps(dp.add(j), _mm256_add_ps(d, v));
+            j += 8;
+        }
+        while j < n {
+            dst[j] += s * x[j];
+            j += 1;
+        }
+    }
+
+    // SAFETY: to call, SSE2 is part of the x86_64 baseline.
+    pub unsafe fn axpy_sse2(dst: &mut [f32], s: f32, x: &[f32]) {
+        let n = dst.len();
+        assert!(x.len() >= n);
+        let (dp, xp) = (dst.as_mut_ptr(), x.as_ptr());
+        let vs = _mm_set1_ps(s);
+        let mut j = 0;
+        while j + 4 <= n {
+            let d = _mm_loadu_ps(dp.add(j));
+            let v = _mm_mul_ps(vs, _mm_loadu_ps(xp.add(j)));
+            _mm_storeu_ps(dp.add(j), _mm_add_ps(d, v));
+            j += 4;
+        }
+        while j < n {
+            dst[j] += s * x[j];
+            j += 1;
+        }
+    }
+
+    // SAFETY: to call, AVX2 must be available on the host.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn accum_avx2(dst: &mut [f32], x: &[f32]) {
+        let n = dst.len();
+        assert!(x.len() >= n);
+        let (dp, xp) = (dst.as_mut_ptr(), x.as_ptr());
+        let mut j = 0;
+        while j + 8 <= n {
+            let v = _mm256_add_ps(_mm256_loadu_ps(dp.add(j)), _mm256_loadu_ps(xp.add(j)));
+            _mm256_storeu_ps(dp.add(j), v);
+            j += 8;
+        }
+        while j < n {
+            dst[j] += x[j];
+            j += 1;
+        }
+    }
+
+    // SAFETY: to call, SSE2 is part of the x86_64 baseline.
+    pub unsafe fn accum_sse2(dst: &mut [f32], x: &[f32]) {
+        let n = dst.len();
+        assert!(x.len() >= n);
+        let (dp, xp) = (dst.as_mut_ptr(), x.as_ptr());
+        let mut j = 0;
+        while j + 4 <= n {
+            let v = _mm_add_ps(_mm_loadu_ps(dp.add(j)), _mm_loadu_ps(xp.add(j)));
+            _mm_storeu_ps(dp.add(j), v);
+            j += 4;
+        }
+        while j < n {
+            dst[j] += x[j];
+            j += 1;
+        }
+    }
+
+    // SAFETY: to call, AVX2 must be available on the host.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn max_accum_avx2(dst: &mut [f32], x: &[f32]) {
+        let n = dst.len();
+        assert!(x.len() >= n);
+        let (dp, xp) = (dst.as_mut_ptr(), x.as_ptr());
+        let mut j = 0;
+        while j + 8 <= n {
+            // maxps(x, dst): x > dst ? x : dst (dst on NaN/equal).
+            let v = _mm256_max_ps(_mm256_loadu_ps(xp.add(j)), _mm256_loadu_ps(dp.add(j)));
+            _mm256_storeu_ps(dp.add(j), v);
+            j += 8;
+        }
+        while j < n {
+            if x[j] > dst[j] {
+                dst[j] = x[j];
+            }
+            j += 1;
+        }
+    }
+
+    // SAFETY: to call, SSE2 is part of the x86_64 baseline.
+    pub unsafe fn max_accum_sse2(dst: &mut [f32], x: &[f32]) {
+        let n = dst.len();
+        assert!(x.len() >= n);
+        let (dp, xp) = (dst.as_mut_ptr(), x.as_ptr());
+        let mut j = 0;
+        while j + 4 <= n {
+            let v = _mm_max_ps(_mm_loadu_ps(xp.add(j)), _mm_loadu_ps(dp.add(j)));
+            _mm_storeu_ps(dp.add(j), v);
+            j += 4;
+        }
+        while j < n {
+            if x[j] > dst[j] {
+                dst[j] = x[j];
+            }
+            j += 1;
+        }
+    }
+
+    // -- row max ------------------------------------------------------------
+
+    /// Fixed 4-lane horizontal max tree: pairs `(0,2)/(1,3)`, then the
+    /// winners — identical structure for the AVX2 and SSE2 paths.
+    fn hmax4(v: __m128) -> f32 {
+        // SAFETY: SSE shuffles/max on values only; no memory access.
+        unsafe {
+            let hi = _mm_movehl_ps(v, v);
+            let p = _mm_max_ps(v, hi);
+            let q = _mm_max_ss(p, _mm_shuffle_ps::<0x55>(p, p));
+            _mm_cvtss_f32(q)
+        }
+    }
+
+    // SAFETY: to call, AVX2 must be available on the host.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn row_max_avx2(x: &[f32]) -> f32 {
+        let n = x.len();
+        let xp = x.as_ptr();
+        // Lanes start at -inf so NaN never enters an accumulator
+        // (maxps(x, acc) keeps acc when x is NaN).
+        let mut acc = _mm256_set1_ps(f32::NEG_INFINITY);
+        let mut j = 0;
+        while j + 8 <= n {
+            acc = _mm256_max_ps(_mm256_loadu_ps(xp.add(j)), acc);
+            j += 8;
+        }
+        // Low/high halves pair lanes (i, i+4), then the 4-lane tree.
+        let m4 = _mm_max_ps(_mm256_castps256_ps128(acc), _mm256_extractf128_ps::<1>(acc));
+        fold_max(hmax4(m4), &x[j..])
+    }
+
+    // SAFETY: to call, SSE2 is part of the x86_64 baseline.
+    pub unsafe fn row_max_sse2(x: &[f32]) -> f32 {
+        let n = x.len();
+        let xp = x.as_ptr();
+        // Same 8-lane layout as AVX2: acc0 = lanes 0..4, acc1 = lanes 4..8.
+        let mut acc0 = _mm_set1_ps(f32::NEG_INFINITY);
+        let mut acc1 = acc0;
+        let mut j = 0;
+        while j + 8 <= n {
+            acc0 = _mm_max_ps(_mm_loadu_ps(xp.add(j)), acc0);
+            acc1 = _mm_max_ps(_mm_loadu_ps(xp.add(j + 4)), acc1);
+            j += 8;
+        }
+        let m4 = _mm_max_ps(acc0, acc1);
+        fold_max(hmax4(m4), &x[j..])
+    }
+
+    // -- softmax backward row ----------------------------------------------
+
+    // SAFETY: to call, AVX2 must be available on the host.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn softmax_grad_row_avx2(out: &mut [f32], y: &[f32], g: &[f32], dot: f32) {
+        let n = out.len();
+        assert!(y.len() >= n && g.len() >= n);
+        let (op, yp, gp) = (out.as_mut_ptr(), y.as_ptr(), g.as_ptr());
+        let vd = _mm256_set1_ps(dot);
+        let mut j = 0;
+        while j + 8 <= n {
+            let gv = _mm256_sub_ps(_mm256_loadu_ps(gp.add(j)), vd);
+            _mm256_storeu_ps(op.add(j), _mm256_mul_ps(_mm256_loadu_ps(yp.add(j)), gv));
+            j += 8;
+        }
+        while j < n {
+            out[j] = y[j] * (g[j] - dot);
+            j += 1;
+        }
+    }
+
+    // SAFETY: to call, SSE2 is part of the x86_64 baseline.
+    pub unsafe fn softmax_grad_row_sse2(out: &mut [f32], y: &[f32], g: &[f32], dot: f32) {
+        let n = out.len();
+        assert!(y.len() >= n && g.len() >= n);
+        let (op, yp, gp) = (out.as_mut_ptr(), y.as_ptr(), g.as_ptr());
+        let vd = _mm_set1_ps(dot);
+        let mut j = 0;
+        while j + 4 <= n {
+            let gv = _mm_sub_ps(_mm_loadu_ps(gp.add(j)), vd);
+            _mm_storeu_ps(op.add(j), _mm_mul_ps(_mm_loadu_ps(yp.add(j)), gv));
+            j += 4;
+        }
+        while j < n {
+            out[j] = y[j] * (g[j] - dot);
+            j += 1;
+        }
+    }
+
+    // -- broadcast-reduce groups ---------------------------------------------
+
+    // SAFETY: to call, AVX2 must be available, and every reachable
+    // `base + roff + LANES` must be `<= gd.len()` (dispatcher asserts).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn reduce8_avx2(gd: &[f32], base: usize, dims: &[(usize, usize)], total: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), LANES);
+        let gp = gd.as_ptr();
+        let mut acc = _mm256_setzero_ps();
+        preimage_walk!(dims, total, roff, {
+            acc = _mm256_add_ps(acc, _mm256_loadu_ps(gp.add(base + roff)));
+        });
+        _mm256_storeu_ps(out.as_mut_ptr(), acc);
+    }
+
+    // SAFETY: to call, SSE2 is baseline on x86_64; same bounds contract
+    // as `reduce8_avx2` (asserted by the dispatcher).
+    pub unsafe fn reduce8_sse2(gd: &[f32], base: usize, dims: &[(usize, usize)], total: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), LANES);
+        let gp = gd.as_ptr();
+        let mut acc0 = _mm_setzero_ps();
+        let mut acc1 = acc0;
+        preimage_walk!(dims, total, roff, {
+            acc0 = _mm_add_ps(acc0, _mm_loadu_ps(gp.add(base + roff)));
+            acc1 = _mm_add_ps(acc1, _mm_loadu_ps(gp.add(base + roff + 4)));
+        });
+        _mm_storeu_ps(out.as_mut_ptr(), acc0);
+        _mm_storeu_ps(out.as_mut_ptr().add(4), acc1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run `f` once per level the host supports and assert all results
+    /// are bit-identical; returns the scalar result.
+    fn across_levels(f: impl Fn() -> Vec<f32>) -> Vec<f32> {
+        set_level(Some(SimdLevel::Scalar));
+        let base = f();
+        for l in [SimdLevel::Sse2, SimdLevel::Avx2] {
+            if l <= detected() {
+                set_level(Some(l));
+                let got = f();
+                let eq = base.len() == got.len()
+                    && base.iter().zip(got.iter()).all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(eq, "{l:?} diverged from scalar: {base:?} vs {got:?}");
+            }
+        }
+        set_level(None);
+        base
+    }
+
+    fn pattern(n: usize, seed: u32) -> Vec<f32> {
+        (0..n).map(|i| ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f32 * 0.013 - 6.5).collect()
+    }
+
+    #[test]
+    fn level_override_clamps_to_host() {
+        set_level(Some(SimdLevel::Avx2));
+        assert!(level() <= detected());
+        set_level(Some(SimdLevel::Scalar));
+        assert_eq!(level(), SimdLevel::Scalar);
+        set_level(None);
+    }
+
+    #[test]
+    fn gemm_rowblock_levels_agree_all_widths() {
+        for n in 1..=19 {
+            for k in [0usize, 1, 3, 8] {
+                let a = pattern(k, 7);
+                let b = pattern(k * (n + 2), 11);
+                let res = across_levels(|| {
+                    let mut out = pattern(n, 13);
+                    gemm_rowblock(&a, &b, n + 2, &mut out);
+                    out
+                });
+                // spot-check one element against the naive dot
+                if n > 0 && k > 0 {
+                    let mut want = pattern(n, 13)[0];
+                    for (kk, &av) in a.iter().enumerate() {
+                        want += av * b[kk * (n + 2)];
+                    }
+                    assert_eq!(res[0].to_bits(), want.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_maps_levels_agree_all_widths_and_specials() {
+        for n in 0..=18 {
+            let mut a = pattern(n, 3);
+            let b = pattern(n, 5);
+            if n > 2 {
+                a[1] = f32::NAN;
+                a[2] = -0.0;
+            }
+            for op in [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div] {
+                across_levels(|| {
+                    let mut out = vec![0.0; n];
+                    binary_map(op, &a, &b, &mut out);
+                    out
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn unary_maps_levels_agree_all_widths_and_specials() {
+        for n in [0usize, 1, 7, 8, 9, 16, 23] {
+            let mut a = pattern(n, 9);
+            if n > 4 {
+                a[0] = f32::NAN;
+                a[1] = -0.0;
+                a[2] = 0.0;
+                a[3] = f32::INFINITY;
+                a[4] = f32::NEG_INFINITY;
+            }
+            for op in [
+                UnOp::Neg,
+                UnOp::Abs,
+                UnOp::Square,
+                UnOp::Relu,
+                UnOp::Scale(0.37),
+                UnOp::AddScalar(-1.25),
+                UnOp::Clamp(-2.0, 3.0),
+            ] {
+                across_levels(|| {
+                    let mut out = vec![0.0; n];
+                    unary_map(op, &a, &mut out);
+                    out
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn relu_and_clamp_pin_nan_and_zero_sign() {
+        // The documented maxps/minps semantics, checked at every level.
+        let a = [f32::NAN, -0.0, 0.0, -5.0, 5.0];
+        across_levels(|| {
+            let mut out = vec![0.0; a.len()];
+            unary_map(UnOp::Relu, &a, &mut out);
+            assert_eq!(out[0].to_bits(), 0.0f32.to_bits(), "relu(NaN) must be +0");
+            assert_eq!(out[1].to_bits(), 0.0f32.to_bits(), "relu(-0) must be +0");
+            out
+        });
+        across_levels(|| {
+            let mut out = vec![0.0; a.len()];
+            unary_map(UnOp::Clamp(-1.0, 1.0), &a, &mut out);
+            assert!(out[0].is_nan(), "clamp must propagate NaN");
+            assert_eq!(out[3], -1.0);
+            assert_eq!(out[4], 1.0);
+            out
+        });
+    }
+
+    #[test]
+    fn accum_axpy_scale_levels_agree() {
+        for n in 0..=18 {
+            let x = pattern(n, 21);
+            across_levels(|| {
+                let mut d = pattern(n, 23);
+                accum(&mut d, &x);
+                d
+            });
+            across_levels(|| {
+                let mut d = pattern(n, 25);
+                axpy(&mut d, -0.731, &x);
+                d
+            });
+            across_levels(|| {
+                let mut d = pattern(n, 27);
+                scale_in_place(&mut d, 1.0 / 3.0);
+                d
+            });
+            across_levels(|| {
+                let mut d = vec![f32::NEG_INFINITY; n];
+                max_accum(&mut d, &x);
+                d
+            });
+        }
+    }
+
+    #[test]
+    fn max_accum_ignores_nan_in_source() {
+        let x = [f32::NAN, 2.0, f32::NAN, -1.0];
+        across_levels(|| {
+            let mut d = vec![f32::NEG_INFINITY; 4];
+            max_accum(&mut d, &x);
+            assert_eq!(d[0], f32::NEG_INFINITY, "NaN must not enter the accumulator");
+            assert_eq!(d[1], 2.0);
+            d
+        });
+    }
+
+    #[test]
+    fn row_max_matches_fold_for_all_lengths() {
+        for n in 0..=25 {
+            let mut x = pattern(n, 31);
+            if n > 3 {
+                x[3] = f32::NAN; // ignored at every level
+            }
+            let want = x.iter().fold(f32::NEG_INFINITY, |m, &v| if v > m { v } else { m });
+            across_levels(|| vec![row_max(&x)]);
+            set_level(Some(SimdLevel::Scalar));
+            assert_eq!(row_max(&x).to_bits(), want.to_bits());
+            set_level(None);
+        }
+    }
+
+    #[test]
+    fn softmax_grad_row_levels_agree() {
+        for n in 0..=18 {
+            let y = pattern(n, 41);
+            let g = pattern(n, 43);
+            across_levels(|| {
+                let mut out = vec![0.0; n];
+                softmax_grad_row(&mut out, &y, &g, 0.173);
+                out
+            });
+        }
+    }
+
+    #[test]
+    fn reduce_lanes8_matches_scalar_walk() {
+        // grad laid out as [4, 3, 16]: reduce the two leading axes, keep
+        // the last; lanes are 8 consecutive last-axis elements.
+        let gd = pattern(4 * 3 * 16, 51);
+        let dims = [(4usize, 48usize), (3usize, 16usize)];
+        let total = 12;
+        for base in [0usize, 8] {
+            let want: Vec<f32> = (0..LANES)
+                .map(|t| {
+                    let mut acc = 0.0f32;
+                    for d0 in 0..4 {
+                        for d1 in 0..3 {
+                            acc += gd[base + t + d0 * 48 + d1 * 16];
+                        }
+                    }
+                    acc
+                })
+                .collect();
+            let got = across_levels(|| {
+                let mut out = vec![0.0; LANES];
+                assert!(reduce_lanes8(&gd, base, &dims, total, &mut out));
+                out
+            });
+            for (a, b) in got.iter().zip(want.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_lanes8_rejects_deep_rank() {
+        let gd = vec![0.0f32; 1 << 12];
+        let dims = vec![(2usize, 1usize); MAX_RDIMS + 1];
+        let mut out = vec![0.0; LANES];
+        assert!(!reduce_lanes8(&gd, 0, &dims, 1 << 9, &mut out));
+    }
+}

@@ -209,16 +209,12 @@ impl Tensor {
     /// In-place `self += alpha * other` (shapes must match exactly).
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += alpha * b;
-        }
+        crate::simd::axpy(&mut self.data, alpha, &other.data);
     }
 
     /// In-place scale by `alpha`.
     pub fn scale_inplace(&mut self, alpha: f32) {
-        for a in self.data.iter_mut() {
-            *a *= alpha;
-        }
+        crate::simd::scale_in_place(&mut self.data, alpha);
     }
 
     /// Fill the buffer with a constant.

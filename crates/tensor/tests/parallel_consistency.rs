@@ -16,6 +16,7 @@
 
 use cts_tensor::ops::{self, reference};
 use cts_tensor::parallel::{reset_pool, set_dispatch, set_num_threads, Dispatch};
+use cts_tensor::simd::{self, SimdLevel};
 use cts_tensor::{arena, Tensor};
 use proptest::prelude::*;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
@@ -43,6 +44,28 @@ fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
     let out = f();
     set_num_threads(0);
     out
+}
+
+/// Run `f` at the forced SIMD `level`, restoring env-driven selection
+/// afterwards. Forcing `Scalar` is the programmatic `CTS_SIMD=off`.
+fn with_simd<T>(level: SimdLevel, f: impl FnOnce() -> T) -> T {
+    simd::set_level(Some(level));
+    let out = f();
+    simd::set_level(None);
+    out
+}
+
+/// Every SIMD level the host can actually run (always includes `Scalar`).
+fn host_levels() -> Vec<SimdLevel> {
+    [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2]
+        .into_iter()
+        .filter(|&l| l <= simd::detected())
+        .collect()
+}
+
+/// Raw IEEE bits — the equality the SIMD determinism contract promises.
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|x| x.to_bits()).collect()
 }
 
 proptest! {
@@ -220,6 +243,126 @@ proptest! {
         let ft = with_threads(4, || ops::transpose_last2(&a));
         let st = reference::transpose_last2(&a);
         prop_assert_eq!(ft.data(), st.data());
+    }
+
+    /// SIMD determinism contract, matmul family: every vector level the
+    /// host supports returns the *bits* of the forced-scalar path
+    /// (`CTS_SIMD=off`), with `n` deliberately straddling the 8-lane width
+    /// (`n % 8` covers 0..=7) and under both thread counts and both
+    /// dispatchers.
+    fn simd_levels_bit_identical_matmul_family(
+        bsz in 1usize..3,
+        m in 1usize..12,
+        k in 1usize..24,
+        nq in 0usize..3,
+        nrem in 0usize..8,
+        four_threads in proptest::bool::ANY,
+        spawn in proptest::bool::ANY,
+        seed in 0u64..1_000_000
+    ) {
+        let _g = LOCK.lock().unwrap();
+        let threads = if four_threads { 4 } else { 1 };
+        let n = (nq * 8 + nrem).max(1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = rand_tensor(&mut rng, vec![bsz, m, k]);
+        let b = rand_tensor(&mut rng, vec![k, n]);
+        let bt = rand_tensor(&mut rng, vec![bsz, n, k]);
+        let g = rand_tensor(&mut rng, vec![bsz, m, n]);
+        set_dispatch(Some(if spawn { Dispatch::Spawn } else { Dispatch::Pool }));
+        let run = || (ops::matmul(&a, &b), ops::matmul_nt(&a, &bt), ops::matmul_tn(&a, &g));
+        let scalar = with_threads(threads, || with_simd(SimdLevel::Scalar, run));
+        for level in host_levels() {
+            let out = with_threads(threads, || with_simd(level, run));
+            prop_assert_eq!(bits(&scalar.0), bits(&out.0), "matmul at {:?}", level);
+            prop_assert_eq!(bits(&scalar.1), bits(&out.1), "matmul_nt at {:?}", level);
+            prop_assert_eq!(bits(&scalar.2), bits(&out.2), "matmul_tn at {:?}", level);
+        }
+        set_dispatch(None);
+    }
+
+    /// SIMD determinism contract, elementwise + softmax: vector levels are
+    /// bit-identical to forced-scalar across lane-straddling lengths,
+    /// including the specials the pinned forms guarantee (relu's
+    /// `maxps(x, 0)` mapping −0 to +0 is identical in both paths).
+    fn simd_levels_bit_identical_elementwise_softmax(
+        rows in 1usize..10,
+        nq in 0usize..3,
+        nrem in 0usize..8,
+        four_threads in proptest::bool::ANY,
+        seed in 0u64..1_000_000
+    ) {
+        let _g = LOCK.lock().unwrap();
+        let threads = if four_threads { 4 } else { 1 };
+        let n = (nq * 8 + nrem).max(1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut a = rand_tensor(&mut rng, vec![rows, n]);
+        let b = rand_tensor(&mut rng, vec![rows, n]);
+        // Seed specials into `a`: a negative zero and (softmax aside) the
+        // elementwise ops must pass NaN through identically.
+        a.data_mut()[0] = -0.0;
+        let run_ew = || {
+            (
+                ops::add(&a, &b),
+                ops::mul(&a, &b),
+                ops::relu(&a),
+                ops::neg(&a),
+                ops::scale(&a, 1.75),
+                ops::clamp(&a, -0.5, 0.5),
+            )
+        };
+        let run_sm = || ops::softmax_last(&a);
+        let scalar = with_threads(threads, || with_simd(SimdLevel::Scalar, run_ew));
+        let scalar_sm = with_threads(threads, || with_simd(SimdLevel::Scalar, run_sm));
+        for level in host_levels() {
+            let out = with_threads(threads, || with_simd(level, run_ew));
+            let sm = with_threads(threads, || with_simd(level, run_sm));
+            prop_assert_eq!(bits(&scalar.0), bits(&out.0), "add at {:?}", level);
+            prop_assert_eq!(bits(&scalar.1), bits(&out.1), "mul at {:?}", level);
+            prop_assert_eq!(bits(&scalar.2), bits(&out.2), "relu at {:?}", level);
+            prop_assert_eq!(bits(&scalar.3), bits(&out.3), "neg at {:?}", level);
+            prop_assert_eq!(bits(&scalar.4), bits(&out.4), "scale at {:?}", level);
+            prop_assert_eq!(bits(&scalar.5), bits(&out.5), "clamp at {:?}", level);
+            prop_assert_eq!(bits(&scalar_sm), bits(&sm), "softmax at {:?}", level);
+        }
+    }
+
+    /// SIMD determinism contract, reductions + conv: axis sums/maxes,
+    /// both `reduce_to_shape` layouts (last dim preserved → vector gather;
+    /// last dim reduced → scalar walk), and the temporal conv.
+    fn simd_levels_bit_identical_reductions_conv(
+        d0 in 1usize..4,
+        d1 in 1usize..6,
+        nq in 0usize..3,
+        nrem in 0usize..8,
+        axis in 0usize..3,
+        four_threads in proptest::bool::ANY,
+        seed in 0u64..1_000_000
+    ) {
+        let _g = LOCK.lock().unwrap();
+        let threads = if four_threads { 4 } else { 1 };
+        let n = (nq * 8 + nrem).max(1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = rand_tensor(&mut rng, vec![d0, d1, n]);
+        let x = rand_tensor(&mut rng, vec![d0, d1, 6, 5]);
+        let w = rand_tensor(&mut rng, vec![2, 5, n]);
+        let run = || {
+            (
+                ops::sum_axis(&a, axis, false),
+                ops::max_axis(&a, axis, false),
+                ops::reduce_to_shape(&a, &[1, d1, n]), // last dim preserved
+                ops::reduce_to_shape(&a, &[d0, d1, 1]), // last dim reduced
+                ops::temporal_conv(&x, &w, 1),
+            )
+        };
+        let scalar = with_threads(threads, || with_simd(SimdLevel::Scalar, run));
+        for level in host_levels() {
+            let out = with_threads(threads, || with_simd(level, run));
+            prop_assert_eq!(bits(&scalar.0), bits(&out.0), "sum_axis at {:?}", level);
+            prop_assert_eq!(bits(&scalar.1), bits(&out.1), "max_axis at {:?}", level);
+            prop_assert_eq!(bits(&scalar.2), bits(&out.2), "reduce keep-last at {:?}", level);
+            prop_assert_eq!(bits(&scalar.3), bits(&out.3), "reduce drop-last at {:?}", level);
+            prop_assert_eq!(bits(&scalar.4), bits(&out.4), "temporal_conv at {:?}", level);
+        }
     }
 }
 

@@ -129,13 +129,18 @@ pub struct LatencyModel {
 }
 
 impl Default for LatencyModel {
-    /// Conservative scalar-CPU defaults (≈3 GFLOP/s dense, ≈0.8 GFLOP/s
+    /// Conservative single-core defaults (≈3 GFLOP/s dense, ≈4 GFLOP/s
     /// element-wise, ≈2 µs per dispatch) for budget pre-flights run before
-    /// any calibration data exists.
+    /// any calibration data exists. Re-calibrated against the measured
+    /// family rows after the SIMD kernels landed (`bench_cost --gate`
+    /// fails if these drift more than 3x from a fresh refit): vectorized
+    /// element-wise/reduction passes cut the light-flop cost from the old
+    /// scalar 1.25 ns/flop, while dense stays ~0.35 because the matmul
+    /// microkernel was already cache-blocked.
     fn default() -> Self {
         Self {
             dense_ns_per_flop: 0.35,
-            light_ns_per_flop: 1.25,
+            light_ns_per_flop: 0.25,
             dispatch_ns: 2_000.0,
         }
     }

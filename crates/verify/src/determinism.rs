@@ -6,9 +6,16 @@
 //! unregistered specs. This pass machine-checks the registry invariants the
 //! runtime check relies on, so `cts-verify` can vouch that a build only
 //! ships deterministic kernels.
+//!
+//! Since the SIMD layer landed, each spec also declares its lane shape
+//! ([`cts_tensor::parallel::SimdContract`]): the audit enforces that
+//! scalar-only kernels declare width 1 and vectorized kernels declare the
+//! canonical [`cts_tensor::simd::LANES`] width, and the exhaustive
+//! [`LaneOrder`] match forces this audit to be revisited whenever a new
+//! (potentially order-sensitive) lane strategy is introduced.
 
 use crate::finding::{Finding, FindingKind, Severity};
-use cts_tensor::parallel::{kernels, Partition, Reduction};
+use cts_tensor::parallel::{kernels, LaneOrder, Partition, Reduction};
 use std::collections::HashSet;
 
 /// One registry entry, as seen by the audit.
@@ -20,6 +27,10 @@ pub struct KernelEntry {
     pub partition: Partition,
     /// How per-thread results are combined.
     pub reduction: Reduction,
+    /// Declared SIMD lane width (1 = scalar only).
+    pub lane_width: usize,
+    /// Declared lane-order contract for the vector path.
+    pub lane_order: LaneOrder,
 }
 
 /// The audit's verdict: the registry contents plus any violations.
@@ -68,10 +79,42 @@ pub fn audit_determinism() -> DeterminismReport {
         match spec.reduction {
             Reduction::DisjointWrites | Reduction::OrderedPartialSums => {}
         }
+        // A lane-order declaration must be consistent with its width:
+        // scalar-only kernels have no lanes, vectorized kernels must be
+        // written for the canonical width so every dispatch level runs the
+        // same lane layout.
+        match spec.simd.order {
+            LaneOrder::ScalarOnly => {
+                if spec.simd.lane_width != 1 {
+                    findings.push(finding(
+                        spec.name,
+                        format!(
+                            "kernel `{}` declares ScalarOnly but lane width {} — scalar kernels must declare width 1",
+                            spec.name, spec.simd.lane_width
+                        ),
+                    ));
+                }
+            }
+            LaneOrder::ElementChains | LaneOrder::PinnedMaxTree => {
+                if spec.simd.lane_width != cts_tensor::simd::LANES {
+                    findings.push(finding(
+                        spec.name,
+                        format!(
+                            "kernel `{}` declares a vector lane order at width {} but the SIMD layer is written for {} lanes",
+                            spec.name,
+                            spec.simd.lane_width,
+                            cts_tensor::simd::LANES
+                        ),
+                    ));
+                }
+            }
+        }
         entries.push(KernelEntry {
             name: spec.name,
             partition: spec.partition,
             reduction: spec.reduction,
+            lane_width: spec.simd.lane_width,
+            lane_order: spec.simd.order,
         });
     }
     DeterminismReport { kernels: entries, findings }
@@ -102,5 +145,20 @@ mod tests {
         let report = audit_determinism();
         assert_eq!(report.kernels.len(), kernels::ALL.len());
         assert!(report.kernels.iter().any(|k| k.name == "matmul"));
+    }
+
+    #[test]
+    fn vectorized_kernels_declare_canonical_lane_width() {
+        let report = audit_determinism();
+        let mm = report.kernels.iter().find(|k| k.name == "matmul").unwrap();
+        assert_eq!(mm.lane_order, LaneOrder::ElementChains);
+        assert_eq!(mm.lane_width, cts_tensor::simd::LANES);
+        let sm = report.kernels.iter().find(|k| k.name == "softmax.forward").unwrap();
+        assert_eq!(sm.lane_order, LaneOrder::PinnedMaxTree);
+        // Sequential-sum kernels must stay scalar: vectorizing them would
+        // reassociate their single addition chain.
+        let lse = report.kernels.iter().find(|k| k.name == "softmax.logsumexp").unwrap();
+        assert_eq!(lse.lane_order, LaneOrder::ScalarOnly);
+        assert_eq!(lse.lane_width, 1);
     }
 }

@@ -29,12 +29,22 @@ echo "==> static analyzer sweep over the discrete space"
 
 echo "==> static cost model gate"
 # bench_cost prices every operator family statically and re-counts it
-# under the kernel meter: flops/bytes must match bit for bit, and the
-# row-fitted latency model must land inside a 3x band on every family.
+# under the kernel meter: flops/bytes must match bit for bit, the
+# row-fitted latency model must land inside a 3x band on every family,
+# and the compiled-in LatencyModel::default() coefficients must sit
+# within 3x of the refit — a kernel-speed change (e.g. new SIMD paths)
+# that is not re-calibrated into the defaults fails here.
 BENCH_OUT_DIR=target ./target/release/bench_cost --gate
 
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace --offline
+
+echo "==> cargo test -q (workspace, CTS_SIMD=off)"
+# The SIMD determinism contract: the scalar fallback is not a degraded
+# mode but the semantics. The entire suite must pass with the vector
+# paths disabled, and the proptests in parallel_consistency.rs separately
+# pin vector and scalar outputs to identical bits.
+CTS_SIMD=off cargo test -q --workspace --offline
 
 echo "==> fault-injection suite (explicit)"
 cargo test --offline --test fault_injection -- --nocapture

@@ -34,6 +34,12 @@
 #      an overflow in a size computation silently prices a genotype
 #      wrong. Float lines are exempt when marked `f32`/`f64` on the
 #      line (comment counts).
+#   8. Inside `crates/tensor/src`, `unsafe` may appear only in the two
+#      opt-out modules: `pool.rs` (lifetime-erased task pointers) and
+#      `simd.rs` (core::arch intrinsics). Everywhere else in the crate
+#      the `#![deny(unsafe_code)]` at lib.rs must stay load-bearing —
+#      a vectorized kernel belongs in the simd module, not inline.
+#      (Rule 2 still requires a `// SAFETY:` comment at every use.)
 #
 # Exits non-zero with a `file:line` listing on any finding.
 set -euo pipefail
@@ -72,6 +78,9 @@ while IFS= read -r f; do
             if (FILENAME ~ /^crates\/(runtime|serve)\/src\// \
                 && line ~ /(^|[^a-zA-Z_!])(assert|assert_eq|assert_ne|debug_assert|debug_assert_eq|debug_assert_ne|panic)!|\.unwrap\(\)/)
                 printf "%s:%d: panic path in serving code (return a typed ServeError)\n", FILENAME, NR
+            if (FILENAME ~ /^crates\/tensor\/src\// && FILENAME !~ /crates\/tensor\/src\/(pool|simd)\.rs$/ \
+                && line ~ /(^|[^a-zA-Z_])unsafe([^a-zA-Z_]|$)/)
+                printf "%s:%d: unsafe in cts-tensor outside pool.rs/simd.rs (move the intrinsics into the simd module)\n", FILENAME, NR
         }
     ' "$f" >>"$findings"
 done < <(find crates/*/src compat/*/src src -name '*.rs' ! -name '*_tests.rs' | sort)
