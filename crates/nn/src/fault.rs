@@ -32,6 +32,10 @@ pub struct FaultPlan {
     /// Serving path: poison the output of this 0-indexed plan run with a
     /// NaN (a numerically-broken batch that execution itself survives).
     pub nan_output_at_run: Option<u64>,
+    /// Serving path: sleep `(millis)` inside this 0-indexed plan run —
+    /// models a slow kernel so deadline re-checks mid-flush can be tested
+    /// deterministically. One-shot, like the other triggers.
+    pub slow_plan_run_at: Option<(u64, u64)>,
 }
 
 thread_local! {
@@ -112,6 +116,19 @@ pub fn next_plan_run(rows: usize) -> ServeFault {
             *m = rows;
         }
     });
+    let slow_ms = PLAN.with(|p| {
+        let mut plan = p.borrow_mut();
+        match plan.slow_plan_run_at {
+            Some((at, ms)) if at == run => {
+                plan.slow_plan_run_at = None;
+                Some(ms)
+            }
+            _ => None,
+        }
+    });
+    if let Some(ms) = slow_ms {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
     PLAN.with(|p| {
         let mut plan = p.borrow_mut();
         if plan.fail_plan_run_at == Some(run) {
@@ -189,6 +206,24 @@ mod tests {
         arm(FaultPlan::default());
         assert_eq!(plan_runs(), 0);
         assert_eq!(max_batch_rows(), 0);
+        disarm();
+    }
+
+    #[test]
+    fn slow_run_fires_once_at_its_index() {
+        arm(FaultPlan {
+            slow_plan_run_at: Some((1, 30)),
+            ..FaultPlan::default()
+        });
+        let t0 = std::time::Instant::now();
+        assert_eq!(next_plan_run(1), ServeFault::None);
+        assert!(t0.elapsed().as_millis() < 25, "run 0 slowed early");
+        let t1 = std::time::Instant::now();
+        assert_eq!(next_plan_run(1), ServeFault::None);
+        assert!(t1.elapsed().as_millis() >= 25, "run 1 was not slowed");
+        let t2 = std::time::Instant::now();
+        assert_eq!(next_plan_run(1), ServeFault::None);
+        assert!(t2.elapsed().as_millis() < 25, "slow trigger re-fired");
         disarm();
     }
 

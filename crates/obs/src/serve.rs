@@ -36,9 +36,11 @@ macro_rules! serve_counters {
             }
         }
 
-        /// Zero every serving counter (tests, bench warm-up boundaries).
+        /// Zero every serving counter and shard gauge (tests, bench
+        /// warm-up boundaries).
         pub fn reset() {
             $($name.store(0, Ordering::Relaxed);)+
+            reset_shards();
         }
 
         /// The counters as stable `(name, value)` pairs, in declaration
@@ -86,6 +88,69 @@ serve_counters! {
     canary_pass => record_canary_pass,
     /// Plans rejected (and rolled back) by the registry canary gate.
     canary_fail => record_canary_fail,
+    /// Front-end requests routed to a model id no shard serves. Counted
+    /// *instead of* `submitted` (routing happens before admission), so the
+    /// conservation invariant `submitted == admitted + rejected_* +
+    /// queue_shed` is unaffected.
+    unknown_model => record_unknown_model,
+    /// Requests answered bit-identically from the per-model result cache.
+    cache_hit => record_cache_hit,
+    /// Admitted requests that missed the result cache and ran the plan.
+    cache_miss => record_cache_miss,
+    /// Cache entries evicted LRU to stay under the byte cap.
+    cache_evict => record_cache_evict,
+    /// Cache entries dropped because the window origin advanced past the
+    /// forecast horizon (the horizon-aware TTL).
+    cache_expired => record_cache_expired,
+}
+
+/// Upper bound on tracked serving shards; depths for shards at or above
+/// this index are folded into the last gauge.
+pub const MAX_SHARDS: usize = 64;
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+/// Live pending-queue depth per serving shard (gauge, not a counter).
+static SHARD_DEPTH: [AtomicU64; MAX_SHARDS] = [ZERO; MAX_SHARDS];
+/// High-water pending-queue depth per serving shard since the last reset.
+static SHARD_DEPTH_PEAK: [AtomicU64; MAX_SHARDS] = [ZERO; MAX_SHARDS];
+
+/// Record shard `shard`'s pending-queue depth (front-end workers call this
+/// after every enqueue and flush). Also advances the shard's high-water
+/// mark.
+pub fn set_shard_depth(shard: usize, depth: u64) {
+    let i = shard.min(MAX_SHARDS - 1);
+    SHARD_DEPTH[i].store(depth, Ordering::Relaxed);
+    SHARD_DEPTH_PEAK[i].fetch_max(depth, Ordering::Relaxed);
+}
+
+/// Current and high-water pending-queue depth for one shard.
+pub fn shard_depth(shard: usize) -> (u64, u64) {
+    let i = shard.min(MAX_SHARDS - 1);
+    (
+        SHARD_DEPTH[i].load(Ordering::Relaxed),
+        SHARD_DEPTH_PEAK[i].load(Ordering::Relaxed),
+    )
+}
+
+/// `(shard, depth, peak)` rows for every shard that has seen traffic
+/// since the last reset, in shard order — the serialization the serve
+/// bench writes next to the counters.
+pub fn shard_rows() -> Vec<(usize, u64, u64)> {
+    (0..MAX_SHARDS)
+        .filter_map(|i| {
+            let peak = SHARD_DEPTH_PEAK[i].load(Ordering::Relaxed);
+            (peak > 0).then(|| (i, SHARD_DEPTH[i].load(Ordering::Relaxed), peak))
+        })
+        .collect()
+}
+
+/// Zero every shard depth gauge and high-water mark.
+pub fn reset_shards() {
+    for i in 0..MAX_SHARDS {
+        SHARD_DEPTH[i].store(0, Ordering::Relaxed);
+        SHARD_DEPTH_PEAK[i].store(0, Ordering::Relaxed);
+    }
 }
 
 /// Emit one flat `serve` event with every counter into the run log (no-op
@@ -119,5 +184,23 @@ mod tests {
         assert_eq!(rows.iter().find(|(k, _)| *k == "submitted"), Some(&("submitted", 2)));
         reset();
         assert_eq!(snapshot(), ServeCounters::default());
+    }
+
+    #[test]
+    fn shard_gauges_track_depth_and_peak() {
+        reset_shards();
+        set_shard_depth(1, 4);
+        set_shard_depth(1, 2);
+        set_shard_depth(3, 7);
+        assert_eq!(shard_depth(1), (2, 4));
+        assert_eq!(shard_depth(3), (7, 7));
+        assert_eq!(shard_depth(0), (0, 0));
+        assert_eq!(shard_rows(), vec![(1, 2, 4), (3, 7, 7)]);
+        // Out-of-range shards fold into the last gauge instead of
+        // panicking.
+        set_shard_depth(MAX_SHARDS + 5, 1);
+        assert_eq!(shard_depth(MAX_SHARDS - 1).1, 1);
+        reset_shards();
+        assert!(shard_rows().is_empty());
     }
 }

@@ -31,9 +31,11 @@ struct Pending {
 /// Each submitted request is a window batch `[b_i, N, T, F]` (typically
 /// `b_i = 1`: one live stream). Admission control rejects hostile inputs
 /// at [`submit`]; [`flush`] sheds expired requests, greedily packs the
-/// rest up to `max_batch` windows per forward (splitting oversize
-/// requests into sub-batches), and slices each batched output back into
-/// per-request tensors in submission order. Row-independence of the
+/// rest up to `max_batch` windows per forward — scanning past requests
+/// that don't fit so a large request never strands later small ones into
+/// singleton batches, and splitting oversize requests into sub-batches —
+/// and slices each batched output back into per-request tensors in
+/// submission order. Row-independence of the
 /// forward (all mixing happens within a window) makes a coalesced answer
 /// bit-identical to a solo one.
 ///
@@ -161,14 +163,65 @@ impl MicroBatcher {
         Ok(())
     }
 
+    /// Front-end enqueue path: queue a request whose admission (and
+    /// `submitted` counter bump) the caller already performed — the
+    /// serving front runs admission itself so it can consult the result
+    /// cache on the *sanitized* window before deciding to queue at all.
+    ///
+    /// `queued` carries the stopwatch started at front-end submission, so
+    /// deadline budgets include time spent in the shard channel.
+    ///
+    /// # Errors
+    /// [`ServeError::QueueFull`] when the pending queue is at its bound.
+    pub(crate) fn enqueue_presanitized(
+        &mut self,
+        x: Tensor,
+        deadline_ms: Option<f64>,
+        queued: Stopwatch,
+    ) -> Result<(), ServeError> {
+        if self.pending.len() >= self.queue_limit {
+            counters::record_queue_shed();
+            return Err(ServeError::QueueFull {
+                limit: self.queue_limit,
+            });
+        }
+        counters::record_admitted();
+        self.pending.push(Pending {
+            x,
+            deadline_ms,
+            queued,
+        });
+        Ok(())
+    }
+
     /// Number of queued requests.
     pub fn pending(&self) -> usize {
         self.pending.len()
     }
 
+    /// `Some(error)` when `p`'s deadline budget is already spent.
+    fn expired(p: &Pending) -> Option<ServeError> {
+        let deadline = p.deadline_ms?;
+        let waited_ms = p.queued.elapsed_ms();
+        if deadline < 0.0 || waited_ms > deadline {
+            counters::record_deadline_shed();
+            Some(ServeError::DeadlineExpired {
+                waited_ms,
+                deadline_ms: deadline,
+            })
+        } else {
+            None
+        }
+    }
+
     /// Run every queued request and return one `Result` per request, in
     /// submission order: the forecast (`[b_i, N, Q]`), or the typed error
     /// that request — and only that request — hit.
+    ///
+    /// Deadlines are checked twice: once up front (rung 0) and again
+    /// immediately before each group executes, so a request that waited
+    /// behind slow earlier groups in the same flush is shed instead of
+    /// returning a forecast after its budget.
     pub fn flush(&mut self) -> Vec<Result<Tensor, ServeError>> {
         let requests = std::mem::take(&mut self.pending);
         let mut out: Vec<Option<Result<Tensor, ServeError>>> =
@@ -179,43 +232,65 @@ impl MicroBatcher {
         // in time.
         let mut live: Vec<(usize, Pending)> = Vec::with_capacity(requests.len());
         for (i, p) in requests.into_iter().enumerate() {
-            if let Some(deadline) = p.deadline_ms {
-                let waited_ms = p.queued.elapsed_ms();
-                if deadline < 0.0 || waited_ms > deadline {
-                    counters::record_deadline_shed();
-                    out[i] = Some(Err(ServeError::DeadlineExpired {
-                        waited_ms,
-                        deadline_ms: deadline,
-                    }));
-                    continue;
-                }
+            if let Some(e) = Self::expired(&p) {
+                out[i] = Some(Err(e));
+                continue;
             }
             live.push((i, p));
         }
 
-        // Greedy pack consecutive live requests up to max_batch windows.
-        let mut start = 0;
-        while start < live.len() {
-            let b0 = live[start].1.x.shape()[0];
-            if b0 > self.max_batch {
-                counters::record_oversize_split();
-                let (i, p) = &live[start];
-                out[*i] = Some(self.run_oversize(&p.x));
-                start += 1;
+        // Greedy skip-ahead packing: each unpacked request seeds a group,
+        // then every *later* unpacked request that still fits joins it —
+        // a large request no longer strands the small ones behind it into
+        // singleton batches. Group members stay in submission order, so
+        // the concat (and therefore the answer bits) is deterministic.
+        let mut used = vec![false; live.len()];
+        for seed in 0..live.len() {
+            if used[seed] {
                 continue;
             }
-            let mut end = start + 1;
-            let mut total = b0;
-            while end < live.len() {
-                let b = live[end].1.x.shape()[0];
-                if total + b > self.max_batch {
-                    break;
-                }
-                total += b;
-                end += 1;
+            used[seed] = true;
+            let b0 = live[seed].1.x.shape()[0];
+            if b0 > self.max_batch {
+                let (i, p) = &live[seed];
+                // Re-check the deadline immediately before executing:
+                // earlier groups in this same flush may have eaten the
+                // budget.
+                out[*i] = Some(match Self::expired(p) {
+                    Some(e) => Err(e),
+                    None => {
+                        counters::record_oversize_split();
+                        self.run_oversize(&p.x)
+                    }
+                });
+                continue;
             }
-            self.exec_group(&live[start..end], &mut out);
-            start = end;
+            let mut members = vec![seed];
+            let mut total = b0;
+            for later in seed + 1..live.len() {
+                if used[later] {
+                    continue;
+                }
+                let b = live[later].1.x.shape()[0];
+                if total + b <= self.max_batch {
+                    used[later] = true;
+                    members.push(later);
+                    total += b;
+                }
+            }
+            // Deadline re-check at execution time (see above); survivors
+            // run as one coalesced group.
+            let mut group: Vec<&(usize, Pending)> = Vec::with_capacity(members.len());
+            for &m in &members {
+                let (i, p) = &live[m];
+                match Self::expired(p) {
+                    Some(e) => out[*i] = Some(Err(e)),
+                    None => group.push(&live[m]),
+                }
+            }
+            if !group.is_empty() {
+                self.exec_group(&group, &mut out);
+            }
         }
 
         // invariant: every request index was answered by exactly one of
@@ -231,7 +306,7 @@ impl MicroBatcher {
     /// coalesced answers.
     fn exec_group(
         &self,
-        group: &[(usize, Pending)],
+        group: &[&(usize, Pending)],
         out: &mut [Option<Result<Tensor, ServeError>>],
     ) {
         let batch_result = if group.len() == 1 {
@@ -555,6 +630,7 @@ mod tests {
         for r in &requests {
             batcher.submit(r.clone()).unwrap();
         }
+        let _gate = crate::testlock::counters();
         cts_obs::serve::reset();
         // Poison the coalesced run's first element: request 0's slice is
         // non-finite, request 1's is clean and must keep its answer.

@@ -5,9 +5,10 @@
 //! data. Operational knobs gone wrong (`Config`), hostile inputs
 //! (`BadShape`, `NonFinite`, `TooMissing`), overload (`QueueFull`,
 //! `DeadlineExpired`), execution faults after the degradation ladder is
-//! exhausted (`PlanExec`, `PoisonedOutput`), and rollout protection
-//! (`CanaryRejected`) each carry the numbers an operator needs to act on
-//! the error without a debugger.
+//! exhausted (`PlanExec`, `PoisonedOutput`), rollout protection
+//! (`CanaryRejected`), and front-end routing/transport failures
+//! (`UnknownModel`, `ShardDown`, `FrontClosed`) each carry the numbers an
+//! operator needs to act on the error without a debugger.
 
 use std::fmt;
 
@@ -70,6 +71,22 @@ pub enum ServeError {
         /// Why the canary run failed or diverged.
         cause: String,
     },
+    /// The request named a model id no serving shard has a plan for.
+    UnknownModel {
+        /// The model id the request carried.
+        id: String,
+    },
+    /// A shard's request channel or worker is gone (the worker exited or
+    /// its channel disconnected); the request was not enqueued.
+    ShardDown {
+        /// Index of the unreachable shard.
+        shard: usize,
+        /// What the channel failure looked like.
+        cause: String,
+    },
+    /// The front-end's reply channel disconnected mid-collection — every
+    /// worker is gone, so no further answers can arrive.
+    FrontClosed,
 }
 
 impl fmt::Display for ServeError {
@@ -112,6 +129,15 @@ impl fmt::Display for ServeError {
             ServeError::CanaryRejected { id, cause } => {
                 write!(f, "plan '{id}' rejected by canary gate: {cause}")
             }
+            ServeError::UnknownModel { id } => {
+                write!(f, "no serving shard has a plan for model '{id}'")
+            }
+            ServeError::ShardDown { shard, cause } => {
+                write!(f, "serving shard {shard} is unreachable: {cause}")
+            }
+            ServeError::FrontClosed => {
+                write!(f, "serving front-end reply channel closed: all workers exited")
+            }
         }
     }
 }
@@ -136,5 +162,12 @@ mod tests {
             deadline_ms: 5.0,
         };
         assert!(e.to_string().contains("7.50 ms"));
+        let e = ServeError::UnknownModel { id: "m9".into() };
+        assert!(e.to_string().contains("'m9'"));
+        let e = ServeError::ShardDown {
+            shard: 3,
+            cause: "request channel disconnected".into(),
+        };
+        assert!(e.to_string().contains("shard 3"));
     }
 }

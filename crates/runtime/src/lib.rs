@@ -18,9 +18,14 @@
 //! model id (with a canary gate that parity-checks new plans against a
 //! tape reference before admission) and a [`MicroBatcher`] that coalesces
 //! concurrent sensor streams into one batched forward behind admission
-//! control, bounded queues, and a degradation ladder. The whole request
-//! path is panic-free: every failure is a typed [`ServeError`], and every
-//! shed/quarantine/degrade event is counted through `cts-obs`.
+//! control, bounded queues, and a degradation ladder. [`ServeFront`]
+//! scales that to many threads: sharded worker threads each compile their
+//! own plan replicas (plans are `Rc`-based and `!Send`; only request
+//! envelopes cross channels), route requests content-deterministically,
+//! and answer repeats bit-identically from a per-model [`ForecastCache`]
+//! with a horizon-aware TTL. The whole request path is panic-free: every
+//! failure is a typed [`ServeError`], and every shed/quarantine/degrade/
+//! cache event is counted through `cts-obs`.
 //!
 //! This crate deliberately does **not** depend on `cts-autograd`; the lint
 //! suite rejects any `Tape` import here so the tape-free property is
@@ -31,12 +36,30 @@
 
 mod admission;
 mod batcher;
+mod cache;
 mod error;
+mod front;
 mod plan;
 mod registry;
 
 pub use admission::{AdmissionPolicy, AdmissionReport};
 pub use batcher::{MicroBatcher, TapeFallback};
+pub use cache::{CacheKey, ForecastCache};
 pub use error::ServeError;
+pub use front::{FrontConfig, ServeFront, ShardCanary, ShardFactory, ShardModel, TicketAnswer};
 pub use plan::{BlockPlan, ExecPlan, PlanError, PlanSpec};
 pub use registry::PlanRegistry;
+
+#[cfg(test)]
+pub(crate) mod testlock {
+    //! The serve counters are process-global; unit tests in this crate
+    //! run in parallel threads of one binary, so every test that resets
+    //! or asserts counter values serializes through this gate.
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    static COUNTER_GATE: Mutex<()> = Mutex::new(());
+
+    pub fn counters() -> MutexGuard<'static, ()> {
+        COUNTER_GATE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}

@@ -513,6 +513,14 @@ impl ExecPlan {
     pub fn features(&self) -> usize {
         self.features
     }
+
+    /// Forecast horizon `Q` (steps ahead per forecast) the plan was
+    /// compiled for — the output layer's width, and the natural TTL for a
+    /// cached forecast: once the window origin advances `Q` steps, the
+    /// cached forecast lies entirely in the past.
+    pub fn horizon(&self) -> usize {
+        self.output.d_out()
+    }
 }
 
 #[cfg(test)]

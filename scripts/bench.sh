@@ -4,8 +4,9 @@
 #   BENCH_search_step.json  bi-level search-step cost, pool vs spawn, arena on/off
 #   BENCH_obs.json          observability smoke run: per-kernel time shares,
 #                           phase breakdown, arena/pool/tape counters
-#   BENCH_serve.json        serving latency: p50/p99 micro-batched flush,
-#                           compiled-vs-tape ms/window + speedup
+#   BENCH_serve.json        serving latency: one row per SERVE_THREADS entry
+#                           (p50/p99 flush, compiled-vs-tape ms/window +
+#                           speedup, result-cache hit/miss/evict deltas)
 #   BENCH_cost.json         static cost model audit: per-family predicted
 #                           vs measured flops/bytes (exactness booleans)
 #                           and latency ratios under both calibrations
@@ -26,6 +27,7 @@ CTS_RUN_LOG="$out/cts_run.jsonl" ./target/release/obs_smoke
 ./target/release/report "$out/cts_run.jsonl" --out "$out/BENCH_obs.json"
 
 cargo build --release --offline -p cts-serve
-BENCH_OUT_DIR="$out" ./target/release/serve_bench
+SERVE_THREADS="${SERVE_THREADS:-1,4}" SERVE_CACHE_MB="${SERVE_CACHE_MB:-8}" \
+    BENCH_OUT_DIR="$out" ./target/release/serve_bench
 
 BENCH_OUT_DIR="$out" ./target/release/bench_cost

@@ -27,7 +27,11 @@
 #      `assert_ne!`/`debug_assert*`/`panic!`/`.unwrap()` are forbidden
 #      there — failures must surface as typed `ServeError`s. Annotated
 #      `.expect(` with `// invariant:` stays allowed (rule 1) for
-#      conditions the code itself makes impossible.
+#      conditions the code itself makes impossible — EXCEPT on channel
+#      results: a `.send(`/`.recv(`/`.try_recv(`/`.recv_timeout(` result
+#      must map to `ServeError::ShardDown`/`FrontClosed`, never be
+#      unwrapped or expected (a worker dying is an operational event,
+#      not an invariant the sender controls).
 #   7. The cost model (`crates/verify/src/cost.rs`) and the plan compiler
 #      (`crates/runtime/src/plan.rs`) size buffers in u64/usize; bare
 #      ` * ` / ` + ` there must be `checked_*`/`saturating_*` instead —
@@ -78,6 +82,10 @@ while IFS= read -r f; do
             if (FILENAME ~ /^crates\/(runtime|serve)\/src\// \
                 && line ~ /(^|[^a-zA-Z_!])(assert|assert_eq|assert_ne|debug_assert|debug_assert_eq|debug_assert_ne|panic)!|\.unwrap\(\)/)
                 printf "%s:%d: panic path in serving code (return a typed ServeError)\n", FILENAME, NR
+            if (FILENAME ~ /^crates\/(runtime|serve)\/src\// \
+                && line ~ /\.(send|recv|try_recv|recv_timeout)\(/ \
+                && line ~ /\.unwrap\(\)|\.expect\(/)
+                printf "%s:%d: channel result unwrapped in serving code (map to ServeError::ShardDown/FrontClosed)\n", FILENAME, NR
             if (FILENAME ~ /^crates\/tensor\/src\// && FILENAME !~ /crates\/tensor\/src\/(pool|simd)\.rs$/ \
                 && line ~ /(^|[^a-zA-Z_])unsafe([^a-zA-Z_]|$)/)
                 printf "%s:%d: unsafe in cts-tensor outside pool.rs/simd.rs (move the intrinsics into the simd module)\n", FILENAME, NR

@@ -392,6 +392,105 @@ fn canary_gate_blocks_a_diverging_plan_and_keeps_the_old_one() {
     assert_eq!(snap.canary_fail, 2);
 }
 
+#[test]
+fn slow_group_cannot_smuggle_a_later_request_past_its_deadline() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    // Regression: `flush` used to check deadlines only once, up front
+    // (rung 0). A request whose budget expired *while earlier groups in
+    // the same flush executed* would still run and return a forecast
+    // after its deadline. The fix re-checks `queued.elapsed_ms()`
+    // immediately before each group executes.
+    let (_model, plan, pool) = fixture(9);
+    // max_batch 1 → the two requests form two sequential groups.
+    let mut batcher = MicroBatcher::new(Rc::clone(&plan), 1).unwrap();
+    batcher.submit(pool[0].clone()).unwrap();
+    batcher
+        .submit_with_deadline(pool[1].clone(), Some(25.0))
+        .unwrap();
+    counters::reset();
+    // Slow the first group's forward (run 0) by 60 ms: request 1's 25 ms
+    // budget expires while request 0 executes, after rung 0 passed it.
+    fault::arm(fault::FaultPlan {
+        slow_plan_run_at: Some((0, 60)),
+        ..fault::FaultPlan::default()
+    });
+    let out = batcher.flush();
+    fault::disarm();
+    assert!(out[0].is_ok(), "the slow request itself still answers");
+    assert!(
+        matches!(
+            out[1],
+            Err(ServeError::DeadlineExpired { waited_ms, deadline_ms })
+                if waited_ms > deadline_ms
+        ),
+        "request behind the slow group returned {:?} after its deadline",
+        out[1].as_ref().map(|_| "a forecast")
+    );
+    assert_eq!(counters::snapshot().deadline_shed, 1);
+}
+
+#[test]
+fn packer_scans_past_a_non_fitting_request_instead_of_stranding_later_ones() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    // Regression: the greedy packer only coalesced *consecutive*
+    // requests, so sizes [2, 3, 2] under max_batch 4 closed the first
+    // group at {r0} (2+3 > 4) and ran three singleton groups. Skip-ahead
+    // packing scans past r1 and packs {r0, r2} (4 rows), then {r1} —
+    // two forwards instead of three, with answers still written in
+    // submission order.
+    let (_model, plan, pool) = fixture(10);
+    let two_a = ops::concat(&[&pool[0], &pool[1]], 0);
+    let three = ops::concat(&[&pool[2], &pool[3], &pool[4]], 0);
+    let two_b = ops::concat(&[&pool[5], &pool[0]], 0);
+    let requests = [two_a, three, two_b];
+    let solos: Vec<Tensor> = requests
+        .iter()
+        .map(|x| plan.try_run(x).expect("solo reference"))
+        .collect();
+    let mut batcher = MicroBatcher::new(Rc::clone(&plan), 4).unwrap();
+    for x in &requests {
+        batcher.submit(x.clone()).unwrap();
+    }
+    fault::arm(fault::FaultPlan::default()); // reset the run counter
+    let out = batcher.flush();
+    let runs = fault::plan_runs();
+    let max_rows = fault::max_batch_rows();
+    fault::disarm();
+    assert_eq!(
+        runs, 2,
+        "sizes [2, 3, 2] under cap 4 must pack into two forwards, ran {runs}"
+    );
+    assert!(max_rows <= 4, "a forward ran {max_rows} rows, above the cap");
+    for (i, (solo, y)) in solos.iter().zip(&out).enumerate() {
+        let y = y.as_ref().unwrap_or_else(|e| panic!("request {i} failed: {e}"));
+        assert!(bitwise_eq(y, solo), "request {i} drifted under skip-ahead packing");
+    }
+}
+
+/// Forward count of the pre-fix packer: greedy *consecutive* coalescing
+/// (close the group as soon as the next request does not fit), oversize
+/// requests split into `ceil(b / cap)` sub-batches. The skip-ahead packer
+/// must never run more forwards than this on any request sequence.
+fn consecutive_runs(sizes: &[usize], cap: usize) -> u64 {
+    let mut runs = 0u64;
+    let mut i = 0;
+    while i < sizes.len() {
+        if sizes[i] > cap {
+            runs += sizes[i].div_ceil(cap) as u64;
+            i += 1;
+            continue;
+        }
+        let mut total = sizes[i];
+        i += 1;
+        while i < sizes.len() && total + sizes[i] <= cap {
+            total += sizes[i];
+            i += 1;
+        }
+        runs += 1;
+    }
+    runs
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -434,6 +533,7 @@ proptest! {
         });
         let out = batcher.flush();
         let max_rows = fault::max_batch_rows();
+        let runs = fault::plan_runs();
         fault::disarm();
         prop_assert_eq!(out.len(), requests.len());
         prop_assert!(
@@ -442,6 +542,19 @@ proptest! {
             max_rows,
             max_batch
         );
+        // Skip-ahead packing never runs more forwards than the old
+        // consecutive-only packer would have (brute-force-verified over
+        // this whole input domain). Only meaningful fault-free: a failed
+        // first run adds quarantine solos to the count.
+        if !fail_first {
+            let bound = consecutive_runs(sizes, max_batch);
+            prop_assert!(
+                runs <= bound,
+                "skip-ahead packed {} forwards, consecutive packing needs only {}",
+                runs,
+                bound
+            );
+        }
         for (i, (solo, y)) in solos.iter().zip(&out).enumerate() {
             let y = y.as_ref().unwrap_or_else(|e| panic!("request {i} failed: {e}"));
             prop_assert!(bitwise_eq(y, solo), "request {} drifted", i);
